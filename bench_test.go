@@ -1,0 +1,47 @@
+// Benchmarks regenerating every figure of the paper's evaluation section.
+// Each benchmark runs the corresponding experiment end to end; the reported
+// ns/op is the cost of regenerating that figure. Run a single figure with
+//
+//	go test -bench=Fig07 -benchtime=1x
+//
+// or print the actual rows with cmd/cameo-bench.
+package cameo
+
+import (
+	"testing"
+
+	"github.com/cameo-stream/cameo/internal/experiments"
+)
+
+func benchFigure(b *testing.B, id string) {
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := e.Run(uint64(i + 1))
+		if len(rep.Tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+func BenchmarkFig01Motivation(b *testing.B)   { benchFigure(b, "1") }
+func BenchmarkFig02Workload(b *testing.B)     { benchFigure(b, "2") }
+func BenchmarkFig04Example(b *testing.B)      { benchFigure(b, "4") }
+func BenchmarkFig06FairShare(b *testing.B)    { benchFigure(b, "6") }
+func BenchmarkFig07SingleTenant(b *testing.B) { benchFigure(b, "7") }
+func BenchmarkFig08MultiTenant(b *testing.B)  { benchFigure(b, "8") }
+func BenchmarkFig09Pareto(b *testing.B)       { benchFigure(b, "9") }
+func BenchmarkFig10Skew(b *testing.B)         { benchFigure(b, "10") }
+func BenchmarkFig11Policies(b *testing.B)     { benchFigure(b, "11") }
+func BenchmarkFig12Overhead(b *testing.B)     { benchFigure(b, "12") }
+func BenchmarkFig13BatchSize(b *testing.B)    { benchFigure(b, "13") }
+func BenchmarkFig14Quantum(b *testing.B)      { benchFigure(b, "14") }
+func BenchmarkFig15Semantics(b *testing.B)    { benchFigure(b, "15") }
+func BenchmarkFig16Noise(b *testing.B)        { benchFigure(b, "16") }
+
+// Extension ablations (not paper figures; see DESIGN.md §6).
+func BenchmarkAblationAlpha(b *testing.B)      { benchFigure(b, "a1") }
+func BenchmarkAblationStarvation(b *testing.B) { benchFigure(b, "a2") }

@@ -1,0 +1,269 @@
+package cameo
+
+import (
+	"testing"
+	"time"
+)
+
+func dashboardQuery(name string) *Query {
+	return NewQuery(name).
+		LatencyTarget(500*time.Millisecond).
+		Sources(2).
+		Aggregate("agg", 2, Window(100*time.Millisecond), Count).
+		AggregateGlobal("total", Window(100*time.Millisecond), Sum)
+}
+
+func TestQueryBuilderValidates(t *testing.T) {
+	if _, err := dashboardQuery("ok").Spec(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	bad := []*Query{
+		NewQuery(""),
+		NewQuery("x"), // no stages
+		NewQuery("x").Aggregate("a", 0, Window(time.Second), Sum),
+		NewQuery("x").Aggregate("a", 1, WindowSpec{}, Sum),
+		NewQuery("x").Map("m", 1, func(_ time.Duration, k int64, v float64) (int64, float64) {
+			return k, v
+		}).Join("j", 1, time.Second), // join not first
+		NewQuery("x").CostModel(time.Millisecond, 0), // cost before stage
+	}
+	for i, q := range bad {
+		if _, err := q.Spec(); err == nil {
+			t.Errorf("case %d: invalid query accepted", i)
+		}
+	}
+}
+
+func TestQueryBuilderPorts(t *testing.T) {
+	q := NewQuery("join").
+		Sources(4).
+		SourcePorts(2).
+		Join("j", 2, time.Second).
+		AggregateGlobal("sum", Window(time.Second), Sum)
+	spec, err := q.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.SourcePorts != 2 || len(spec.Stages) != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	eng := NewEngine(EngineConfig{Workers: 2})
+	if err := eng.Submit(dashboardQuery("job")); err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	win := 100 * time.Millisecond
+	for w := 1; w <= 10; w++ {
+		progress := time.Duration(w) * win
+		for src := 0; src < 2; src++ {
+			events := make([]Event, 5)
+			for i := range events {
+				events[i] = Event{Time: progress - time.Duration(i+1)*time.Millisecond, Key: int64(i), Value: 1}
+			}
+			if err := eng.IngestBatch("job", src, events, progress); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for src := 0; src < 2; src++ {
+		if err := eng.AdvanceProgress("job", src, 11*win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !eng.Drain(5 * time.Second) {
+		t.Fatal("engine did not drain")
+	}
+	st, err := eng.Stats("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Outputs < 8 {
+		t.Fatalf("outputs = %d, want >= 8", st.Outputs)
+	}
+	if st.P50 <= 0 || st.P99 < st.P50 {
+		t.Fatalf("percentiles wrong: %+v", st)
+	}
+	if _, err := eng.Stats("ghost"); err == nil {
+		t.Fatal("Stats for unknown job succeeded")
+	}
+}
+
+func TestEngineSubmitErrors(t *testing.T) {
+	eng := NewEngine(EngineConfig{})
+	if err := eng.Submit(NewQuery("")); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+	if err := eng.Submit(dashboardQuery("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Submit(dashboardQuery("dup")); err == nil {
+		t.Fatal("duplicate job accepted")
+	}
+	eng.Start()
+	eng.Stop()
+}
+
+func TestSimulationEndToEnd(t *testing.T) {
+	for _, sched := range []Scheduler{SchedulerCameo, SchedulerOrleans, SchedulerFIFO} {
+		simu := NewSimulation(SimulationConfig{
+			Nodes: 1, WorkersPerNode: 2,
+			Scheduler: sched,
+			Duration:  20 * time.Second,
+			Seed:      3,
+		})
+		q := NewQuery("s").
+			LatencyTarget(800*time.Millisecond).
+			EventTime().
+			Sources(4).
+			Aggregate("agg", 2, Window(time.Second), Sum).
+			AggregateGlobal("total", Window(time.Second), Sum)
+		if err := simu.Submit(q, SourceProfile{
+			Interval: time.Second, TuplesPerBatch: 50, Keys: 16, Delay: 50 * time.Millisecond,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		res := simu.Run()
+		st := res.Job("s")
+		if st.Outputs < 10 {
+			t.Fatalf("%v: outputs = %d", sched, st.Outputs)
+		}
+		if res.Messages == 0 || res.Utilization <= 0 {
+			t.Fatalf("%v: empty result %+v", sched, res)
+		}
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	run := func() SimulationResult {
+		simu := NewSimulation(SimulationConfig{
+			Nodes: 1, WorkersPerNode: 1, Duration: 10 * time.Second, Seed: 9,
+		})
+		q := dashboardQuery("d")
+		if err := simu.Submit(q, SourceProfile{
+			Interval: 100 * time.Millisecond, TuplesPerBatch: 10, Keys: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return simu.Run()
+	}
+	a, b := run(), run()
+	if a.Messages != b.Messages || a.Job("d") != b.Job("d") {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulationSubmitErrors(t *testing.T) {
+	simu := NewSimulation(SimulationConfig{Duration: time.Second})
+	if err := simu.Submit(NewQuery(""), SourceProfile{Interval: time.Second}); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+	if err := simu.Submit(dashboardQuery("x"), SourceProfile{}); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestTokenFairPolicy(t *testing.T) {
+	policy := TokenFair(time.Second)
+	policy.SetRate("a", 33)
+	policy.SetRate("b", 66)
+	simu := NewSimulation(SimulationConfig{
+		Nodes: 1, WorkersPerNode: 1,
+		Scheduler: SchedulerCameo, Policy: policy,
+		Duration: 30 * time.Second, Seed: 5,
+	})
+	for _, name := range []string{"a", "b"} {
+		q := NewQuery(name).
+			LatencyTarget(10*time.Second).
+			Sources(2).
+			Emit("sink").
+			CostModel(10*time.Millisecond, 0)
+		// Demand 200 msg/s/job against ~100 msg/s capacity, with the
+		// aggregate token rate (99/s) matching capacity: admission is
+		// token-limited, so throughput splits by token share (1:2).
+		if err := simu.Submit(q, SourceProfile{
+			Interval: 10 * time.Millisecond, TuplesPerBatch: 5, Keys: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := simu.Run()
+	ra, rb := res.Job("a").Outputs, res.Job("b").Outputs
+	if ra == 0 || rb == 0 {
+		t.Fatalf("no outputs: a=%d b=%d", ra, rb)
+	}
+	ratio := float64(rb) / float64(ra)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("throughput ratio b:a = %.2f, want ~2", ratio)
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	if LLF().Name() != "llf" || EDF().Name() != "edf" || SJF().Name() != "sjf" {
+		t.Fatal("policy names")
+	}
+	if LLFTopologyOnly().Name() != "llf-nosem" {
+		t.Fatal("topology-only name")
+	}
+}
+
+func TestTopKAndDistinctCountStages(t *testing.T) {
+	simu := NewSimulation(SimulationConfig{
+		Nodes: 1, WorkersPerNode: 1, Duration: 15 * time.Second, Seed: 4,
+	})
+	top := NewQuery("trending").
+		LatencyTarget(time.Second).
+		Sources(2).
+		TopK("top3", 1, time.Second, 3)
+	if err := simu.Submit(top, SourceProfile{
+		Interval: 250 * time.Millisecond, TuplesPerBatch: 40, Keys: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	uniq := NewQuery("uniques").
+		LatencyTarget(time.Second).
+		Sources(2).
+		DistinctCount("uniq", 1, time.Second)
+	if err := simu.Submit(uniq, SourceProfile{
+		Interval: 250 * time.Millisecond, TuplesPerBatch: 40, Keys: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := simu.Run()
+	if res.Job("trending").Outputs < 10 || res.Job("uniques").Outputs < 10 {
+		t.Fatalf("outputs: trending=%d uniques=%d",
+			res.Job("trending").Outputs, res.Job("uniques").Outputs)
+	}
+	// Invalid parameters are rejected at build time.
+	if _, err := NewQuery("x").TopK("t", 1, 0, 3).Spec(); err == nil {
+		t.Error("TopK zero window accepted")
+	}
+	if _, err := NewQuery("x").DistinctCount("d", 1, -time.Second).Spec(); err == nil {
+		t.Error("DistinctCount negative window accepted")
+	}
+}
+
+func TestMapFilterStages(t *testing.T) {
+	simu := NewSimulation(SimulationConfig{
+		Nodes: 1, WorkersPerNode: 1, Duration: 10 * time.Second, Seed: 2,
+	})
+	q := NewQuery("mf").
+		LatencyTarget(time.Second).
+		Sources(2).
+		Filter("keep-even", 2, func(_ time.Duration, k int64, _ float64) bool { return k%2 == 0 }).
+		Map("double", 2, func(_ time.Duration, k int64, v float64) (int64, float64) { return k, 2 * v }).
+		AggregateGlobal("sum", Window(time.Second), Sum)
+	if err := simu.Submit(q, SourceProfile{
+		Interval: 500 * time.Millisecond, TuplesPerBatch: 20, Keys: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := simu.Run()
+	if res.Job("mf").Outputs < 5 {
+		t.Fatalf("outputs = %d", res.Job("mf").Outputs)
+	}
+}

@@ -1,0 +1,132 @@
+package cameo
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/runtime"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// EngineConfig parameterizes a real-time Engine.
+type EngineConfig struct {
+	// Workers is the worker-pool size (default 1).
+	Workers int
+	// Scheduler selects the run-queue discipline (default SchedulerCameo).
+	Scheduler Scheduler
+	// Policy generates message priorities; defaults to LLF() for the Cameo
+	// scheduler.
+	Policy Policy
+	// Quantum is the re-scheduling grain (default 1ms): how long a worker
+	// holds an operator before checking whether more urgent work waits.
+	Quantum time.Duration
+}
+
+// Engine is the real-time execution engine: a single-node worker pool
+// scheduling every submitted job's operators out of one shared,
+// deadline-ordered run queue.
+type Engine struct {
+	inner *runtime.Engine
+	jobs  map[string]*dataflow.Job
+}
+
+// NewEngine returns a stopped engine; Submit queries, then Start it.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{
+		inner: runtime.New(runtime.Config{
+			Workers:   cfg.Workers,
+			Scheduler: cfg.Scheduler,
+			Policy:    cfg.Policy,
+			Quantum:   vtime.FromStd(cfg.Quantum),
+		}),
+		jobs: make(map[string]*dataflow.Job),
+	}
+}
+
+// Submit validates and instantiates a query on the engine. All queries
+// must be submitted before Start.
+func (e *Engine) Submit(q *Query) error {
+	spec, err := q.Spec()
+	if err != nil {
+		return err
+	}
+	job, err := e.inner.AddJob(spec)
+	if err != nil {
+		return err
+	}
+	e.jobs[spec.Name] = job
+	return nil
+}
+
+// Start launches the worker pool.
+func (e *Engine) Start() { e.inner.Start() }
+
+// Stop shuts the engine down, abandoning queued work. Call Drain first for
+// a clean flush.
+func (e *Engine) Stop() { e.inner.Stop() }
+
+// Drain waits until all queued messages are processed, or the timeout
+// expires; it reports whether the engine fully drained.
+func (e *Engine) Drain(timeout time.Duration) bool { return e.inner.Drain(timeout) }
+
+// Event is one tuple offered to a source: its logical time on the engine's
+// clock (see Engine.Now), a grouping key, and a value.
+type Event struct {
+	Time  time.Duration
+	Key   int64
+	Value float64
+}
+
+// Now returns the engine's clock: time elapsed since NewEngine. Event
+// times and stream progress are expressed on this axis.
+func (e *Engine) Now() time.Duration { return vtime.Std(e.inner.Now()) }
+
+// IngestBatch offers a batch of events on one source channel of a job,
+// advancing the channel's stream progress to the given value. Progress is
+// a promise that no later batch on this channel carries an event with
+// Time <= progress; window results for windows ending at or before the
+// progress of all channels become eligible to fire. Safe for concurrent
+// use across sources.
+func (e *Engine) IngestBatch(job string, source int, events []Event, progress time.Duration) error {
+	var b *dataflow.Batch
+	if len(events) > 0 {
+		b = dataflow.NewBatch(len(events))
+		for _, ev := range events {
+			b.Append(vtime.FromStd(ev.Time), ev.Key, ev.Value)
+		}
+	}
+	return e.inner.Ingest(job, source, b, vtime.FromStd(progress))
+}
+
+// AdvanceProgress advances one source channel's stream progress without
+// data — a watermark/heartbeat that lets windows close during idle periods.
+func (e *Engine) AdvanceProgress(job string, source int, progress time.Duration) error {
+	return e.inner.Ingest(job, source, nil, vtime.FromStd(progress))
+}
+
+// JobStats summarizes a job's results so far.
+type JobStats struct {
+	// Outputs is the number of results produced.
+	Outputs int
+	// P50, P95 and P99 are latency percentiles: time from the last
+	// contributing event's arrival to result emission.
+	P50, P95, P99 time.Duration
+	// SuccessRate is the fraction of outputs that met the latency target.
+	SuccessRate float64
+}
+
+// Stats reports a submitted job's current output statistics.
+func (e *Engine) Stats(job string) (JobStats, error) {
+	js := e.inner.Recorder().Job(job)
+	if js == nil {
+		return JobStats{}, fmt.Errorf("cameo: unknown job %q", job)
+	}
+	out := JobStats{Outputs: js.Latencies.Len(), SuccessRate: js.SuccessRate()}
+	if out.Outputs > 0 {
+		out.P50 = vtime.Std(vtime.Time(js.Latencies.Quantile(0.50)))
+		out.P95 = vtime.Std(vtime.Time(js.Latencies.Quantile(0.95)))
+		out.P99 = vtime.Std(vtime.Time(js.Latencies.Quantile(0.99)))
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+// Proportional fair sharing with the token policy (paper §5.4, Figure 6):
+// three tenants with 20%/40%/40% token grants ingest at full speed on a
+// saturated single-worker node; admitted throughput must split by token
+// share.
+//
+//	go run ./examples/fairshare
+package main
+
+import (
+	"fmt"
+	"time"
+
+	cameo "github.com/cameo-stream/cameo"
+)
+
+func main() {
+	policy := cameo.TokenFair(time.Second)
+	policy.SetRate("tenant-a", 20)
+	policy.SetRate("tenant-b", 40)
+	policy.SetRate("tenant-c", 40)
+
+	simu := cameo.NewSimulation(cameo.SimulationConfig{
+		Nodes: 1, WorkersPerNode: 1,
+		Scheduler: cameo.SchedulerCameo,
+		Policy:    policy,
+		Duration:  60 * time.Second,
+		Seed:      7,
+	})
+
+	// Each tenant demands ~60 messages/s at ~10ms each; the worker's
+	// capacity (~100 msg/s) equals the aggregate token rate, so admission
+	// is token-limited.
+	for _, name := range []string{"tenant-a", "tenant-b", "tenant-c"} {
+		q := cameo.NewQuery(name).
+			LatencyTarget(10*time.Second).
+			Sources(4).
+			Emit("sink").
+			CostModel(10*time.Millisecond, 0)
+		if err := simu.Submit(q, cameo.SourceProfile{
+			Interval:       66666 * time.Microsecond, // ~15 emissions/s/source
+			TuplesPerBatch: 10,
+			Keys:           16,
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	res := simu.Run()
+	fmt.Println("token fair sharing on a saturated worker (20/40/40 grants)")
+	base := float64(res.Job("tenant-a").Outputs)
+	for _, name := range []string{"tenant-a", "tenant-b", "tenant-c"} {
+		st := res.Job(name)
+		fmt.Printf("  %-9s outputs=%5d  share=%.2fx of tenant-a\n",
+			name, st.Outputs, float64(st.Outputs)/base)
+	}
+	fmt.Printf("worker utilization: %.0f%%\n", res.Utilization*100)
+}

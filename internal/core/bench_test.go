@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cameo-stream/cameo/internal/progress"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// benchDispatch measures the steady-state per-message push+pop cost of a
+// dispatcher across 256 operators.
+func benchDispatch(b *testing.B, d Dispatcher[int]) {
+	b.Helper()
+	const ops = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := &Message{ID: int64(i), P: vtime.Time(i), T: vtime.Time(i),
+			PC: PriorityContext{PriLocal: vtime.Time(i % 97), PriGlobal: vtime.Time(i % 31)}}
+		d.Push(i%ops, m, -1)
+		if i%ops == ops-1 {
+			for {
+				op, ok := d.NextOp(0)
+				if !ok {
+					break
+				}
+				for {
+					if _, ok := d.PopMsg(op); !ok {
+						break
+					}
+				}
+				d.Done(op, 0)
+			}
+		}
+	}
+}
+
+func BenchmarkCameoDispatcher(b *testing.B)   { benchDispatch(b, NewCameoDispatcher[int]()) }
+func BenchmarkOrleansDispatcher(b *testing.B) { benchDispatch(b, NewOrleansDispatcher[int](4)) }
+func BenchmarkFIFODispatcher(b *testing.B)    { benchDispatch(b, NewFIFODispatcher[int]()) }
+
+// BenchmarkLLFConversion measures one full context conversion (TRANSFORM +
+// PROGRESSMAP + deadline derivation) — the paper's priority-generation cost.
+func BenchmarkLLFConversion(b *testing.B) {
+	p := &DeadlinePolicy{Kind: KindLLF}
+	ti := TargetInfo{
+		Slide:    vtime.Second,
+		Mapper:   progress.IdentityMapper{},
+		Cost:     500 * vtime.Microsecond,
+		PathCost: vtime.Millisecond,
+		Latency:  800 * vtime.Millisecond,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := Message{ID: int64(i), P: vtime.Time(i), T: vtime.Time(i)}
+		p.OnSource(&m, ti)
+	}
+}
+
+// BenchmarkTokenConversion measures the fair-share policy's per-message
+// tagging cost.
+func BenchmarkTokenConversion(b *testing.B) {
+	p := NewTokenPolicy(vtime.Second)
+	p.SetRate("j", 1000)
+	ti := TargetInfo{Job: "j", Latency: vtime.Second}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := Message{ID: int64(i), T: vtime.Time(i) * vtime.Millisecond}
+		p.OnSource(&m, ti)
+	}
+}

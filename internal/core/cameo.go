@@ -1,0 +1,115 @@
+package core
+
+import "github.com/cameo-stream/cameo/internal/queue"
+
+// CameoDispatcher is the paper's two-level priority scheduler (§5.2,
+// Figure 5b): a per-operator message queue ordered by PriLocal, and a
+// global indexed min-heap of waiting operators keyed by the PriGlobal of
+// each operator's head message. The structure is stateless in the paper's
+// sense — it holds only pending messages and their priorities, no per-job
+// bookkeeping — so it scales with message volume, not job count.
+type CameoDispatcher[O comparable] struct {
+	ops      map[O]*msgHeap
+	waiting  *queue.IndexedHeap[O] // operators not currently acquired
+	acquired map[O]bool
+	pending  int
+}
+
+// NewCameoDispatcher returns an empty Cameo dispatcher.
+func NewCameoDispatcher[O comparable]() *CameoDispatcher[O] {
+	return &CameoDispatcher[O]{
+		ops:      make(map[O]*msgHeap),
+		waiting:  queue.NewIndexedHeap[O](),
+		acquired: make(map[O]bool),
+	}
+}
+
+// Name implements Dispatcher.
+func (d *CameoDispatcher[O]) Name() string { return "cameo" }
+
+// Push implements Dispatcher. If the target operator is waiting and the new
+// message becomes its head, the operator is re-keyed in the global heap.
+func (d *CameoDispatcher[O]) Push(op O, m *Message, producer int) {
+	q := d.ops[op]
+	if q == nil {
+		q = &msgHeap{}
+		d.ops[op] = q
+	}
+	q.Push(m)
+	d.pending++
+	if !d.acquired[op] {
+		d.waiting.PushOrUpdate(op, globalPri(q.Peek()))
+	}
+}
+
+// NextOp implements Dispatcher: acquire the operator whose head message has
+// the lowest (most urgent) global priority.
+func (d *CameoDispatcher[O]) NextOp(worker int) (O, bool) {
+	op, _, ok := d.waiting.PopMin()
+	if !ok {
+		var zero O
+		return zero, false
+	}
+	d.acquired[op] = true
+	return op, true
+}
+
+// PopMsg implements Dispatcher.
+func (d *CameoDispatcher[O]) PopMsg(op O) (*Message, bool) {
+	q := d.ops[op]
+	if q == nil || q.Len() == 0 {
+		return nil, false
+	}
+	m := q.Pop()
+	d.pending--
+	return m, true
+}
+
+// PeekMsg implements Dispatcher.
+func (d *CameoDispatcher[O]) PeekMsg(op O) (*Message, bool) {
+	q := d.ops[op]
+	if q == nil || q.Len() == 0 {
+		return nil, false
+	}
+	return q.Peek(), true
+}
+
+// Done implements Dispatcher.
+func (d *CameoDispatcher[O]) Done(op O, worker int) {
+	delete(d.acquired, op)
+	q := d.ops[op]
+	if q == nil {
+		return
+	}
+	if q.Len() == 0 {
+		delete(d.ops, op)
+		return
+	}
+	d.waiting.PushOrUpdate(op, globalPri(q.Peek()))
+}
+
+// ShouldYield implements Dispatcher: the paper's quantum swap check — while
+// processing an operator, peek at the most urgent waiting operator and
+// yield if it is strictly more urgent than our own next message.
+func (d *CameoDispatcher[O]) ShouldYield(op O) bool {
+	_, next, ok := d.waiting.PeekMin()
+	if !ok {
+		return false
+	}
+	q := d.ops[op]
+	if q == nil || q.Len() == 0 {
+		return true
+	}
+	return next.Less(globalPri(q.Peek()))
+}
+
+// QueueLen implements Dispatcher.
+func (d *CameoDispatcher[O]) QueueLen(op O) int {
+	if q := d.ops[op]; q != nil {
+		return q.Len()
+	}
+	return 0
+}
+
+// Pending implements Dispatcher.
+func (d *CameoDispatcher[O]) Pending() int { return d.pending }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"github.com/cameo-stream/cameo/internal/queue"
+)
+
+// Dispatcher is the run-queue abstraction shared by the Cameo scheduler and
+// the two baselines, generic over the operator handle type O (engines use
+// their operator pointers). Messages carry their priorities in their PC.
+// Dispatchers are plain data structures — the simulator drives them
+// single-threaded, the real-time engine wraps them in a mutex — so
+// determinism is preserved where it matters.
+//
+// The worker protocol is:
+//
+//	op, ok := d.NextOp(worker)      // acquire the most urgent operator
+//	for {
+//	    m, ok := d.PopMsg(op)        // next message of the acquired op
+//	    if !ok { break }
+//	    ... execute m ...
+//	    if quantumExpired && d.ShouldYield(op) { break }
+//	}
+//	d.Done(op, worker)               // release; requeues if msgs remain
+//
+// Between NextOp and Done the operator is "acquired": it is absent from the
+// run queue (an operator executes on at most one worker at a time — the
+// actor-model guarantee Cameo relies on for per-event synchronization).
+type Dispatcher[O comparable] interface {
+	// Name identifies the dispatcher in reports ("cameo", "orleans", "fifo").
+	Name() string
+	// Push enqueues m for operator op. producer is the worker that
+	// generated the message, or -1 for external arrivals (sources,
+	// network); the Orleans baseline uses it for thread-local affinity.
+	Push(op O, m *Message, producer int)
+	// NextOp acquires the next operator for the given worker, removing it
+	// from the run queue. ok is false when nothing is runnable.
+	NextOp(worker int) (O, bool)
+	// PopMsg removes and returns the next message of an acquired operator.
+	PopMsg(op O) (*Message, bool)
+	// PeekMsg returns the next message of op without removing it.
+	PeekMsg(op O) (*Message, bool)
+	// Done releases an acquired operator, requeueing it if messages remain.
+	Done(op O, worker int)
+	// ShouldYield reports whether the worker holding op should release it
+	// (after its quantum) because more urgent work is waiting.
+	ShouldYield(op O) bool
+	// QueueLen reports op's pending message count.
+	QueueLen(op O) int
+	// Pending reports the total queued messages across operators.
+	Pending() int
+}
+
+// msgHeap orders an operator's pending messages by (PriLocal, ID) — the
+// paper's local priority with deterministic tie-breaking.
+type msgHeap struct {
+	items []*Message
+}
+
+func (h *msgHeap) Len() int { return len(h.items) }
+
+func (h *msgHeap) Peek() *Message {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func msgLess(a, b *Message) bool {
+	if a.PC.PriLocal != b.PC.PriLocal {
+		return a.PC.PriLocal < b.PC.PriLocal
+	}
+	return a.ID < b.ID
+}
+
+func (h *msgHeap) Push(m *Message) {
+	h.items = append(h.items, m)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !msgLess(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *msgHeap) Pop() *Message {
+	if len(h.items) == 0 {
+		return nil
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = nil
+	h.items = h.items[:last]
+	i, n := 0, len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && msgLess(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && msgLess(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// globalPri is the heap key for an operator: the PriGlobal of its head
+// message with the message ID as deterministic tie-break.
+func globalPri(m *Message) queue.Pri {
+	return queue.Pri{Key: int64(m.PC.PriGlobal), Tie: m.ID}
+}

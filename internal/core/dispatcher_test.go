@@ -1,0 +1,314 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+func msg(id int64, local, global vtime.Time) *Message {
+	return &Message{ID: id, PC: PriorityContext{PriLocal: local, PriGlobal: global}}
+}
+
+func TestCameoOrdersOperatorsByGlobalPriority(t *testing.T) {
+	d := NewCameoDispatcher[string]()
+	d.Push("slow", msg(1, 0, 100), -1)
+	d.Push("urgent", msg(2, 0, 10), -1)
+	d.Push("mid", msg(3, 0, 50), -1)
+
+	want := []string{"urgent", "mid", "slow"}
+	for _, w := range want {
+		op, ok := d.NextOp(0)
+		if !ok || op != w {
+			t.Fatalf("NextOp = %q, want %q", op, w)
+		}
+		if m, ok := d.PopMsg(op); !ok || m == nil {
+			t.Fatal("PopMsg failed")
+		}
+		d.Done(op, 0)
+	}
+	if _, ok := d.NextOp(0); ok {
+		t.Fatal("NextOp on empty dispatcher")
+	}
+}
+
+func TestCameoLocalPriorityWithinOperator(t *testing.T) {
+	d := NewCameoDispatcher[string]()
+	d.Push("op", msg(1, 30, 5), -1)
+	d.Push("op", msg(2, 10, 5), -1)
+	d.Push("op", msg(3, 20, 5), -1)
+	op, _ := d.NextOp(0)
+	var got []int64
+	for {
+		m, ok := d.PopMsg(op)
+		if !ok {
+			break
+		}
+		got = append(got, m.ID)
+	}
+	// Local order is by PriLocal: ids 2 (10), 3 (20), 1 (30).
+	want := []int64{2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("local order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCameoPushRekeysWaitingOperator(t *testing.T) {
+	d := NewCameoDispatcher[string]()
+	d.Push("a", msg(1, 0, 100), -1)
+	d.Push("b", msg(2, 0, 50), -1)
+	// A more urgent message lands on "a": its head priority (by PriLocal)
+	// changes, and the global heap must re-key it ahead of "b".
+	d.Push("a", msg(3, -1, 5), -1)
+	if op, _ := d.NextOp(0); op != "a" {
+		t.Fatalf("NextOp = %q, want a after re-key", op)
+	}
+}
+
+func TestCameoShouldYield(t *testing.T) {
+	d := NewCameoDispatcher[string]()
+	d.Push("mine", msg(1, 0, 50), -1)
+	d.Push("mine", msg(2, 1, 60), -1)
+	op, _ := d.NextOp(0)
+	d.PopMsg(op) // executing msg 1; next local msg has global pri 60
+
+	if d.ShouldYield(op) {
+		t.Fatal("yield with empty waiting set")
+	}
+	d.Push("other", msg(3, 0, 100), -1) // less urgent than our 60
+	if d.ShouldYield(op) {
+		t.Fatal("yielded to a less urgent operator")
+	}
+	d.Push("urgent", msg(4, 0, 10), -1) // more urgent than our 60
+	if !d.ShouldYield(op) {
+		t.Fatal("did not yield to a more urgent operator")
+	}
+	// Drained operator always yields.
+	d.PopMsg(op)
+	if !d.ShouldYield(op) {
+		t.Fatal("drained operator did not yield")
+	}
+}
+
+func TestCameoDoneRequeuesRemainder(t *testing.T) {
+	d := NewCameoDispatcher[string]()
+	d.Push("op", msg(1, 0, 10), -1)
+	d.Push("op", msg(2, 1, 20), -1)
+	op, _ := d.NextOp(0)
+	d.PopMsg(op)
+	d.Done(op, 0) // one message left: must requeue
+	if d.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", d.Pending())
+	}
+	op2, ok := d.NextOp(0)
+	if !ok || op2 != "op" {
+		t.Fatalf("requeued NextOp = %q/%v", op2, ok)
+	}
+	m, _ := d.PopMsg(op2)
+	if m.ID != 2 {
+		t.Fatalf("remaining msg = %d", m.ID)
+	}
+	d.Done(op2, 0)
+	if d.Pending() != 0 || d.QueueLen("op") != 0 {
+		t.Fatal("dispatcher not empty after drain")
+	}
+}
+
+func TestCameoAcquiredOpNotRescheduledOnPush(t *testing.T) {
+	d := NewCameoDispatcher[string]()
+	d.Push("op", msg(1, 0, 10), -1)
+	op, _ := d.NextOp(0)
+	// Message arrives while acquired: must NOT re-enter the waiting heap
+	// (the operator is running on a worker — actor single-threading).
+	d.Push("op", msg(2, 1, 1), 0)
+	if _, ok := d.NextOp(1); ok {
+		t.Fatal("acquired operator handed to a second worker")
+	}
+	d.Done(op, 0)
+	if op2, ok := d.NextOp(1); !ok || op2 != "op" {
+		t.Fatal("operator lost after Done")
+	}
+}
+
+func TestCameoPeekMsg(t *testing.T) {
+	d := NewCameoDispatcher[string]()
+	if _, ok := d.PeekMsg("nope"); ok {
+		t.Fatal("PeekMsg on unknown op")
+	}
+	d.Push("op", msg(7, 3, 30), -1)
+	m, ok := d.PeekMsg("op")
+	if !ok || m.ID != 7 {
+		t.Fatalf("PeekMsg = %v/%v", m, ok)
+	}
+	if d.QueueLen("op") != 1 {
+		t.Fatal("Peek consumed the message")
+	}
+}
+
+func TestCameoInfinityTieBreaksByID(t *testing.T) {
+	// Untokened messages all carry PriGlobal = Infinity; arrival order (ID)
+	// must break the tie deterministically.
+	d := NewCameoDispatcher[string]()
+	d.Push("b", msg(2, 0, vtime.Infinity), -1)
+	d.Push("a", msg(1, 0, vtime.Infinity), -1)
+	if op, _ := d.NextOp(0); op != "a" {
+		t.Fatalf("tie-break NextOp = %q, want a (lower ID)", op)
+	}
+}
+
+func TestOrleansLocalityPreference(t *testing.T) {
+	d := NewOrleansDispatcher[string](2)
+	d.Push("external", msg(1, 0, 0), -1) // global list
+	d.Push("local0", msg(2, 0, 0), 0)    // worker 0's local list
+	// Worker 0 prefers its local activation over the earlier global one.
+	if op, _ := d.NextOp(0); op != "local0" {
+		t.Fatalf("worker 0 NextOp = %q, want local0", op)
+	}
+	// Worker 1 has no local work: takes the global one.
+	if op, _ := d.NextOp(1); op != "external" {
+		t.Fatalf("worker 1 NextOp = %q, want external", op)
+	}
+}
+
+func TestOrleansFIFOWithinOperator(t *testing.T) {
+	d := NewOrleansDispatcher[string](1)
+	// Priorities are ignored: strict arrival order.
+	d.Push("op", msg(1, 99, 99), -1)
+	d.Push("op", msg(2, 1, 1), -1)
+	op, _ := d.NextOp(0)
+	m1, _ := d.PopMsg(op)
+	m2, _ := d.PopMsg(op)
+	if m1.ID != 1 || m2.ID != 2 {
+		t.Fatalf("orleans msg order = %d, %d", m1.ID, m2.ID)
+	}
+}
+
+func TestOrleansDoneKeepsLocality(t *testing.T) {
+	d := NewOrleansDispatcher[string](2)
+	d.Push("op", msg(1, 0, 0), -1)
+	d.Push("op", msg(2, 0, 0), -1)
+	op, _ := d.NextOp(1)
+	d.PopMsg(op)
+	d.Done(op, 1) // remaining message: requeued on worker 1's local list
+	d.Push("other", msg(3, 0, 0), -1)
+	// Worker 1 resumes its local activation before the global "other".
+	if got, _ := d.NextOp(1); got != "op" {
+		t.Fatalf("worker 1 NextOp = %q, want op (local)", got)
+	}
+}
+
+func TestOrleansShouldYield(t *testing.T) {
+	d := NewOrleansDispatcher[string](1)
+	d.Push("a", msg(1, 0, 0), -1)
+	d.Push("a", msg(2, 0, 0), -1)
+	op, _ := d.NextOp(0)
+	if d.ShouldYield(op) {
+		t.Fatal("yield with empty bag")
+	}
+	d.Push("b", msg(3, 0, 0), -1)
+	if !d.ShouldYield(op) {
+		t.Fatal("no yield with another runnable activation")
+	}
+}
+
+func TestFIFOGlobalOrder(t *testing.T) {
+	d := NewFIFODispatcher[string]()
+	d.Push("a", msg(1, 0, 999), -1)
+	d.Push("b", msg(2, 0, 1), -1)
+	d.Push("a", msg(3, 0, 0), -1) // a already scheduled: no duplicate entry
+	if op, _ := d.NextOp(0); op != "a" {
+		t.Fatal("FIFO order broken")
+	}
+	if op, _ := d.NextOp(0); op != "b" {
+		t.Fatal("FIFO order broken")
+	}
+}
+
+func TestFIFODoneRequeuesAtBack(t *testing.T) {
+	d := NewFIFODispatcher[string]()
+	d.Push("a", msg(1, 0, 0), -1)
+	d.Push("a", msg(2, 0, 0), -1)
+	d.Push("b", msg(3, 0, 0), -1)
+	op, _ := d.NextOp(0) // a
+	d.PopMsg(op)
+	d.Done(op, 0) // a has one message left: goes behind b
+	if op2, _ := d.NextOp(0); op2 != "b" {
+		t.Fatalf("NextOp = %q, want b", op2)
+	}
+	d.PopMsg("b")
+	d.Done("b", 0)
+	if op3, _ := d.NextOp(0); op3 != "a" {
+		t.Fatalf("NextOp = %q, want a again", op3)
+	}
+}
+
+func TestDispatcherNames(t *testing.T) {
+	if NewCameoDispatcher[int]().Name() != "cameo" {
+		t.Error("cameo name")
+	}
+	if NewOrleansDispatcher[int](1).Name() != "orleans" {
+		t.Error("orleans name")
+	}
+	if NewFIFODispatcher[int]().Name() != "fifo" {
+		t.Error("fifo name")
+	}
+}
+
+// Property: the Cameo dispatcher always acquires the operator whose head
+// message has the minimum global priority among waiting operators, and no
+// message is lost or duplicated.
+func TestCameoPropertySchedulingInvariant(t *testing.T) {
+	f := func(pushes []struct {
+		Op     uint8
+		Local  int16
+		Global int16
+	}) bool {
+		d := NewCameoDispatcher[uint8]()
+		heads := map[uint8][]*Message{}
+		var id int64
+		for _, p := range pushes {
+			id++
+			m := msg(id, vtime.Time(p.Local), vtime.Time(p.Global))
+			op := p.Op % 8
+			d.Push(op, m, -1)
+			heads[op] = append(heads[op], m)
+		}
+		total := int(id)
+		drained := 0
+		for {
+			op, ok := d.NextOp(0)
+			if !ok {
+				break
+			}
+			// The acquired op's head must be minimal among all waiting heads.
+			m, ok := d.PeekMsg(op)
+			if !ok {
+				return false
+			}
+			myPri := globalPri(m)
+			for other := uint8(0); other < 8; other++ {
+				if other == op {
+					continue
+				}
+				if om, ok := d.PeekMsg(other); ok && d.QueueLen(other) > 0 {
+					if globalPri(om).Less(myPri) {
+						return false
+					}
+				}
+			}
+			// Drain one message then release.
+			if _, ok := d.PopMsg(op); !ok {
+				return false
+			}
+			drained++
+			d.Done(op, 0)
+		}
+		return drained == total && d.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

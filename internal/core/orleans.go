@@ -1,0 +1,195 @@
+package core
+
+import "github.com/cameo-stream/cameo/internal/queue"
+
+// OrleansDispatcher models the default Orleans scheduler the paper compares
+// against (§6): activations (operators with pending messages) live in a
+// global run queue implemented as a ConcurrentBag, so workers prefer
+// activations they themselves made runnable (thread-local, LIFO) before
+// taking global or stolen work; each activation processes its messages in
+// FIFO order.
+type OrleansDispatcher[O comparable] struct {
+	bag       *queue.Bag[O]
+	ops       map[O]*queue.Ring[*Message]
+	scheduled map[O]bool // in the bag or acquired by a worker
+	pending   int
+}
+
+// NewOrleansDispatcher returns an Orleans-style dispatcher for the given
+// worker count (the bag keeps one local list per worker).
+func NewOrleansDispatcher[O comparable](workers int) *OrleansDispatcher[O] {
+	return &OrleansDispatcher[O]{
+		bag:       queue.NewBag[O](workers),
+		ops:       make(map[O]*queue.Ring[*Message]),
+		scheduled: make(map[O]bool),
+	}
+}
+
+// Name implements Dispatcher.
+func (d *OrleansDispatcher[O]) Name() string { return "orleans" }
+
+// Push implements Dispatcher. A newly runnable operator enters the bag on
+// the producing worker's local list (or the global list for external
+// arrivals) — the ConcurrentBag locality preference the paper describes.
+func (d *OrleansDispatcher[O]) Push(op O, m *Message, producer int) {
+	q := d.ops[op]
+	if q == nil {
+		q = &queue.Ring[*Message]{}
+		d.ops[op] = q
+	}
+	q.PushBack(m)
+	d.pending++
+	if !d.scheduled[op] {
+		d.scheduled[op] = true
+		if producer >= 0 {
+			d.bag.Add(producer, op)
+		} else {
+			d.bag.AddGlobal(op)
+		}
+	}
+}
+
+// NextOp implements Dispatcher.
+func (d *OrleansDispatcher[O]) NextOp(worker int) (O, bool) {
+	return d.bag.Take(worker)
+}
+
+// PopMsg implements Dispatcher: activations process messages FIFO.
+func (d *OrleansDispatcher[O]) PopMsg(op O) (*Message, bool) {
+	q := d.ops[op]
+	if q == nil {
+		return nil, false
+	}
+	m, ok := q.PopFront()
+	if ok {
+		d.pending--
+	}
+	return m, ok
+}
+
+// PeekMsg implements Dispatcher.
+func (d *OrleansDispatcher[O]) PeekMsg(op O) (*Message, bool) {
+	q := d.ops[op]
+	if q == nil {
+		return nil, false
+	}
+	return q.PeekFront()
+}
+
+// Done implements Dispatcher: a drained operator leaves the run queue; one
+// with remaining messages re-enters on the finishing worker's local list
+// (it just ran there — Orleans keeps it local).
+func (d *OrleansDispatcher[O]) Done(op O, worker int) {
+	q := d.ops[op]
+	if q == nil || q.Len() == 0 {
+		delete(d.scheduled, op)
+		delete(d.ops, op)
+		return
+	}
+	d.bag.Add(worker, op)
+}
+
+// ShouldYield implements Dispatcher: after its quantum an activation yields
+// whenever any other activation is runnable — plain fair time-slicing with
+// no notion of urgency.
+func (d *OrleansDispatcher[O]) ShouldYield(op O) bool { return d.bag.Len() > 0 }
+
+// QueueLen implements Dispatcher.
+func (d *OrleansDispatcher[O]) QueueLen(op O) int {
+	if q := d.ops[op]; q != nil {
+		return q.Len()
+	}
+	return 0
+}
+
+// Pending implements Dispatcher.
+func (d *OrleansDispatcher[O]) Pending() int { return d.pending }
+
+// FIFODispatcher is the paper's custom FIFO baseline (§6): "we insert
+// operators into the global run queue and extract them in FIFO order",
+// with each operator processing its messages in FIFO order.
+type FIFODispatcher[O comparable] struct {
+	runq      queue.Ring[O]
+	ops       map[O]*queue.Ring[*Message]
+	scheduled map[O]bool
+	pending   int
+}
+
+// NewFIFODispatcher returns an empty FIFO dispatcher.
+func NewFIFODispatcher[O comparable]() *FIFODispatcher[O] {
+	return &FIFODispatcher[O]{
+		ops:       make(map[O]*queue.Ring[*Message]),
+		scheduled: make(map[O]bool),
+	}
+}
+
+// Name implements Dispatcher.
+func (d *FIFODispatcher[O]) Name() string { return "fifo" }
+
+// Push implements Dispatcher.
+func (d *FIFODispatcher[O]) Push(op O, m *Message, producer int) {
+	q := d.ops[op]
+	if q == nil {
+		q = &queue.Ring[*Message]{}
+		d.ops[op] = q
+	}
+	q.PushBack(m)
+	d.pending++
+	if !d.scheduled[op] {
+		d.scheduled[op] = true
+		d.runq.PushBack(op)
+	}
+}
+
+// NextOp implements Dispatcher.
+func (d *FIFODispatcher[O]) NextOp(worker int) (O, bool) {
+	return d.runq.PopFront()
+}
+
+// PopMsg implements Dispatcher.
+func (d *FIFODispatcher[O]) PopMsg(op O) (*Message, bool) {
+	q := d.ops[op]
+	if q == nil {
+		return nil, false
+	}
+	m, ok := q.PopFront()
+	if ok {
+		d.pending--
+	}
+	return m, ok
+}
+
+// PeekMsg implements Dispatcher.
+func (d *FIFODispatcher[O]) PeekMsg(op O) (*Message, bool) {
+	q := d.ops[op]
+	if q == nil {
+		return nil, false
+	}
+	return q.PeekFront()
+}
+
+// Done implements Dispatcher.
+func (d *FIFODispatcher[O]) Done(op O, worker int) {
+	q := d.ops[op]
+	if q == nil || q.Len() == 0 {
+		delete(d.scheduled, op)
+		delete(d.ops, op)
+		return
+	}
+	d.runq.PushBack(op)
+}
+
+// ShouldYield implements Dispatcher: yield to the back of the queue after
+// the quantum whenever anything else is waiting.
+func (d *FIFODispatcher[O]) ShouldYield(op O) bool { return d.runq.Len() > 0 }
+
+// QueueLen implements Dispatcher.
+func (d *FIFODispatcher[O]) QueueLen(op O) int {
+	if q := d.ops[op]; q != nil {
+		return q.Len()
+	}
+	return 0
+}
+
+// Pending implements Dispatcher.
+func (d *FIFODispatcher[O]) Pending() int { return d.pending }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"github.com/cameo-stream/cameo/internal/progress"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// DeadlineKind selects the deadline formula of a DeadlinePolicy.
+type DeadlineKind int
+
+const (
+	// KindLLF is least-laxity-first: ddl = t_MF + L − C_oM − C_path
+	// (paper Eq. 3, the default Cameo policy).
+	KindLLF DeadlineKind = iota
+	// KindEDF is earliest-deadline-first: the C_oM term is omitted
+	// (paper §4.2.2: "compute priority for EDF by omitting C_OM").
+	KindEDF
+	// KindSJF is shortest-job-first: ddl = C_oM (paper §4.2.2; not
+	// deadline-aware, included for the Figure 11 comparison).
+	KindSJF
+)
+
+// DeadlinePolicy implements the deadline-deriving policies of paper §4.
+// The zero value is LLF with query-semantics awareness on.
+type DeadlinePolicy struct {
+	Kind DeadlineKind
+	// SemanticsUnaware disables the TRANSFORM/PROGRESSMAP deadline
+	// extension for windowed operators, leaving only topology awareness
+	// (the Figure 15 ablation: DAG and latency constraints known, window
+	// semantics not).
+	SemanticsUnaware bool
+	// MaxLaxity, when positive, caps how far past a message's own arrival
+	// its start deadline may extend: ddl <= t_M + MaxLaxity. This is the
+	// starvation guard the paper's §6.3 discussion motivates — without it,
+	// messages of very lax jobs (hours-scale constraints) can be postponed
+	// indefinitely under sustained load from strict jobs.
+	MaxLaxity vtime.Duration
+}
+
+// Name implements Policy.
+func (p *DeadlinePolicy) Name() string {
+	n := ""
+	switch p.Kind {
+	case KindLLF:
+		n = "llf"
+	case KindEDF:
+		n = "edf"
+	case KindSJF:
+		n = "sjf"
+	default:
+		n = "unknown"
+	}
+	if p.SemanticsUnaware {
+		n += "-nosem"
+	}
+	return n
+}
+
+// OnSource implements Policy (Algorithm 1, BUILDCXTATSOURCE).
+func (p *DeadlinePolicy) OnSource(m *Message, ti TargetInfo) {
+	m.PC.PriLocal, m.PC.PriGlobal = m.P, m.T // initial values, then convert
+	p.convert(m, ti)
+}
+
+// OnHop implements Policy (Algorithm 1, BUILDCXTATOPERATOR): the child's PC
+// starts from the parent's frontier fields, then is re-converted for the
+// new target.
+func (p *DeadlinePolicy) OnHop(parent *PriorityContext, m *Message, ti TargetInfo) {
+	m.PC.PriLocal, m.PC.PriGlobal = parent.PMF, parent.TMF
+	p.convert(m, ti)
+}
+
+// convert is Algorithm 1's CXTCONVERT: derive frontier progress and time,
+// update the prediction model, and set the message's priorities.
+func (p *DeadlinePolicy) convert(m *Message, ti TargetInfo) {
+	// Default: treat the target as a regular operator (Eq. 1–2). The
+	// message must start by t_M + L − costs, with no deadline extension.
+	pmf, tmf := m.P, m.T
+
+	if !p.SemanticsUnaware && ti.Slide > 0 {
+		// Windowed target: the result this message contributes to is only
+		// produced when the window closes, so the deadline extends to the
+		// frontier time (Eq. 3) — if frontier time can be estimated.
+		fp := progress.Transform(m.P, ti.SlideUp, ti.Slide)
+		if ti.Mapper != nil {
+			if ft, ok := ti.Mapper.Map(fp); ok && ft >= tmf {
+				pmf, tmf = fp, ft
+			}
+		}
+	}
+	if ti.EventTime && ti.Mapper != nil {
+		// Feed the ground-truth (progress, physical time) pair into the
+		// regression so future frontier-time predictions improve
+		// (Algorithm 1 line "PROGRESSMAP.UPDATE").
+		ti.Mapper.Observe(m.P, m.T)
+	}
+
+	m.PC.PMF, m.PC.TMF = pmf, tmf
+	m.PC.L = ti.Latency
+
+	var ddl vtime.Time
+	switch p.Kind {
+	case KindLLF:
+		ddl = tmf + ti.Latency - ti.Cost - ti.PathCost
+	case KindEDF:
+		ddl = tmf + ti.Latency - ti.PathCost
+	case KindSJF:
+		ddl = vtime.Time(ti.Cost)
+	}
+	if p.MaxLaxity > 0 && p.Kind != KindSJF && ddl > m.T+p.MaxLaxity {
+		ddl = m.T + p.MaxLaxity
+	}
+	m.PC.PriLocal = pmf
+	m.PC.PriGlobal = ddl
+}
+
+// ArrivalPolicy stamps priorities with the message's physical time, making
+// the Cameo dispatcher behave as a global earliest-arrival scheduler with
+// zero priority-generation work. It isolates the cost of priority
+// *scheduling* from priority *generation* in the Figure 12 overhead
+// breakdown ("Cameo w/o priority generation").
+type ArrivalPolicy struct{}
+
+// Name implements Policy.
+func (ArrivalPolicy) Name() string { return "arrival" }
+
+// OnSource implements Policy.
+func (ArrivalPolicy) OnSource(m *Message, ti TargetInfo) {
+	m.PC = PriorityContext{PriLocal: m.T, PriGlobal: m.T, PMF: m.P, TMF: m.T, L: ti.Latency}
+}
+
+// OnHop implements Policy.
+func (ArrivalPolicy) OnHop(parent *PriorityContext, m *Message, ti TargetInfo) {
+	var p ArrivalPolicy
+	p.OnSource(m, ti)
+}

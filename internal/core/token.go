@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// TokenPolicy implements the token-based proportional fair-sharing strategy
+// of paper §5.4. Each job is granted a token rate (tokens per interval,
+// where one token admits one source message). Tokens are spread evenly
+// across the interval by tagging each with a timestamp; the tag becomes the
+// message's global priority, so the dispatcher interleaves jobs in
+// proportion to their rates. Messages beyond a job's rate get minimum
+// priority (PriGlobal = +inf) and are processed only when no tokened
+// traffic is pending. Downstream messages inherit the source tag through
+// PC propagation.
+type TokenPolicy struct {
+	// Interval is the token-spreading interval (paper uses 1 s).
+	Interval vtime.Duration
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	rate     int64 // tokens per interval
+	interval int64 // current interval ID
+	used     int64 // tokens consumed in the current interval
+}
+
+// NewTokenPolicy returns a token policy with the given spreading interval
+// (1 s when zero).
+func NewTokenPolicy(interval vtime.Duration) *TokenPolicy {
+	if interval <= 0 {
+		interval = vtime.Second
+	}
+	return &TokenPolicy{Interval: interval, buckets: make(map[string]*tokenBucket)}
+}
+
+// SetRate grants job rate tokens per interval. Rate 0 means the job only
+// ever runs when nothing tokened is pending.
+func (p *TokenPolicy) SetRate(job string, rate int64) {
+	if rate < 0 {
+		panic(fmt.Sprintf("core: negative token rate %d for %q", rate, job))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.buckets[job]
+	if b == nil {
+		b = &tokenBucket{interval: -1}
+		p.buckets[job] = b
+	}
+	b.rate = rate
+}
+
+// Name implements Policy.
+func (p *TokenPolicy) Name() string { return "token" }
+
+// OnSource implements Policy: consume a token if available and tag the
+// message with the token's spread timestamp.
+func (p *TokenPolicy) OnSource(m *Message, ti TargetInfo) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m.PC.PMF, m.PC.TMF, m.PC.L = m.P, m.T, ti.Latency
+
+	b := p.buckets[ti.Job]
+	if b == nil || b.rate == 0 {
+		// Untokened traffic sorts after all tokened traffic both across
+		// operators (PriGlobal) and within an operator's queue (PriLocal);
+		// otherwise an old untokened backlog at an operator's head would
+		// hide the operator's tokened messages from the scheduler.
+		m.PC.PriLocal = vtime.Infinity
+		m.PC.PriGlobal = vtime.Infinity
+		return
+	}
+	iv := int64(m.T / p.Interval)
+	if iv != b.interval {
+		b.interval = iv
+		b.used = 0
+	}
+	if b.used < b.rate {
+		// Spread token k of this interval at intervalStart + k*interval/rate.
+		tag := vtime.Time(iv)*p.Interval + vtime.Time(b.used)*p.Interval/vtime.Time(b.rate)
+		b.used++
+		m.PC.PriLocal = vtime.Time(iv) // interval ID as local priority (paper §5.4)
+		m.PC.PriGlobal = tag
+		return
+	}
+	m.PC.PriLocal = vtime.Infinity
+	m.PC.PriGlobal = vtime.Infinity
+}
+
+// OnHop implements Policy: downstream traffic inherits the source tag, so a
+// tokened pipeline stays ahead of untokened traffic end to end.
+func (p *TokenPolicy) OnHop(parent *PriorityContext, m *Message, ti TargetInfo) {
+	m.PC = *parent
+	m.PC.PMF, m.PC.TMF, m.PC.L = m.P, m.T, ti.Latency
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+func TestTokenPolicySpreadsTags(t *testing.T) {
+	p := NewTokenPolicy(vtime.Second)
+	p.SetRate("j1", 4)
+	// Four messages in interval 0 get tags spread at 0, 250, 500, 750ms.
+	want := []vtime.Time{0, 250 * vtime.Millisecond, 500 * vtime.Millisecond, 750 * vtime.Millisecond}
+	for i, w := range want {
+		m := &Message{T: vtime.Time(i) * 10 * vtime.Millisecond}
+		p.OnSource(m, TargetInfo{Job: "j1"})
+		if m.PC.PriGlobal != w {
+			t.Fatalf("msg %d tag = %v, want %v", i, m.PC.PriGlobal, w)
+		}
+		if m.PC.PriLocal != 0 {
+			t.Fatalf("msg %d interval = %v, want 0", i, m.PC.PriLocal)
+		}
+	}
+	// Fifth message exceeds the rate: minimum priority.
+	m := &Message{T: 40 * vtime.Millisecond}
+	p.OnSource(m, TargetInfo{Job: "j1"})
+	if m.PC.PriGlobal != vtime.Infinity {
+		t.Fatalf("over-rate tag = %v, want Infinity", m.PC.PriGlobal)
+	}
+}
+
+func TestTokenPolicyIntervalReset(t *testing.T) {
+	p := NewTokenPolicy(vtime.Second)
+	p.SetRate("j", 1)
+	m1 := &Message{T: 0}
+	p.OnSource(m1, TargetInfo{Job: "j"})
+	m2 := &Message{T: 500 * vtime.Millisecond} // same interval, token spent
+	p.OnSource(m2, TargetInfo{Job: "j"})
+	m3 := &Message{T: vtime.Second} // next interval, fresh token
+	p.OnSource(m3, TargetInfo{Job: "j"})
+	if m1.PC.PriGlobal != 0 || m2.PC.PriGlobal != vtime.Infinity {
+		t.Fatalf("interval 0 tags = %v, %v", m1.PC.PriGlobal, m2.PC.PriGlobal)
+	}
+	if m3.PC.PriGlobal != vtime.Second {
+		t.Fatalf("interval 1 tag = %v, want 1s", m3.PC.PriGlobal)
+	}
+	if m3.PC.PriLocal != 1 {
+		t.Fatalf("interval ID = %v, want 1", m3.PC.PriLocal)
+	}
+}
+
+func TestTokenPolicyUnknownJobIsUntokened(t *testing.T) {
+	p := NewTokenPolicy(vtime.Second)
+	m := &Message{T: 0}
+	p.OnSource(m, TargetInfo{Job: "ghost"})
+	if m.PC.PriGlobal != vtime.Infinity {
+		t.Fatalf("unknown job tag = %v, want Infinity", m.PC.PriGlobal)
+	}
+}
+
+func TestTokenPolicyProportionalInterleave(t *testing.T) {
+	// Two jobs at 20% and 40% rates: sorting one interval's tags must
+	// interleave them roughly 1:2, which is what yields proportional
+	// throughput under contention (paper Figure 6).
+	p := NewTokenPolicy(vtime.Second)
+	p.SetRate("a", 2)
+	p.SetRate("b", 4)
+	type tagged struct {
+		job string
+		tag vtime.Time
+	}
+	var all []tagged
+	for i := 0; i < 2; i++ {
+		m := &Message{T: vtime.Time(i)}
+		p.OnSource(m, TargetInfo{Job: "a"})
+		all = append(all, tagged{"a", m.PC.PriGlobal})
+	}
+	for i := 0; i < 4; i++ {
+		m := &Message{T: vtime.Time(i)}
+		p.OnSource(m, TargetInfo{Job: "b"})
+		all = append(all, tagged{"b", m.PC.PriGlobal})
+	}
+	// Tags: a -> 0, 500ms; b -> 0, 250, 500, 750ms: interleaved 1:2.
+	if all[0].tag != 0 || all[1].tag != 500*vtime.Millisecond {
+		t.Fatalf("a tags = %v, %v", all[0].tag, all[1].tag)
+	}
+	if all[3].tag != 250*vtime.Millisecond || all[5].tag != 750*vtime.Millisecond {
+		t.Fatalf("b tags = %v ... %v", all[3].tag, all[5].tag)
+	}
+}
+
+func TestTokenPolicyHopInheritsTag(t *testing.T) {
+	p := NewTokenPolicy(vtime.Second)
+	p.SetRate("j", 1)
+	src := &Message{T: 0}
+	p.OnSource(src, TargetInfo{Job: "j"})
+	child := &Message{P: 1, T: 2}
+	p.OnHop(&src.PC, child, TargetInfo{Job: "j", Latency: vtime.Second})
+	if child.PC.PriGlobal != src.PC.PriGlobal || child.PC.PriLocal != src.PC.PriLocal {
+		t.Fatalf("hop did not inherit: %+v vs %+v", child.PC, src.PC)
+	}
+	if child.PC.L != vtime.Second {
+		t.Fatalf("hop L = %v", child.PC.L)
+	}
+}
+
+func TestTokenPolicyNegativeRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTokenPolicy(0).SetRate("j", -1)
+}

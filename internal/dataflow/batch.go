@@ -1,0 +1,92 @@
+// Package dataflow defines streaming jobs as DAGs of parallelized stages
+// and provides the glue between operators and the scheduling core: building
+// core.TargetInfo from topology and profiling state, deriving child
+// messages, routing emissions by key, and tracking per-channel frontiers.
+// It corresponds to the Flare layer the paper builds Cameo into.
+package dataflow
+
+import (
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// Batch is a columnar batch of tuples, the payload of data messages
+// (Trill-style batching, paper §6.3: "Cameo encloses a columnar batch of
+// data in each message"). Columns are parallel arrays; Keys and Vals may be
+// nil for key-less or value-less streams, but when present they match
+// Times in length.
+type Batch struct {
+	// Times holds each tuple's logical time (event or ingestion time).
+	Times []vtime.Time
+	// Keys holds each tuple's grouping key (nil for unkeyed batches).
+	Keys []int64
+	// Vals holds each tuple's numeric value (nil when tuples carry no value).
+	Vals []float64
+}
+
+// NewBatch returns an empty batch with the given capacity.
+func NewBatch(capacity int) *Batch {
+	return &Batch{
+		Times: make([]vtime.Time, 0, capacity),
+		Keys:  make([]int64, 0, capacity),
+		Vals:  make([]float64, 0, capacity),
+	}
+}
+
+// Len reports the number of tuples.
+func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.Times)
+}
+
+// Append adds one tuple.
+func (b *Batch) Append(t vtime.Time, key int64, val float64) {
+	b.Times = append(b.Times, t)
+	b.Keys = append(b.Keys, key)
+	b.Vals = append(b.Vals, val)
+}
+
+// MaxTime returns the largest logical time in the batch (0 for empty).
+func (b *Batch) MaxTime() vtime.Time {
+	var m vtime.Time
+	for _, t := range b.Times {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// keyHash mixes a key for partitioning (Fibonacci hashing — cheap and good
+// enough to spread sequential keys evenly).
+func keyHash(k int64) uint64 {
+	return uint64(k) * 0x9e3779b97f4a7c15
+}
+
+// Partition splits the batch across n partitions by key hash. Unkeyed
+// batches (Keys nil) are returned whole in partition 0. The returned slice
+// always has n entries; empty partitions are nil.
+func (b *Batch) Partition(n int) []*Batch {
+	out := make([]*Batch, n)
+	if n == 1 || b == nil {
+		out[0] = b
+		return out
+	}
+	if b.Keys == nil {
+		out[0] = b
+		return out
+	}
+	for i := range b.Times {
+		p := int(keyHash(b.Keys[i]) % uint64(n))
+		if out[p] == nil {
+			out[p] = NewBatch(len(b.Times)/n + 1)
+		}
+		var v float64
+		if b.Vals != nil {
+			v = b.Vals[i]
+		}
+		out[p].Append(b.Times[i], b.Keys[i], v)
+	}
+	return out
+}

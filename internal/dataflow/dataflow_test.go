@@ -1,0 +1,269 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/profile"
+	"github.com/cameo-stream/cameo/internal/progress"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+func nopHandler(int) Handler {
+	return HandlerFunc(func(*Context, *core.Message) []Emission { return nil })
+}
+
+func twoStageSpec() JobSpec {
+	return JobSpec{
+		Name:    "j",
+		Latency: vtime.Second,
+		Sources: 4,
+		Stages: []StageSpec{
+			{Name: "a", Parallelism: 2, Slide: vtime.Second, NewHandler: nopHandler},
+			{Name: "b", Parallelism: 1, NewHandler: nopHandler},
+		},
+	}
+}
+
+func TestBatchPartitionConservesTuples(t *testing.T) {
+	f := func(keys []int64, n8 uint8) bool {
+		n := int(n8%7) + 1
+		b := NewBatch(len(keys))
+		for i, k := range keys {
+			b.Append(vtime.Time(i), k, float64(i))
+		}
+		parts := b.Partition(n)
+		if len(parts) != n {
+			return false
+		}
+		total := 0
+		for _, p := range parts {
+			total += p.Len()
+		}
+		if total != b.Len() {
+			return false
+		}
+		// Same key never lands in two partitions.
+		seen := map[int64]int{}
+		for pi, p := range parts {
+			if p == nil {
+				continue
+			}
+			for _, k := range p.Keys {
+				if prev, ok := seen[k]; ok && prev != pi {
+					return false
+				}
+				seen[k] = pi
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchPartitionUnkeyed(t *testing.T) {
+	b := &Batch{Times: []vtime.Time{1, 2, 3}}
+	parts := b.Partition(4)
+	if parts[0].Len() != 3 {
+		t.Fatalf("unkeyed batch split: %v", parts)
+	}
+	for _, p := range parts[1:] {
+		if p != nil {
+			t.Fatal("unkeyed batch leaked into other partitions")
+		}
+	}
+}
+
+func TestBatchMaxTimeAndLen(t *testing.T) {
+	var nilBatch *Batch
+	if nilBatch.Len() != 0 {
+		t.Fatal("nil batch Len != 0")
+	}
+	b := NewBatch(2)
+	b.Append(5, 1, 1)
+	b.Append(3, 2, 2)
+	if b.MaxTime() != 5 || b.Len() != 2 {
+		t.Fatalf("MaxTime=%v Len=%d", b.MaxTime(), b.Len())
+	}
+}
+
+func TestJobSpecValidation(t *testing.T) {
+	bad := []JobSpec{
+		{},                                  // no name
+		{Name: "x"},                         // no latency
+		{Name: "x", Latency: 1},             // no sources
+		{Name: "x", Latency: 1, Sources: 1}, // no stages
+		{Name: "x", Latency: 1, Sources: 3, SourcePorts: 2, Stages: []StageSpec{{Parallelism: 1, NewHandler: nopHandler}}}, // 3 % 2 != 0
+		{Name: "x", Latency: 1, Sources: 1, Stages: []StageSpec{{Parallelism: 0, NewHandler: nopHandler}}},
+		{Name: "x", Latency: 1, Sources: 1, Stages: []StageSpec{{Parallelism: 1}}}, // nil handler
+		{Name: "x", Latency: 1, Sources: 1, Stages: []StageSpec{{Parallelism: 1, NewHandler: nopHandler, Slide: -1}}},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNewJobStructure(t *testing.T) {
+	j, err := NewJob(twoStageSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Stages) != 2 || len(j.Stages[0]) != 2 || len(j.Stages[1]) != 1 {
+		t.Fatalf("stage shape wrong: %v", j.Stages)
+	}
+	op := j.Stages[0][1]
+	if op.Name != "j/a[1]" {
+		t.Fatalf("op name = %q", op.Name)
+	}
+	if op.InChannels() != 4 { // stage 0 sees all sources
+		t.Fatalf("stage0 InChannels = %d", op.InChannels())
+	}
+	if j.Stages[1][0].InChannels() != 2 { // stage 1 sees stage 0 parallelism
+		t.Fatalf("stage1 InChannels = %d", j.Stages[1][0].InChannels())
+	}
+	if !j.Stages[1][0].IsSink() || j.Stages[0][0].IsSink() {
+		t.Fatal("IsSink wrong")
+	}
+	if len(j.Operators()) != 3 {
+		t.Fatalf("Operators() len = %d", len(j.Operators()))
+	}
+	if _, ok := op.Mapper.(progress.IdentityMapper); !ok {
+		t.Fatal("ingestion-time job should use IdentityMapper")
+	}
+}
+
+func TestNewJobEventTimeMapper(t *testing.T) {
+	spec := twoStageSpec()
+	spec.Domain = EventTime
+	j, err := NewJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Stages[0][0].Mapper.(*progress.RegressionMapper); !ok {
+		t.Fatal("event-time job should use RegressionMapper")
+	}
+	if j.Spec.Domain.String() != "event-time" {
+		t.Fatalf("domain string = %q", j.Spec.Domain)
+	}
+}
+
+func TestTargetInfoColdAndWarm(t *testing.T) {
+	j, _ := NewJob(twoStageSpec())
+	src0 := j.Stages[0][0]
+	sink := j.Stages[1][0]
+
+	// Cold: no reply context yet, costs zero.
+	ti := j.TargetInfo(nil, src0)
+	if ti.Cost != 0 || ti.PathCost != 0 {
+		t.Fatalf("cold TargetInfo = %+v", ti)
+	}
+	if ti.Slide != vtime.Second || ti.Latency != vtime.Second || ti.Job != "j" {
+		t.Fatalf("TargetInfo fields = %+v", ti)
+	}
+
+	// Deliver replies: sink tells src0 {Cm: 30}; src0 tells the job's
+	// sources {Cm: 10, Cpath: 30}.
+	j.DeliverReply(src0, sink, profile.Reply{Cm: 30})
+	j.DeliverReply(nil, src0, profile.Reply{Cm: 10, Cpath: 30})
+
+	ti = j.TargetInfo(nil, src0)
+	if ti.Cost != 10 || ti.PathCost != 30 {
+		t.Fatalf("warm source TargetInfo = %+v", ti)
+	}
+	ti = j.TargetInfo(src0, sink)
+	if ti.Cost != 30 || ti.PathCost != 0 {
+		t.Fatalf("warm hop TargetInfo = %+v", ti)
+	}
+	if ti.SlideUp != vtime.Second {
+		t.Fatalf("SlideUp = %v, want upstream slide", ti.SlideUp)
+	}
+}
+
+func TestRouteEmissionDeliversToAllTargets(t *testing.T) {
+	j, _ := NewJob(JobSpec{
+		Name: "r", Latency: 1, Sources: 1,
+		Stages: []StageSpec{
+			{Name: "a", Parallelism: 1, NewHandler: nopHandler},
+			{Name: "b", Parallelism: 3, NewHandler: nopHandler},
+		},
+	})
+	from := j.Stages[0][0]
+	b := NewBatch(4)
+	for k := int64(0); k < 4; k++ {
+		b.Append(vtime.Time(k), k, 1)
+	}
+	ds := j.RouteEmission(from, Emission{Batch: b, P: 10, T: 20})
+	if len(ds) != 3 {
+		t.Fatalf("deliveries = %d, want 3 (all targets, empties included)", len(ds))
+	}
+	total := 0
+	for _, d := range ds {
+		if d.P != 10 || d.T != 20 || d.Channel != 0 {
+			t.Fatalf("delivery meta = %+v", d)
+		}
+		total += d.Batch.Len()
+	}
+	if total != 4 {
+		t.Fatalf("tuples delivered = %d, want 4", total)
+	}
+	// Sink emissions are not routed.
+	if ds := j.RouteEmission(j.Stages[1][0], Emission{}); ds != nil {
+		t.Fatal("sink emission was routed")
+	}
+}
+
+func TestRouteSourceBatchPorts(t *testing.T) {
+	j, _ := NewJob(JobSpec{
+		Name: "p", Latency: 1, Sources: 4, SourcePorts: 2,
+		Stages: []StageSpec{{Name: "join", Parallelism: 2, NewHandler: nopHandler}},
+	})
+	// Sources 0,1 -> port 0; sources 2,3 -> port 1.
+	ds := j.RouteSourceBatch(1, NewBatch(0), 5, 6)
+	if len(ds) != 2 || ds[0].Port != 0 {
+		t.Fatalf("src1 deliveries = %+v", ds)
+	}
+	ds = j.RouteSourceBatch(2, NewBatch(0), 5, 6)
+	if ds[0].Port != 1 || ds[0].Channel != 2 {
+		t.Fatalf("src2 delivery = %+v", ds[0])
+	}
+}
+
+func TestRouteSourceBatchOutOfRangePanics(t *testing.T) {
+	j, _ := NewJob(twoStageSpec())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	j.RouteSourceBatch(99, NewBatch(0), 0, 0)
+}
+
+func TestStageNameDefaults(t *testing.T) {
+	spec := JobSpec{Name: "d", Latency: 1, Sources: 1,
+		Stages: []StageSpec{{Parallelism: 1, NewHandler: nopHandler}}}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(spec.Stages[0].Name, "stage") {
+		t.Fatalf("default stage name = %q", spec.Stages[0].Name)
+	}
+	if spec.SourcePorts != 1 || spec.MapperWindow != 64 {
+		t.Fatalf("defaults = ports %d window %d", spec.SourcePorts, spec.MapperWindow)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := CostModel{Base: 100, PerTuple: 3}
+	if got := c.Cost(0); got != 100 {
+		t.Fatalf("Cost(0) = %v", got)
+	}
+	if got := c.Cost(10); got != 130 {
+		t.Fatalf("Cost(10) = %v", got)
+	}
+}

@@ -1,0 +1,107 @@
+package dataflow
+
+import (
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// ChildMessage is a derived message bound for a downstream operator.
+type ChildMessage struct {
+	Target *Operator
+	Msg    *core.Message
+}
+
+// SinkOutput is a result produced at the job's sink stage: the window (or
+// message) progress P, the physical time T of the last contributing event,
+// and the tuple count.
+type SinkOutput struct {
+	P, T   vtime.Time
+	Tuples int
+}
+
+// ExecOutcome is everything one operator invocation produced.
+type ExecOutcome struct {
+	Children []ChildMessage
+	Outputs  []SinkOutput
+}
+
+// Invoke runs the operator's handler for one message — the "triggered if it
+// emits" half of an execution. The simulator calls it at the message's
+// completion instant; the real-time engine wraps it in wall-clock timing.
+func Invoke(op *Operator, m *core.Message, now vtime.Time) []Emission {
+	return op.Handler.OnMessage(&Context{Op: op, Now: now}, m)
+}
+
+// Finish performs the post-invocation bookkeeping both engines share, in
+// the paper's order:
+//
+//  1. feed the measured/modelled cost into the operator's cost profile;
+//  2. send the reply context upstream (PREPAREREPLY + PROCESSCTXFROMREPLY —
+//     engines model ack transport as immediate profile-state delivery);
+//  3. convert each emission into routed child messages, running the
+//     policy's context conversion (BUILDCXTATOPERATOR) per child, or into
+//     sink outputs at the last stage.
+//
+// nextID allocates message IDs (strictly increasing per engine).
+func Finish(op *Operator, m *core.Message, emissions []Emission, cost vtime.Duration,
+	policy core.Policy, nextID func() int64) ExecOutcome {
+
+	op.Profile.Cost.Observe(cost)
+	var upstream *Operator
+	if op.Stage > 0 {
+		upstream = op.Job.Stages[op.Stage-1][m.Channel]
+	}
+	op.Job.DeliverReply(upstream, op, op.Profile.ReplyContext())
+
+	var out ExecOutcome
+	for _, e := range emissions {
+		if op.IsSink() {
+			if e.Batch.Len() > 0 {
+				out.Outputs = append(out.Outputs, SinkOutput{P: e.P, T: e.T, Tuples: e.Batch.Len()})
+			}
+			continue
+		}
+		for _, d := range op.Job.RouteEmission(op, e) {
+			child := &core.Message{
+				ID:      nextID(),
+				P:       d.P,
+				T:       d.T,
+				Payload: d.Batch,
+				Channel: d.Channel,
+				Port:    d.Port,
+			}
+			policy.OnHop(&m.PC, child, op.Job.TargetInfo(op, d.Target))
+			out.Children = append(out.Children, ChildMessage{Target: d.Target, Msg: child})
+		}
+	}
+	return out
+}
+
+// Execute is Invoke followed by Finish — the single-step form the
+// simulator uses, where cost is modelled rather than measured.
+func Execute(op *Operator, m *core.Message, now vtime.Time, cost vtime.Duration,
+	policy core.Policy, nextID func() int64) ExecOutcome {
+	return Finish(op, m, Invoke(op, m, now), cost, policy, nextID)
+}
+
+// SourceMessages converts one source batch emission into routed, fully
+// prioritized messages for stage 0 (BUILDCXTATSOURCE per message).
+func SourceMessages(j *Job, src int, b *Batch, p, t vtime.Time,
+	policy core.Policy, nextID func() int64) []ChildMessage {
+
+	deliveries := j.RouteSourceBatch(src, b, p, t)
+	out := make([]ChildMessage, 0, len(deliveries))
+	for _, d := range deliveries {
+		m := &core.Message{
+			ID:      nextID(),
+			P:       d.P,
+			T:       d.T,
+			Payload: d.Batch,
+			Channel: d.Channel,
+			Port:    d.Port,
+		}
+		policy.OnSource(m, j.TargetInfo(nil, d.Target))
+		out = append(out, ChildMessage{Target: d.Target, Msg: m})
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package dataflow
+
+import (
+	"testing"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// passthroughHandler forwards batches unchanged (minimal regular operator).
+func passthroughHandler(int) Handler {
+	return HandlerFunc(func(ctx *Context, m *core.Message) []Emission {
+		b, _ := m.Payload.(*Batch)
+		return []Emission{{Batch: b, P: m.P, T: m.T}}
+	})
+}
+
+func exampleJob(t *testing.T) *Job {
+	t.Helper()
+	j, err := NewJob(JobSpec{
+		Name: "x", Latency: vtime.Second, Sources: 2,
+		Stages: []StageSpec{
+			{Name: "a", Parallelism: 2, NewHandler: passthroughHandler},
+			{Name: "b", Parallelism: 1, NewHandler: passthroughHandler},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestSourceMessagesArePrioritized(t *testing.T) {
+	j := exampleJob(t)
+	pol := &core.DeadlinePolicy{Kind: core.KindLLF}
+	var id int64
+	nextID := func() int64 { id++; return id }
+
+	b := NewBatch(2)
+	b.Append(10, 1, 1)
+	b.Append(20, 2, 1)
+	msgs := SourceMessages(j, 1, b, 20, 25, pol, nextID)
+	if len(msgs) != 2 { // one delivery per stage-0 instance
+		t.Fatalf("messages = %d, want 2", len(msgs))
+	}
+	total := 0
+	for _, cm := range msgs {
+		if cm.Msg.Channel != 1 {
+			t.Errorf("channel = %d, want source index 1", cm.Msg.Channel)
+		}
+		if cm.Msg.P != 20 || cm.Msg.T != 25 {
+			t.Errorf("times = (%v, %v)", cm.Msg.P, cm.Msg.T)
+		}
+		if cm.Msg.PC.L != vtime.Second {
+			t.Errorf("PC.L = %v", cm.Msg.PC.L)
+		}
+		if cm.Msg.ID == 0 {
+			t.Error("message ID not assigned")
+		}
+		if bb, _ := cm.Msg.Payload.(*Batch); bb != nil {
+			total += bb.Len()
+		}
+	}
+	if total != 2 {
+		t.Fatalf("tuples delivered = %d, want 2", total)
+	}
+}
+
+func TestExecuteRoutesAndProfiles(t *testing.T) {
+	j := exampleJob(t)
+	pol := &core.DeadlinePolicy{Kind: core.KindLLF}
+	var id int64
+	nextID := func() int64 { id++; return id }
+
+	op := j.Stages[0][0]
+	b := NewBatch(1)
+	b.Append(5, 1, 1)
+	m := &core.Message{ID: 1, P: 5, T: 6, Channel: 0, Payload: b}
+	out := Execute(op, m, 100, 42, pol, nextID)
+
+	if len(out.Outputs) != 0 {
+		t.Fatalf("non-sink produced outputs: %+v", out.Outputs)
+	}
+	if len(out.Children) != 1 {
+		t.Fatalf("children = %d, want 1 (stage b has parallelism 1)", len(out.Children))
+	}
+	child := out.Children[0]
+	if child.Target != j.Stages[1][0] {
+		t.Fatal("child routed to wrong operator")
+	}
+	if child.Msg.Channel != 0 { // from stage-0 instance index 0
+		t.Fatalf("child channel = %d", child.Msg.Channel)
+	}
+	// Profiling: the operator's cost was observed, and its reply context
+	// reached the job's source tracker (stage 0 replies to sources).
+	if got := op.Profile.Cost.Value(); got != 42 {
+		t.Fatalf("profiled cost = %v, want 42", got)
+	}
+	if rc, ok := j.SourceTracker.Reply(op.Name); !ok || rc.Cm != 42 {
+		t.Fatalf("source tracker reply = %+v/%v", rc, ok)
+	}
+}
+
+func TestExecuteSinkRecordsOutputs(t *testing.T) {
+	j := exampleJob(t)
+	pol := &core.DeadlinePolicy{Kind: core.KindLLF}
+	var id int64
+	nextID := func() int64 { id++; return id }
+
+	sink := j.Stages[1][0]
+	b := NewBatch(2)
+	b.Append(7, 1, 1)
+	b.Append(8, 2, 1)
+	m := &core.Message{ID: 9, P: 8, T: 9, Channel: 1, Payload: b}
+	out := Execute(sink, m, 50, 10, pol, nextID)
+
+	if len(out.Children) != 0 {
+		t.Fatal("sink produced children")
+	}
+	if len(out.Outputs) != 1 || out.Outputs[0].Tuples != 2 || out.Outputs[0].T != 9 {
+		t.Fatalf("outputs = %+v", out.Outputs)
+	}
+	// The sink's reply went to its upstream (stage-0 instance 1).
+	up := j.Stages[0][1]
+	if rc, ok := up.Profile.Path.Reply(sink.Name); !ok || rc.Cm != 10 {
+		t.Fatalf("upstream reply = %+v/%v", rc, ok)
+	}
+}
+
+func TestExecuteCriticalPathAccumulates(t *testing.T) {
+	j := exampleJob(t)
+	pol := &core.DeadlinePolicy{Kind: core.KindLLF}
+	var id int64
+	nextID := func() int64 { id++; return id }
+
+	sink := j.Stages[1][0]
+	op0 := j.Stages[0][0]
+	// Sink executes (cost 30): op0 learns {Cm:30, Cpath:0} on the ack.
+	Execute(sink, &core.Message{ID: 1, P: 1, T: 1, Channel: 0, Payload: nil}, 10, 30, pol, nextID)
+	// op0 executes (cost 20): sources learn {Cm:20, Cpath:30}.
+	Execute(op0, &core.Message{ID: 2, P: 1, T: 1, Channel: 0, Payload: nil}, 20, 20, pol, nextID)
+
+	rc, ok := j.SourceTracker.Reply(op0.Name)
+	if !ok || rc.Cm != 20 || rc.Cpath != 30 {
+		t.Fatalf("source reply = %+v, want {20 30}", rc)
+	}
+	// Next source message toward op0 gets the full pipeline subtracted.
+	ti := j.TargetInfo(nil, op0)
+	if ti.Cost != 20 || ti.PathCost != 30 {
+		t.Fatalf("TargetInfo = %+v", ti)
+	}
+}

@@ -1,0 +1,200 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/profile"
+	"github.com/cameo-stream/cameo/internal/progress"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// Operator is one parallel instance of a stage — the schedulable actor.
+// Engines use *Operator as the dispatcher's operator handle.
+type Operator struct {
+	// Job is the owning job.
+	Job *Job
+	// Stage and Index locate the instance in the job's DAG.
+	Stage, Index int
+	// Name is the globally unique instance name, e.g. "ipq1/agg[2]".
+	Name string
+	// Handler executes messages (exactly one at a time).
+	Handler Handler
+	// Profile holds the instance's cost estimate and downstream path costs.
+	Profile *profile.OpProfile
+	// Mapper is the PROGRESSMAP for streams into this operator.
+	Mapper progress.Mapper
+
+	spec *StageSpec
+}
+
+// Spec returns the stage spec this operator instantiates.
+func (o *Operator) Spec() *StageSpec { return o.spec }
+
+// IsSink reports whether the operator belongs to the job's last stage.
+func (o *Operator) IsSink() bool { return o.Stage == len(o.Job.Spec.Stages)-1 }
+
+// InChannels reports how many input channels feed this operator: the
+// source count for stage 0, the previous stage's parallelism otherwise.
+func (o *Operator) InChannels() int {
+	if o.Stage == 0 {
+		return o.Job.Spec.Sources
+	}
+	return o.Job.Spec.Stages[o.Stage-1].Parallelism
+}
+
+// Job is an instantiated dataflow with live operator instances.
+type Job struct {
+	// Spec is the validated job description.
+	Spec JobSpec
+	// Stages holds operator instances: Stages[s][i].
+	Stages [][]*Operator
+	// SourceTracker accumulates reply contexts flowing from stage-0
+	// operators back to the job's sources (the sources' RC_local).
+	SourceTracker *profile.PathTracker
+}
+
+// DefaultEWMAAlpha is the default smoothing factor of operator cost
+// profiles. Recent messages dominate quickly so the scheduler adapts to
+// workload shifts within tens of messages.
+const DefaultEWMAAlpha = 0.2
+
+// NewJob validates spec and instantiates its operators.
+func NewJob(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	j := &Job{Spec: spec, SourceTracker: profile.NewPathTracker()}
+	j.Stages = make([][]*Operator, len(spec.Stages))
+	for s := range spec.Stages {
+		st := &j.Spec.Stages[s]
+		ops := make([]*Operator, st.Parallelism)
+		for i := range ops {
+			op := &Operator{
+				Job:     j,
+				Stage:   s,
+				Index:   i,
+				Name:    fmt.Sprintf("%s/%s[%d]", spec.Name, st.Name, i),
+				Profile: profile.NewOpProfile(j.Spec.EWMAAlpha),
+				spec:    st,
+			}
+			op.Handler = st.NewHandler(op.InChannels())
+			if spec.Domain == EventTime {
+				op.Mapper = progress.NewRegressionMapper(spec.MapperWindow, 2)
+			} else {
+				op.Mapper = progress.IdentityMapper{}
+			}
+			ops[i] = op
+		}
+		j.Stages[s] = ops
+	}
+	return j, nil
+}
+
+// Operators returns all operator instances in stage order.
+func (j *Job) Operators() []*Operator {
+	var out []*Operator
+	for _, stage := range j.Stages {
+		out = append(out, stage...)
+	}
+	return out
+}
+
+// SinkStage returns the operators of the last stage.
+func (j *Job) SinkStage() []*Operator { return j.Stages[len(j.Stages)-1] }
+
+// TargetInfo assembles the core.TargetInfo for a message sent from `from`
+// (nil when the sender is a source) to `target` — the paper's
+// context-conversion inputs: the target's window slide, the sender's slide,
+// the progress mapper, and the (C_m, C_path) pair from the sender's stored
+// reply context for that child (Algorithm 1's RC_local).
+func (j *Job) TargetInfo(from *Operator, target *Operator) core.TargetInfo {
+	ti := core.TargetInfo{
+		Job:       j.Spec.Name,
+		Slide:     target.spec.Slide,
+		EventTime: j.Spec.Domain == EventTime,
+		Mapper:    target.Mapper,
+		Latency:   j.Spec.Latency,
+	}
+	var rc profile.Reply
+	if from == nil {
+		rc, _ = j.SourceTracker.Reply(target.Name)
+	} else {
+		ti.SlideUp = from.spec.Slide
+		rc, _ = from.Profile.Path.Reply(target.Name)
+	}
+	ti.Cost, ti.PathCost = rc.Cm, rc.Cpath
+	return ti
+}
+
+// DeliverReply folds the reply context rc from a target operator back into
+// the sender's local state (Algorithm 1's PROCESSCTXFROMREPLY). A nil from
+// means the sender is the job's source layer.
+func (j *Job) DeliverReply(from *Operator, target *Operator, rc profile.Reply) {
+	if from == nil {
+		j.SourceTracker.OnReply(target.Name, rc)
+		return
+	}
+	from.Profile.Path.OnReply(target.Name, rc)
+}
+
+// Delivery is one routed message-to-be: a sub-batch bound for a target
+// operator instance.
+type Delivery struct {
+	Target  *Operator
+	Batch   *Batch
+	P, T    vtime.Time
+	Channel int
+	Port    int
+}
+
+// RouteEmission fans an emission from operator `from` out to the next
+// stage, partitioning the batch by key across the stage's instances.
+// Instances whose partition is empty still receive a (nil-batch) delivery:
+// it carries the stream progress they need to advance their frontier —
+// the punctuation/heartbeat role of dataflow watermarks. Returns nil when
+// `from` is the sink stage (the engine records an output instead).
+func (j *Job) RouteEmission(from *Operator, e Emission) []Delivery {
+	next := from.Stage + 1
+	if next >= len(j.Stages) {
+		return nil
+	}
+	targets := j.Stages[next]
+	parts := e.Batch.Partition(len(targets))
+	out := make([]Delivery, 0, len(targets))
+	for i, target := range targets {
+		out = append(out, Delivery{
+			Target:  target,
+			Batch:   parts[i],
+			P:       e.P,
+			T:       e.T,
+			Channel: from.Index,
+		})
+	}
+	return out
+}
+
+// RouteSourceBatch fans one source batch (from source channel src, logical
+// progress p observed at physical time t) out to stage 0, partitioned by
+// key. Every stage-0 instance receives a delivery so frontiers advance
+// uniformly. The source's port is derived from its channel index.
+func (j *Job) RouteSourceBatch(src int, b *Batch, p, t vtime.Time) []Delivery {
+	if src < 0 || src >= j.Spec.Sources {
+		panic(fmt.Sprintf("dataflow: source %d out of range for job %q", src, j.Spec.Name))
+	}
+	port := src / (j.Spec.Sources / j.Spec.SourcePorts)
+	targets := j.Stages[0]
+	parts := b.Partition(len(targets))
+	out := make([]Delivery, 0, len(targets))
+	for i, target := range targets {
+		out = append(out, Delivery{
+			Target:  target,
+			Batch:   parts[i],
+			P:       p,
+			T:       t,
+			Channel: src,
+			Port:    port,
+		})
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/sim"
+	"github.com/cameo-stream/cameo/internal/vtime"
+	"github.com/cameo-stream/cameo/internal/workload"
+)
+
+// This file holds ablations beyond the paper's figures, probing design
+// choices DESIGN.md calls out: the cost-profile smoothing factor and the
+// starvation guard for very lax jobs. They run via
+// `cameo-bench -fig a1` / `-fig a2`.
+
+// AblationAlpha sweeps the EWMA smoothing factor of the operator cost
+// profiles. Cameo's deadlines subtract profiled costs (Eq. 3); a sluggish
+// profile (tiny alpha) lags workload shifts while an over-reactive one
+// (alpha near 1) chases single-message noise. The paper fixes one profiler
+// and perturbs it (Fig 16); this ablation asks how much the smoothing
+// choice itself matters.
+func AblationAlpha(seed uint64) *Report {
+	r := &Report{
+		Figure:  "Ablation A1",
+		Caption: "Cost-profile EWMA smoothing factor (6 contending LS jobs, size-jittered batches)",
+	}
+	t := r.Table("latency vs alpha", "alpha", "LS p50 (ms)", "LS p99 (ms)", "success")
+	horizon := 60 * vtime.Second
+	for _, alpha := range []float64{0.01, 0.2, 0.9} {
+		c := sim.New(sim.Config{
+			Nodes: 1, WorkersPerNode: 2, Scheduler: sim.Cameo,
+			SwitchCost: 10 * vtime.Microsecond,
+			End:        horizon + 10*vtime.Second,
+		})
+		sc := workload.Scale{Sources: 8, TuplesPerMsg: 300, Horizon: horizon, Spread: true, Jitter: 0.7}
+		for i := 0; i < 6; i++ {
+			q := workload.LSJob(fmt.Sprintf("ls-%d", i),
+				sc, 600*vtime.Millisecond+vtime.Duration(i)*100*vtime.Millisecond)
+			q = setCosts(q, vtime.Millisecond, 60*vtime.Microsecond)
+			q.Spec.EWMAAlpha = alpha
+			mustAdd(c, q, seed+uint64(i))
+		}
+		res := c.Run()
+		ls := res.Recorder.Merged(isLS)
+		t.AddRow(fmt.Sprintf("%.2f", alpha), ls.Quantile(0.5)/1000,
+			ls.Quantile(0.99)/1000, res.Recorder.MergedSuccessRate(isLS))
+	}
+	t.Notes = append(t.Notes,
+		"expected: insensitive across two orders of magnitude — deadline gaps dwarf profile error (cf. Fig 16)")
+	return r
+}
+
+// AblationStarvation compares LLF with and without the MaxLaxity
+// starvation guard: a strict job keeps the single worker ~95% busy in
+// bursts while a very lax job (2-hour constraint) trickles along. Without
+// the guard the lax job's messages run only in load valleys; the guard
+// caps their postponement at the configured bound.
+func AblationStarvation(seed uint64) *Report {
+	r := &Report{
+		Figure:  "Ablation A2",
+		Caption: "Starvation guard (MaxLaxity) for very lax jobs under sustained strict-job load",
+	}
+	t := r.Table("lax-job latency", "guard", "lax p50 (ms)", "lax p99 (ms)", "strict p99 (ms)")
+	horizon := 60 * vtime.Second
+	for _, guard := range []vtime.Duration{0, 2 * vtime.Second} {
+		pol := &core.DeadlinePolicy{Kind: core.KindLLF, MaxLaxity: guard}
+		c := sim.New(sim.Config{
+			Nodes: 1, WorkersPerNode: 1, Scheduler: sim.Cameo, Policy: pol,
+			End: horizon + 10*vtime.Second,
+		})
+		// Strict job: aligned bursts of ~900 ms of work every second.
+		sc := workload.Scale{Sources: 4, TuplesPerMsg: 100, Horizon: horizon}
+		strict := workload.LSJob("ls-strict", sc, 400*vtime.Millisecond)
+		strict = setCosts(strict, 300*vtime.Microsecond, 2200*vtime.Microsecond)
+		mustAdd(c, strict, seed)
+		// Lax job: light trickle with an hours-scale constraint.
+		lax := workload.BAJob("ba-lax", sc, 1, nil)
+		lax = setCosts(lax, 300*vtime.Microsecond, 10*vtime.Microsecond)
+		mustAdd(c, lax, seed+1)
+		res := c.Run()
+
+		laxStats := res.Recorder.Job("ba-lax").Latencies
+		strictStats := res.Recorder.Job("ls-strict").Latencies
+		label := "off"
+		if guard > 0 {
+			label = guard.String()
+		}
+		t.AddRow(label, laxStats.Quantile(0.5)/1000, laxStats.Quantile(0.99)/1000,
+			strictStats.Quantile(0.99)/1000)
+	}
+	t.Notes = append(t.Notes,
+		"expected: the guard bounds the lax job's tail near the configured laxity without hurting the strict job")
+	return r
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/vtime"
+	"github.com/cameo-stream/cameo/internal/workload"
+)
+
+// setCosts overrides every stage's simulator cost model on a built query —
+// how experiments calibrate utilization to the regime a figure needs
+// (near-saturation for the contention figures, overload for the breakdown
+// sweeps) without touching the workload builders' defaults.
+func setCosts(q workload.Query, base, perTuple vtime.Duration) workload.Query {
+	for i := range q.Spec.Stages {
+		q.Spec.Stages[i].Cost = dataflow.CostModel{Base: base, PerTuple: perTuple}
+	}
+	return q
+}

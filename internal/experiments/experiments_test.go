@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The tests in this file assert the *shapes* the paper claims — who wins,
+// in which direction, roughly how strongly — against the regenerated
+// figures. Absolute numbers are environment-specific by design.
+
+// cell parses table cell [row][col] as a float.
+func cell(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	if row >= len(tb.Rows) || col >= len(tb.Rows[row]) {
+		t.Fatalf("table %q has no cell (%d,%d)", tb.Title, row, col)
+	}
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("table %q cell (%d,%d) = %q not numeric", tb.Title, row, col, tb.Rows[row][col])
+	}
+	return v
+}
+
+// findRow returns the first row whose leading cells match the given labels.
+func findRow(t *testing.T, tb *Table, labels ...string) int {
+	t.Helper()
+	for i, row := range tb.Rows {
+		ok := true
+		for j, l := range labels {
+			if j >= len(row) || !strings.HasPrefix(row[j], l) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	t.Fatalf("table %q has no row %v", tb.Title, labels)
+	return -1
+}
+
+func TestFig01Shape(t *testing.T) {
+	r := Fig01(1)
+	tb := r.Find("systems")
+	slotUtil := cell(t, tb, findRow(t, tb, "slot-based"), 2)
+	orlUtil := cell(t, tb, findRow(t, tb, "orleans"), 2)
+	camUtil := cell(t, tb, findRow(t, tb, "cameo"), 2)
+	orlP99 := cell(t, tb, findRow(t, tb, "orleans"), 4)
+	camP99 := cell(t, tb, findRow(t, tb, "cameo"), 4)
+	if !(slotUtil < orlUtil/2 && slotUtil < camUtil/2) {
+		t.Errorf("slot-based utilization %.3f not well below shared (%.3f, %.3f)", slotUtil, orlUtil, camUtil)
+	}
+	if !(camP99 < orlP99) {
+		t.Errorf("cameo p99 %.1f not below orleans %.1f", camP99, orlP99)
+	}
+}
+
+func TestFig02Shape(t *testing.T) {
+	r := Fig02(1)
+	ta := r.Find("2a: data volume distribution")
+	top10 := cell(t, ta, findRow(t, ta, "10%"), 1)
+	if top10 < 0.5 {
+		t.Errorf("top-10%% volume share = %.2f, want majority", top10)
+	}
+	tb := r.Find("2b: micro-batch jobs")
+	maxOverhead := cell(t, tb, findRow(t, tb, "scheduling overhead"), 4)
+	if maxOverhead < 0.5 || maxOverhead > 0.95 {
+		t.Errorf("max scheduling overhead = %.2f, want ~0.8", maxOverhead)
+	}
+	tc := r.Find("2c: ingestion heatmap (20 sources x 300s)")
+	idle := cell(t, tc, findRow(t, tc, "idle cells"), 1)
+	if idle <= 0 {
+		t.Error("no idleness in heatmap")
+	}
+}
+
+func TestFig04Shape(t *testing.T) {
+	r := Fig04(1)
+	tb := r.Find("deadline violations")
+	a := cell(t, tb, 0, 1)
+	b := cell(t, tb, 1, 1)
+	c := cell(t, tb, 2, 1)
+	d := cell(t, tb, 3, 1)
+	if !(c < a && c < b && d < a && d < b) {
+		t.Errorf("deadline-aware schedules (c=%v, d=%v) not better than fair share (a=%v, b=%v)", c, d, a, b)
+	}
+	if d > c {
+		t.Errorf("semantics-aware (d=%v) worse than topology-only (c=%v)", d, c)
+	}
+}
+
+func TestFig06Shape(t *testing.T) {
+	r := Fig06(1)
+	tb := r.Find("sink throughput by phase (tuples/s)")
+	// Phase 1: df1 alone gets all its demand; others zero.
+	if cell(t, tb, 0, 2) != 0 || cell(t, tb, 0, 3) != 0 {
+		t.Error("phase 1: df2/df3 produced before starting")
+	}
+	// Phase 3: shares 1:2:2 within 20%.
+	df1 := cell(t, tb, 2, 1)
+	df2 := cell(t, tb, 2, 2)
+	df3 := cell(t, tb, 2, 3)
+	if df1 <= 0 {
+		t.Fatal("df1 starved at capacity")
+	}
+	for _, ratio := range []float64{df2 / df1, df3 / df1} {
+		if ratio < 1.6 || ratio > 2.4 {
+			t.Errorf("token share ratio = %.2f, want ~2 (df1=%v df2=%v df3=%v)", ratio, df1, df2, df3)
+		}
+	}
+}
+
+func TestFig07Shape(t *testing.T) {
+	r := Fig07(1)
+	tb := r.Find("7a: query latency (ms)")
+	for _, q := range []string{"ipq1", "ipq2", "ipq3", "ipq4"} {
+		orl := cell(t, tb, findRow(t, tb, q, "orleans"), 4)
+		cam := cell(t, tb, findRow(t, tb, q, "cameo"), 4)
+		fifo := cell(t, tb, findRow(t, tb, q, "fifo"), 4)
+		if cam > orl || cam > fifo*1.05 {
+			t.Errorf("%s: cameo p99 %.1f not best (orleans %.1f, fifo %.1f)", q, cam, orl, fifo)
+		}
+	}
+	// Cameo's schedule timeline separates windows at least as cleanly as
+	// the baselines' (the paper's 7(c) "clear boundary between windows").
+	tc := r.Find("7c: IPQ1 schedule timeline")
+	camInv := cell(t, tc, findRow(t, tc, "cameo"), 2)
+	orlInv := cell(t, tc, findRow(t, tc, "orleans"), 2)
+	fifoInv := cell(t, tc, findRow(t, tc, "fifo"), 2)
+	if camInv > orlInv || camInv > fifoInv {
+		t.Errorf("cameo window inversions %v not lowest (orleans %v, fifo %v)", camInv, orlInv, fifoInv)
+	}
+}
+
+func TestFig08Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig 8 sweep is the heaviest experiment")
+	}
+	r := Fig08(1)
+	ta := r.Find("8a: varying BA ingestion rate")
+	// At the top rate, Cameo's LS p99 must beat both baselines.
+	top := "45x"
+	orl := cell(t, ta, findRow(t, ta, top, "orleans"), 3)
+	fifo := cell(t, ta, findRow(t, ta, top, "fifo"), 3)
+	cam := cell(t, ta, findRow(t, ta, top, "cameo"), 3)
+	if !(cam < orl && cam < fifo) {
+		t.Errorf("8a top rate: cameo LS p99 %.1f not best (orleans %.1f, fifo %.1f)", cam, orl, fifo)
+	}
+	// Cameo stays stable across the sweep: top-rate p99 within 4x of the
+	// lowest-rate p99 (the paper's "Cameo stays stable").
+	low := cell(t, ta, findRow(t, ta, "5x", "cameo"), 3)
+	if cam > 4*low {
+		t.Errorf("8a: cameo p99 not stable across sweep: %.1f -> %.1f", low, cam)
+	}
+	tc := r.Find("8c: varying worker pool size")
+	// One worker per node: Cameo still meets most deadlines.
+	sr := cell(t, tc, findRow(t, tc, "1", "cameo"), 4)
+	if sr < 0.85 {
+		t.Errorf("8c: cameo success at 1 worker = %.2f, want >= 0.85", sr)
+	}
+}
+
+func TestFig09Shape(t *testing.T) {
+	r := Fig09(1)
+	tb := r.Find("9d: LS latency distribution")
+	camStd := cell(t, tb, findRow(t, tb, "cameo"), 3)
+	orlStd := cell(t, tb, findRow(t, tb, "orleans"), 3)
+	fifoStd := cell(t, tb, findRow(t, tb, "fifo"), 3)
+	if !(camStd < orlStd && camStd < fifoStd) {
+		t.Errorf("cameo stddev %.2f not lowest (orleans %.2f, fifo %.2f)", camStd, orlStd, fifoStd)
+	}
+	camP99 := cell(t, tb, findRow(t, tb, "cameo"), 2)
+	orlP99 := cell(t, tb, findRow(t, tb, "orleans"), 2)
+	if camP99 >= orlP99 {
+		t.Errorf("cameo p99 %.2f not below orleans %.2f under Pareto arrivals", camP99, orlP99)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r := Fig10(1)
+	tb := r.Find("success rate")
+	camT1 := cell(t, tb, findRow(t, tb, "cameo"), 1)
+	camT2 := cell(t, tb, findRow(t, tb, "cameo"), 2)
+	orlT1 := cell(t, tb, findRow(t, tb, "orleans"), 1)
+	orlT2 := cell(t, tb, findRow(t, tb, "orleans"), 2)
+	fifoT1 := cell(t, tb, findRow(t, tb, "fifo"), 1)
+	fifoT2 := cell(t, tb, findRow(t, tb, "fifo"), 2)
+	if !(camT1 > orlT1 && camT1 > fifoT1) {
+		t.Errorf("type1 success: cameo %.2f not best (orleans %.2f, fifo %.2f)", camT1, orlT1, fifoT1)
+	}
+	if !(camT2 > orlT2 && camT2 > fifoT2) {
+		t.Errorf("type2 success: cameo %.2f not best (orleans %.2f, fifo %.2f)", camT2, orlT2, fifoT2)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r := Fig11(1)
+	tm := r.Find("multi-query latency, all IPQs pooled (ms)")
+	llf := cell(t, tm, findRow(t, tm, "llf"), 3)
+	edf := cell(t, tm, findRow(t, tm, "edf"), 3)
+	sjf := cell(t, tm, findRow(t, tm, "sjf"), 3)
+	if sjf < llf && sjf < edf {
+		t.Errorf("SJF p99 %.1f unexpectedly best (llf %.1f, edf %.1f)", sjf, llf, edf)
+	}
+	// Paper: EDF and LLF comparable (within 2x of each other).
+	if edf > 2*llf || llf > 2*edf {
+		t.Errorf("LLF (%.1f) and EDF (%.1f) not comparable", llf, edf)
+	}
+	// SJF starves the expensive query: IPQ4's tail under SJF must exceed
+	// LLF's.
+	llfIPQ4 := cell(t, tm, findRow(t, tm, "llf"), 4)
+	sjfIPQ4 := cell(t, tm, findRow(t, tm, "sjf"), 4)
+	if sjfIPQ4 <= llfIPQ4 {
+		t.Errorf("SJF IPQ4 p99 %.1f not worse than LLF %.1f", sjfIPQ4, llfIPQ4)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := Fig12()
+	tr := r.Find("right: overhead vs batch size")
+	// Overhead fraction decreases monotonically with batch size and is
+	// modest (< 50%) even at batch size 1.
+	prev := 2.0
+	for i := range tr.Rows {
+		f := cell(t, tr, i, 3)
+		if f > prev+1e-9 {
+			t.Errorf("overhead fraction rose with batch size at row %d: %.3f -> %.3f", i, prev, f)
+		}
+		prev = f
+	}
+	if first := cell(t, tr, 0, 3); first > 0.5 {
+		t.Errorf("overhead at batch 1 = %.2f, implausibly high", first)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r := Fig13(1)
+	tb := r.Find("group-1 latency vs batch size")
+	// The largest batch must be worse than the sweet spot (scheduling
+	// flexibility lost), and the sweet spot no worse than ~3x the smallest.
+	smallest := cell(t, tb, 0, 3)
+	mid := cell(t, tb, 1, 3)
+	largest := cell(t, tb, len(tb.Rows)-1, 3)
+	if largest <= mid {
+		t.Errorf("largest batch p99 %.1f not worse than mid %.1f", largest, mid)
+	}
+	if smallest <= 0 {
+		t.Errorf("smallest batch p99 = %.1f", smallest)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r := Fig14(1)
+	tb := r.Find("quantum sweep: clustered stream progress")
+	finest := cell(t, tb, 0, 2)
+	oneMs := cell(t, tb, 1, 2)
+	coarse := cell(t, tb, len(tb.Rows)-1, 2)
+	if coarse <= oneMs {
+		t.Errorf("100ms quantum p99 %.1f not worse than 1ms %.1f (no head-of-line blocking)", coarse, oneMs)
+	}
+	// Finest grain must pay more switches than the coarsest.
+	swFinest := cell(t, tb, 0, 3)
+	swCoarse := cell(t, tb, len(tb.Rows)-1, 3)
+	if swFinest <= swCoarse {
+		t.Errorf("switches: finest %v <= coarsest %v", swFinest, swCoarse)
+	}
+	_ = finest
+}
+
+func TestFig15Shape(t *testing.T) {
+	r := Fig15(1)
+	tb := r.Find("latency by scheduler knowledge")
+	cam := cell(t, tb, findRow(t, tb, "cameo"), 1)
+	nosem := cell(t, tb, findRow(t, tb, "cameo w/o"), 1)
+	orl := cell(t, tb, findRow(t, tb, "orleans"), 1)
+	fifo := cell(t, tb, findRow(t, tb, "fifo"), 1)
+	// Without semantics Cameo degrades (or at worst matches), yet still
+	// beats the baselines.
+	if nosem < cam*0.95 {
+		t.Errorf("semantics-unaware median %.1f better than full cameo %.1f", nosem, cam)
+	}
+	if !(nosem < orl && nosem < fifo) {
+		t.Errorf("semantics-unaware %.1f not below baselines (%.1f, %.1f)", nosem, orl, fifo)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	r := Fig16(1)
+	tb := r.Find("LS latency vs profiling noise")
+	p50Clean := cell(t, tb, 0, 1)
+	p50Noisy := cell(t, tb, len(tb.Rows)-1, 1)
+	// Median stays stable even at sigma = 1s (within 50%).
+	if p50Noisy > 1.5*p50Clean {
+		t.Errorf("median under sigma=1s = %.1f vs clean %.1f: not robust", p50Noisy, p50Clean)
+	}
+}
+
+func TestAblationStarvationShape(t *testing.T) {
+	r := AblationStarvation(1)
+	tb := r.Find("lax-job latency")
+	offP99 := cell(t, tb, findRow(t, tb, "off"), 2)
+	onP99 := cell(t, tb, findRow(t, tb, "2.000s"), 2)
+	// The guard must bound the lax job's tail well below the unguarded run
+	// and within a small multiple of the configured 2s laxity (queueing
+	// behind in-flight strict work adds to the bound).
+	if onP99 >= 0.7*offP99 {
+		t.Errorf("guarded lax p99 %.1f not well below unguarded %.1f", onP99, offP99)
+	}
+	if onP99 > 6000 {
+		t.Errorf("guarded lax p99 %.1f ms far above the 2s bound", onP99)
+	}
+	// The strict job must not pay for the guard (within 50%).
+	offStrict := cell(t, tb, findRow(t, tb, "off"), 3)
+	onStrict := cell(t, tb, findRow(t, tb, "2.000s"), 3)
+	if onStrict > 1.5*offStrict+1 {
+		t.Errorf("strict p99 rose from %.1f to %.1f with the guard", offStrict, onStrict)
+	}
+}
+
+func TestAblationAlphaShape(t *testing.T) {
+	r := AblationAlpha(1)
+	tb := r.Find("latency vs alpha")
+	// Insensitivity claim: all alphas within 2x of each other at p50.
+	base := cell(t, tb, 0, 1)
+	for i := range tb.Rows {
+		v := cell(t, tb, i, 1)
+		if v > 2*base || base > 2*v {
+			t.Errorf("alpha sensitivity too high: p50 %v vs %v", base, v)
+		}
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 16 { // 14 paper figures + 2 ablations
+		t.Fatalf("registry has %d entries, want 16", len(reg))
+	}
+	for _, e := range reg {
+		if e.Run == nil || e.ID == "" || e.Name == "" {
+			t.Errorf("incomplete registry entry %+v", e)
+		}
+	}
+	if _, err := Lookup("7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("single-tenant"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestTableBar(t *testing.T) {
+	tb := &Table{Title: "t", Columns: []string{"who", "what", "v"}}
+	tb.AddRow("a", "x", 10.0)
+	tb.AddRow("b", "y", 5.0)
+	tb.AddRow("c", "z", "not-a-number")
+	var buf strings.Builder
+	tb.Bar(&buf, 2, 2, 20)
+	out := buf.String()
+	if !strings.Contains(out, "a / x") || !strings.Contains(out, "b / y") {
+		t.Fatalf("bar labels missing:\n%s", out)
+	}
+	if strings.Contains(out, "c / z") {
+		t.Fatalf("non-numeric row rendered:\n%s", out)
+	}
+	// The max row gets a full-width bar.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Fatalf("no full-width bar:\n%s", out)
+	}
+	// Empty/non-numeric tables render nothing.
+	var empty strings.Builder
+	(&Table{Title: "e", Columns: []string{"a"}}).Bar(&empty, 1, 0, 10)
+	if empty.Len() != 0 {
+		t.Fatal("empty table rendered bars")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r := &Report{Figure: "Figure X", Caption: "test"}
+	tb := r.Table("t", "a", "b")
+	tb.AddRow("x", 1.5)
+	tb.Notes = append(tb.Notes, "a note")
+	out := r.String()
+	for _, want := range []string{"Figure X", "== t ==", "1.50", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+	if r.Find("t") != tb || r.Find("missing") != nil {
+		t.Error("Find wrong")
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cameo-stream/cameo/internal/sim"
+	"github.com/cameo-stream/cameo/internal/vtime"
+	"github.com/cameo-stream/cameo/internal/workload"
+)
+
+// fig08Cluster is the downscaled stand-in for the paper's 32-node cluster;
+// shapes are preserved (see EXPERIMENTS.md).
+const (
+	fig08Nodes   = 4
+	fig08Workers = 4
+)
+
+// runMix runs nLS latency-sensitive jobs against nBA bulk-analytics jobs
+// and returns the cluster results. The BA ingestion-rate factor scales the
+// *message rate* at a fixed batch size — the paper's model, where rising
+// tuple rates mean more messages, not bigger non-preemptible blocks. With
+// 16 workers, 8 BA tenants saturate the cluster near rate factor 40.
+func runMix(kind sim.SchedulerKind, seed uint64, nLS, nBA int, baRate float64,
+	workers int, horizon vtime.Time) sim.Results {
+
+	c := sim.New(sim.Config{
+		Nodes: fig08Nodes, WorkersPerNode: workers, Scheduler: kind,
+		SwitchCost:   10 * vtime.Microsecond,
+		NetworkDelay: 2 * vtime.Millisecond,
+		End:          horizon + 5*vtime.Second,
+	})
+	sc := workload.Scale{Sources: 8, TuplesPerMsg: 200, Horizon: horizon, Spread: true}
+	for i := 0; i < nLS; i++ {
+		q := workload.LSJob(fmt.Sprintf("ls-%d", i), sc, 800*vtime.Millisecond)
+		mustAdd(c, q, seed+uint64(i))
+	}
+	interval := vtime.Duration(float64(vtime.Second) / baRate)
+	for i := 0; i < nBA; i++ {
+		q := workload.BAJob(fmt.Sprintf("ba-%d", i), sc, 1, nil)
+		q = setCosts(q, 300*vtime.Microsecond, 30*vtime.Microsecond)
+		q.Feed = func(fseed uint64) *workload.Feed {
+			return workload.UniformSpread(fseed, sc.Sources, workload.SourceConfig{
+				Interval: interval,
+				Rate:     workload.JitterRate{Inner: workload.ConstantRate(sc.TuplesPerMsg), Frac: 0.5},
+				Keys:     256,
+				Delay:    50 * vtime.Millisecond,
+				End:      horizon,
+			})
+		}
+		mustAdd(c, q, seed+100+uint64(i))
+	}
+	return c.Run()
+}
+
+func isLS(job string) bool { return len(job) >= 3 && job[:3] == "ls-" }
+func isBA(job string) bool { return len(job) >= 3 && job[:3] == "ba-" }
+
+// Fig08 reproduces the multi-tenant experiments (Figure 8): four Group-1
+// latency-sensitive jobs (L = 800 ms) under competing Group-2 bulk
+// analytics, sweeping (a) BA ingestion rate, (b) BA tenant count, and (c)
+// the worker pool size.
+func Fig08(seed uint64) *Report {
+	r := &Report{
+		Figure:  "Figure 8",
+		Caption: "Latency-sensitive jobs under competing workloads (4 LS jobs, L=800ms)",
+	}
+	horizon := 60 * vtime.Second
+
+	ta := r.Table("8a: varying BA ingestion rate", "BA rate factor", "scheduler",
+		"LS p50 (ms)", "LS p99 (ms)", "BA p50 (s)", "BA tuples/s")
+	for _, rate := range []float64{5, 15, 30, 45} {
+		for _, kind := range schedulers {
+			res := runMix(kind, seed, 4, 8, rate, fig08Workers, horizon)
+			addMixRow(ta, fmt.Sprintf("%.0fx", rate), kind, res, horizon)
+		}
+	}
+
+	tb := r.Table("8b: varying BA tenant count", "BA tenants", "scheduler",
+		"LS p50 (ms)", "LS p99 (ms)", "BA p50 (s)", "BA tuples/s")
+	for _, n := range []int{4, 8, 12, 16} {
+		for _, kind := range schedulers {
+			res := runMix(kind, seed, 4, n, 20, fig08Workers, horizon)
+			addMixRow(tb, fmt.Sprint(n), kind, res, horizon)
+		}
+	}
+
+	tc := r.Table("8c: varying worker pool size", "workers/node", "scheduler",
+		"LS p50 (ms)", "LS p99 (ms)", "LS success", "BA tuples/s")
+	for _, w := range []int{4, 2, 1} {
+		for _, kind := range schedulers {
+			res := runMix(kind, seed, 4, 8, 15, w, horizon)
+			ls := res.Recorder.Merged(isLS)
+			row := []any{fmt.Sprint(w), kind.String()}
+			if ls.Len() > 0 {
+				row = append(row, ls.Quantile(0.5)/1000, ls.Quantile(0.99)/1000,
+					res.Recorder.MergedSuccessRate(isLS))
+			} else {
+				row = append(row, "-", "-", 0.0)
+			}
+			row = append(row, baThroughput(res, horizon))
+			tc.AddRow(row...)
+		}
+	}
+	return r
+}
+
+func addMixRow(t *Table, label string, kind sim.SchedulerKind, res sim.Results, horizon vtime.Time) {
+	ls := res.Recorder.Merged(isLS)
+	ba := res.Recorder.Merged(isBA)
+	row := []any{label, kind.String()}
+	if ls.Len() > 0 {
+		row = append(row, ls.Quantile(0.5)/1000, ls.Quantile(0.99)/1000)
+	} else {
+		row = append(row, "-", "-")
+	}
+	if ba.Len() > 0 {
+		row = append(row, ba.Quantile(0.5)/float64(vtime.Second))
+	} else {
+		row = append(row, "-")
+	}
+	row = append(row, baThroughput(res, horizon))
+	t.AddRow(row...)
+}
+
+// baThroughput reports BA jobs' consumed ingestion volume in tuples per
+// simulated second (tuples processed at their first stage).
+func baThroughput(res sim.Results, horizon vtime.Time) float64 {
+	var tuples float64
+	for job, n := range res.IngestedTuples {
+		if isBA(job) {
+			tuples += float64(n)
+		}
+	}
+	return tuples / horizon.Seconds()
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cameo-stream/cameo/internal/sim"
+	"github.com/cameo-stream/cameo/internal/vtime"
+	"github.com/cameo-stream/cameo/internal/workload"
+)
+
+// Fig09 reproduces the temporal-variation experiment (Figure 9): four
+// Group-1 jobs and eight Group-2 jobs whose ingestion volume follows a
+// Pareto distribution (the paper's Power-Law-like production pattern),
+// cluster kept under ~50% mean utilization. Transient spikes lengthen
+// queues; the figure compares latency timelines and distributions.
+func Fig09(seed uint64) *Report {
+	r := &Report{
+		Figure:  "Figure 9",
+		Caption: "Latency under Pareto event arrival (4 LS + 8 BA jobs, <50% mean utilization)",
+	}
+	horizon := 90 * vtime.Second
+	t := r.Table("9d: LS latency distribution", "scheduler",
+		"p50 (ms)", "p99 (ms)", "stddev (ms)", "BA p50 (s)", "utilization")
+	tl := r.Table("9a-c: LS latency timeline (mean ms per 10s bucket)", "scheduler",
+		"t=10s", "t=20s", "t=30s", "t=40s", "t=50s", "t=60s", "t=70s", "t=80s")
+
+	for _, kind := range schedulers {
+		c := sim.New(sim.Config{
+			Nodes: fig08Nodes, WorkersPerNode: fig08Workers, Scheduler: kind,
+			SwitchCost:   10 * vtime.Microsecond,
+			NetworkDelay: 2 * vtime.Millisecond,
+			End:          horizon + 5*vtime.Second,
+		})
+		sc := workload.Scale{Sources: 8, TuplesPerMsg: 200, Horizon: horizon, Spread: true}
+		for i := 0; i < 4; i++ {
+			mustAdd(c, workload.LSJob(fmt.Sprintf("ls-%d", i), sc, 800*vtime.Millisecond), seed+uint64(i))
+		}
+		for i := 0; i < 8; i++ {
+			// Pareto(alpha=1.2) batch sizes: heavy tail, mean ~2400
+			// tuples, capped to bound memory. With the 48us/tuple cost the
+			// cluster averages ~45% utilization with multi-hundred-ms
+			// spike messages — the paper's "<50% with transient spikes".
+			q := workload.BAJob(fmt.Sprintf("ba-%d", i), sc, 1,
+				workload.ParetoRate{Xm: 400, Alpha: 1.2, Cap: 40000})
+			q = setCosts(q, 300*vtime.Microsecond, 48*vtime.Microsecond)
+			mustAdd(c, q, seed+100+uint64(i))
+		}
+		res := c.Run()
+
+		ls := res.Recorder.Merged(isLS)
+		ba := res.Recorder.Merged(isBA)
+		t.AddRow(kind.String(), ls.Quantile(0.5)/1000, ls.Quantile(0.99)/1000,
+			ls.StdDev()/1000, ba.Quantile(0.5)/float64(vtime.Second), res.Utilization)
+
+		// Timeline: mean LS latency per 10s bucket.
+		buckets := make(map[int64][]float64)
+		for _, js := range res.Recorder.Jobs() {
+			if !isLS(js.Job) {
+				continue
+			}
+			for _, o := range js.Outputs {
+				b := int64(o.Emitted / (10 * vtime.Second))
+				buckets[b] = append(buckets[b], float64(o.Latency())/1000)
+			}
+		}
+		row := []any{kind.String()}
+		for b := int64(1); b <= 8; b++ {
+			vals := buckets[b]
+			if len(vals) == 0 {
+				row = append(row, "-")
+				continue
+			}
+			sum := 0.0
+			for _, v := range vals {
+				sum += v
+			}
+			row = append(row, sum/float64(len(vals)))
+		}
+		tl.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: Cameo reduces (median, p99) LS latency by (3.9x, 29.7x) vs Orleans and (1.3x, 21.1x) vs FIFO, with 23.2x / 12.7x lower stddev")
+	return r
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/sim"
+	"github.com/cameo-stream/cameo/internal/vtime"
+	"github.com/cameo-stream/cameo/internal/workload"
+)
+
+// Fig11 compares the scheduling policies implemented through the Cameo
+// context API (Figure 11): LLF (default), EDF, and SJF, in the single-query
+// setting of §6.1 (left) and a multi-query mix (right).
+func Fig11(seed uint64) *Report {
+	r := &Report{
+		Figure:  "Figure 11",
+		Caption: "Cameo policies: LLF vs EDF vs SJF",
+	}
+	policies := []core.Policy{
+		&core.DeadlinePolicy{Kind: core.KindLLF},
+		&core.DeadlinePolicy{Kind: core.KindEDF},
+		&core.DeadlinePolicy{Kind: core.KindSJF},
+	}
+
+	// Left: single-query latency distribution per IPQ, in the same
+	// near-saturation regime as Figure 7.
+	tl := r.Table("single query latency (ms)", "query", "policy", "p50", "p95", "p99")
+	sc := workload.Scale{
+		Sources: 32, TuplesPerMsg: 400, Horizon: 60 * vtime.Second,
+		Spread: true, Jitter: 0.9,
+	}
+	for qi, q := range workload.IPQs(sc) {
+		q = setCosts(q, 2*vtime.Millisecond, 230*vtime.Microsecond)
+		for _, pol := range policies {
+			c := sim.New(sim.Config{
+				Nodes: 1, WorkersPerNode: 4, Scheduler: sim.Cameo, Policy: pol,
+				SwitchCost: 10 * vtime.Microsecond,
+				End:        65 * vtime.Second,
+			})
+			mustAdd(c, q, seed+uint64(qi)*31)
+			res := c.Run()
+			sum := res.Recorder.Job(q.Spec.Name).Latencies.Summarize()
+			tl.AddRow(q.Spec.Name, pol.Name(), sum.P50/1000, sum.P95/1000, sum.P99/1000)
+		}
+	}
+
+	// Right: multi-query — all four IPQs share one node, so the policies'
+	// treatment of IPQ4's expensive join messages against the cheaper
+	// queries' messages is what differentiates them (SJF starves the
+	// expensive ones).
+	tm := r.Table("multi-query latency, all IPQs pooled (ms)", "policy", "p50", "p95", "p99", "IPQ4 p99")
+	for _, pol := range policies {
+		c := sim.New(sim.Config{
+			Nodes: 1, WorkersPerNode: 4,
+			Scheduler: sim.Cameo, Policy: pol,
+			SwitchCost: 10 * vtime.Microsecond,
+			End:        65 * vtime.Second,
+		})
+		mixSc := workload.Scale{
+			Sources: 8, TuplesPerMsg: 400, Horizon: 60 * vtime.Second,
+			Spread: true, Jitter: 0.9,
+		}
+		for qi, q := range workload.IPQs(mixSc) {
+			if q.Spec.Name == "ipq4" {
+				q = setCosts(q, 4*vtime.Millisecond, 230*vtime.Microsecond)
+			} else {
+				q = setCosts(q, 2*vtime.Millisecond, 230*vtime.Microsecond)
+			}
+			mustAdd(c, q, seed+uint64(qi)*31)
+		}
+		res := c.Run()
+		all := res.Recorder.Merged(nil)
+		ipq4 := res.Recorder.Job("ipq4").Latencies
+		tm.AddRow(pol.Name(), all.Quantile(0.5)/1000, all.Quantile(0.95)/1000,
+			all.Quantile(0.99)/1000, ipq4.Quantile(0.99)/1000)
+	}
+	tm.Notes = append(tm.Notes,
+		"paper: SJF consistently worst (except IPQ4's light queueing); EDF and LLF comparable")
+	return r
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cameo-stream/cameo/internal/operators"
+	"github.com/cameo-stream/cameo/internal/sim"
+	"github.com/cameo-stream/cameo/internal/vtime"
+	"github.com/cameo-stream/cameo/internal/workload"
+)
+
+// fig14Run drives the two regimes the paper's quantum sweep probes, on the
+// same two-worker node at ~85% load:
+//
+//   - six latency-sensitive jobs emitting dense sub-millisecond messages
+//     with continuously differing deadlines — at the finest grain every
+//     message boundary is a scheduling decision, and the per-switch cost
+//     compounds into overload;
+//   - two bulk jobs whose 32 lockstep sources burst ~380 ms of queued work
+//     into a single hot operator every second — the deep queue a coarse
+//     quantum holds a worker on while urgent messages wait.
+func fig14Run(seed uint64, quantum vtime.Duration, interleaved bool) sim.Results {
+	horizon := 60 * vtime.Second
+	c := sim.New(sim.Config{
+		Nodes: 1, WorkersPerNode: 2, Scheduler: sim.Cameo,
+		Quantum:    quantum,
+		SwitchCost: 300 * vtime.Microsecond,
+		End:        horizon + 10*vtime.Second,
+	})
+	for i := 0; i < 6; i++ {
+		win := vtime.Second
+		if interleaved {
+			// Staggered trigger boundaries: distinct window sizes so jobs'
+			// frontier progress interleaves instead of clustering.
+			win = vtime.Second + vtime.Duration(i)*100*vtime.Millisecond
+		}
+		sc := workload.Scale{Sources: 16, TuplesPerMsg: 24, Horizon: horizon}
+		q := workload.LSJob(fmt.Sprintf("ls-%d", i), sc,
+			500*vtime.Millisecond+vtime.Duration(i)*50*vtime.Millisecond)
+		for s := range q.Spec.Stages {
+			q.Spec.Stages[s].Slide = win
+			if s == 0 {
+				q.Spec.Stages[s].NewHandler = operators.WindowAgg(operators.WindowAggSpec{
+					Size: win, Slide: win, Agg: operators.Sum})
+			} else {
+				q.Spec.Stages[s].NewHandler = operators.WindowAgg(operators.WindowAggSpec{
+					Size: win, Slide: win, Agg: operators.Sum, Global: true})
+			}
+		}
+		q = setCosts(q, 550*vtime.Microsecond, 2*vtime.Microsecond)
+		// Dense sub-millisecond message stream: one emission per source
+		// every 250 ms, de-phased.
+		q.Feed = func(fseed uint64) *workload.Feed {
+			return workload.UniformSpread(fseed, sc.Sources, workload.SourceConfig{
+				Interval: 250 * vtime.Millisecond,
+				Rate:     workload.JitterRate{Inner: workload.ConstantRate(sc.TuplesPerMsg), Frac: 0.5},
+				Keys:     32,
+				Delay:    50 * vtime.Millisecond,
+				End:      horizon,
+			})
+		}
+		mustAdd(c, q, seed+uint64(i))
+	}
+	// Bulk jobs with lockstep sources: every second, each job's single hot
+	// operator receives a 32-message burst of ~12 ms messages.
+	baSc := workload.Scale{Sources: 32, TuplesPerMsg: 300, Horizon: horizon, Jitter: 0.5}
+	for i := 0; i < 2; i++ {
+		q := workload.BAJob(fmt.Sprintf("ba-%d", i), baSc, 1, nil)
+		q.Spec.Stages[0].Parallelism = 1
+		q = setCosts(q, 12*vtime.Millisecond, 2*vtime.Microsecond)
+		mustAdd(c, q, seed+100+uint64(i))
+	}
+	return c.Run()
+}
+
+// Fig14 reproduces the scheduling-quantum sweep (Figure 14): with many
+// high-priority messages contending, the finest re-scheduling grain pays
+// for frequent operator switches (longer tail), while a very large quantum
+// (100 ms) blocks urgent messages behind less-urgent operators that
+// arrived early.
+func Fig14(seed uint64) *Report {
+	r := &Report{
+		Figure:  "Figure 14",
+		Caption: "Effect of the re-scheduling quantum (Cameo, 6 dense LS jobs + 2 bursty bulk jobs)",
+	}
+	quanta := []vtime.Duration{1 * vtime.Microsecond, vtime.Millisecond,
+		10 * vtime.Millisecond, 100 * vtime.Millisecond}
+
+	for _, interleaved := range []bool{false, true} {
+		label := "clustered stream progress"
+		if interleaved {
+			label = "interleaved stream progress"
+		}
+		t := r.Table(fmt.Sprintf("quantum sweep: %s", label),
+			"quantum", "LS p50 (ms)", "LS p99 (ms)", "switches")
+		for _, q := range quanta {
+			res := fig14Run(seed, q, interleaved)
+			ls := res.Recorder.Merged(isLS)
+			t.AddRow(q.String(), ls.Quantile(0.5)/1000, ls.Quantile(0.99)/1000, res.Switches)
+		}
+		if !interleaved {
+			t.Notes = append(t.Notes,
+				"paper: finest grain lengthens the tail via context switches; 100 ms quantum hurts via head-of-line blocking")
+		}
+	}
+	return r
+}

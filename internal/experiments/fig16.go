@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/sim"
+	"github.com/cameo-stream/cameo/internal/stats"
+	"github.com/cameo-stream/cameo/internal/vtime"
+	"github.com/cameo-stream/cameo/internal/workload"
+)
+
+// Fig16 reproduces the profiling-inaccuracy experiment (Figure 16):
+// the execution costs the reply contexts report (C_oM in Eq. 3) are
+// perturbed with N(0, sigma) noise for sigma from 0 to 1 s. Cameo's
+// schedule quality should be stable at the median and degrade only
+// modestly at the tail while sigma stays below the output granularity.
+func Fig16(seed uint64) *Report {
+	r := &Report{
+		Figure:  "Figure 16",
+		Caption: "Effect of cost-profile measurement noise on Cameo (LLF)",
+	}
+	t := r.Table("LS latency vs profiling noise", "sigma",
+		"LS p50 (ms)", "LS p90 (ms)", "LS p99 (ms)", "success")
+
+	horizon := 60 * vtime.Second
+	sigmas := []vtime.Duration{0, vtime.Millisecond, 100 * vtime.Millisecond, vtime.Second}
+	for si, sigma := range sigmas {
+		c := sim.New(sim.Config{
+			Nodes: 1, WorkersPerNode: 2, Scheduler: sim.Cameo,
+			SwitchCost: 10 * vtime.Microsecond,
+			End:        horizon + 10*vtime.Second,
+		})
+		// Six jobs with *comparable* latency constraints contending near
+		// saturation: cost noise can then actually flip cross-job deadline
+		// orderings (with one lax bulk job the gap would dwarf any noise).
+		sc := workload.Scale{Sources: 8, TuplesPerMsg: 300, Horizon: horizon, Spread: true, Jitter: 0.7}
+		var ops []*dataflow.Operator
+		for i := 0; i < 6; i++ {
+			constraint := 600*vtime.Millisecond + vtime.Duration(i)*100*vtime.Millisecond
+			ls := workload.LSJob(fmt.Sprintf("ls-%d", i), sc, constraint)
+			ls = setCosts(ls, vtime.Millisecond, 60*vtime.Microsecond)
+			job, err := c.AddJob(ls.Spec, ls.Feed(seed+uint64(i)))
+			if err != nil {
+				panic(err)
+			}
+			ops = append(ops, job.Operators()...)
+		}
+		// Perturb every operator's reported cost with N(0, sigma),
+		// deterministically per (sigma index, operator).
+		if sigma > 0 {
+			noiseRng := stats.NewRNG(seed + uint64(si)*977)
+			for _, op := range ops {
+				rng := noiseRng.Split()
+				s := float64(sigma)
+				op.Profile.Noise = func(d vtime.Duration) vtime.Duration {
+					return d + vtime.Duration(rng.Normal(0, s))
+				}
+			}
+		}
+		res := c.Run()
+		ls := res.Recorder.Merged(isLS)
+		t.AddRow(sigma.String(), ls.Quantile(0.5)/1000,
+			ls.Quantile(0.9)/1000, ls.Quantile(0.99)/1000,
+			res.Recorder.MergedSuccessRate(isLS))
+	}
+	t.Notes = append(t.Notes,
+		"paper: stable at the median; p90 rises ~55% at sigma=1s; robust while sigma <= 100ms (below output granularity)")
+	return r
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a registered, runnable paper figure.
+type Experiment struct {
+	// ID is the figure number as referenced in the paper ("1", "2", ...).
+	ID string
+	// Name is a short slug ("motivation", "fair-share", ...).
+	Name string
+	// Caption describes what the figure shows.
+	Caption string
+	// Run regenerates the figure's rows. seed controls all randomness.
+	Run func(seed uint64) *Report
+}
+
+// Registry lists every reproduced figure in paper order, followed by the
+// extension ablations (IDs a1, a2). Figure 3 (a related-work taxonomy) and
+// Figure 5 (architecture diagrams) have nothing to measure and are
+// deliberately absent.
+func Registry() []Experiment {
+	return []Experiment{
+		{"1", "motivation", "Utilization vs tail latency across system designs", Fig01},
+		{"2", "workload", "Production workload characteristics (synthesized)", Fig02},
+		{"4", "example", "Scheduling example: fair-share vs topology- vs semantics-aware", Fig04},
+		{"6", "fair-share", "Token-based proportional fair sharing", Fig06},
+		{"7", "single-tenant", "Single-tenant IPQ1-IPQ4 latency", Fig07},
+		{"8", "multi-tenant", "LS jobs under competing workloads", Fig08},
+		{"9", "pareto", "Latency under Pareto event arrival", Fig09},
+		{"10", "skew", "Spatial workload variation success rates", Fig10},
+		{"11", "policies", "LLF vs EDF vs SJF", Fig11},
+		{"12", "overhead", "Scheduling overhead breakdown", func(uint64) *Report { return Fig12() }},
+		{"13", "batch-size", "Effect of batch size", Fig13},
+		{"14", "quantum", "Effect of scheduling quantum", Fig14},
+		{"15", "semantics", "Scope of scheduler knowledge", Fig15},
+		{"16", "noise", "Profiling inaccuracy robustness", Fig16},
+		{"a1", "profiler-alpha", "Ablation: cost-profile smoothing factor", AblationAlpha},
+		{"a2", "starvation-guard", "Ablation: MaxLaxity guard for lax jobs", AblationStarvation},
+	}
+}
+
+// Lookup finds an experiment by figure ID or name slug.
+func Lookup(key string) (Experiment, error) {
+	var names []string
+	for _, e := range Registry() {
+		if e.ID == key || e.Name == key || "fig"+e.ID == key {
+			return e, nil
+		}
+		names = append(names, fmt.Sprintf("%s (%s)", e.ID, e.Name))
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("experiments: unknown figure %q; available: %v", key, names)
+}

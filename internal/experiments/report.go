@@ -1,0 +1,163 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§6). Each figure has one entry point (Fig01 … Fig16) returning a Report
+// whose tables hold the same rows/series the paper plots; the same code is
+// driven by bench_test.go, cmd/cameo-bench, and the shape-assertion tests.
+//
+// Absolute numbers differ from the paper's Azure testbed (the engines here
+// are a simulator and a laptop-scale runtime — see DESIGN.md §2); what must
+// hold, and what the tests assert, is the *shape*: who wins, roughly by how
+// much, and where crossovers fall. EXPERIMENTS.md records paper-vs-measured
+// for every figure.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is one printable result series: rows of cells under named columns.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, cell)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Bar renders one numeric column of the table as a horizontal ASCII bar
+// chart, labelling each bar with the row's first labelCols cells — a quick
+// visual check of a figure's shape without leaving the terminal.
+// Non-numeric cells are skipped.
+func (t *Table) Bar(w io.Writer, labelCols, valueCol, width int) {
+	type bar struct {
+		label string
+		value float64
+	}
+	var bars []bar
+	maxVal := 0.0
+	maxLabel := 0
+	for _, row := range t.Rows {
+		if valueCol >= len(row) {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[valueCol], 64)
+		if err != nil || v < 0 {
+			continue
+		}
+		n := labelCols
+		if n > len(row) {
+			n = len(row)
+		}
+		label := strings.Join(row[:n], " / ")
+		bars = append(bars, bar{label, v})
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(label) > maxLabel {
+			maxLabel = len(label)
+		}
+	}
+	if len(bars) == 0 || maxVal == 0 {
+		return
+	}
+	col := valueCol
+	colName := ""
+	if col < len(t.Columns) {
+		colName = t.Columns[col]
+	}
+	fmt.Fprintf(w, "  %s — %s\n", t.Title, colName)
+	for _, b := range bars {
+		n := int(b.value / maxVal * float64(width))
+		fmt.Fprintf(w, "  %-*s |%-*s| %.2f\n", maxLabel, b.label, width, strings.Repeat("#", n), b.value)
+	}
+	fmt.Fprintln(w)
+}
+
+// Report is one experiment's full output.
+type Report struct {
+	Figure  string
+	Caption string
+	Tables  []*Table
+}
+
+// Table creates, registers, and returns a new table.
+func (r *Report) Table(title string, columns ...string) *Table {
+	t := &Table{Title: title, Columns: columns}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// Find returns the registered table with the given title, or nil.
+func (r *Report) Find(title string) *Table {
+	for _, t := range r.Tables {
+		if t.Title == title {
+			return t
+		}
+	}
+	return nil
+}
+
+// Fprint renders the whole report.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", r.Figure, r.Caption)
+	for _, t := range r.Tables {
+		t.Fprint(w)
+	}
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Fprint(&b)
+	return b.String()
+}

@@ -1,0 +1,139 @@
+// Package metrics collects the measurements the paper reports: per-output
+// latency against each job's constraint, deadline success rate, throughput
+// over time, operator schedule traces (Fig 7c), and scheduler overhead
+// accounting (Fig 12).
+//
+// All collectors are safe for concurrent use so the same code serves the
+// single-threaded simulator and the goroutine-based real-time engine.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/cameo-stream/cameo/internal/stats"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// Output is one sink emission: a job produced a result at Emitted whose
+// inputs were complete at Ready (the latest arrival among contributing
+// events, the paper's latency origin).
+type Output struct {
+	Job     string
+	Emitted vtime.Time
+	Ready   vtime.Time
+	Window  int64 // window ID or output sequence, for traceability
+}
+
+// Latency returns the end-to-end latency of the output.
+func (o Output) Latency() vtime.Duration { return o.Emitted - o.Ready }
+
+// JobStats aggregates a job's outputs against its latency constraint.
+type JobStats struct {
+	Job        string
+	Constraint vtime.Duration
+	Latencies  *stats.Sample // microseconds
+	Outputs    []Output
+}
+
+// SuccessRate reports the fraction of outputs that met the constraint
+// (paper Fig 10's "success rate"). Jobs with no outputs report 0.
+func (j *JobStats) SuccessRate() float64 {
+	if j.Latencies.Len() == 0 {
+		return 0
+	}
+	return 1 - j.Latencies.FractionAbove(float64(j.Constraint))
+}
+
+// Recorder accumulates outputs for all jobs in one experiment run.
+type Recorder struct {
+	mu   sync.Mutex
+	jobs map[string]*JobStats
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{jobs: make(map[string]*JobStats)}
+}
+
+// DeclareJob registers a job and its latency constraint. Declaring twice is
+// fine as long as the constraint agrees; a changed constraint panics because
+// it would silently corrupt success-rate accounting.
+func (r *Recorder) DeclareJob(job string, constraint vtime.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.jobs[job]; ok {
+		if j.Constraint != constraint {
+			panic(fmt.Sprintf("metrics: job %q re-declared with constraint %v (was %v)",
+				job, constraint, j.Constraint))
+		}
+		return
+	}
+	r.jobs[job] = &JobStats{Job: job, Constraint: constraint, Latencies: stats.NewSample(1024)}
+}
+
+// Record adds one output. The job must have been declared.
+func (r *Recorder) Record(o Output) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[o.Job]
+	if !ok {
+		panic(fmt.Sprintf("metrics: output for undeclared job %q", o.Job))
+	}
+	j.Latencies.Add(float64(o.Latency()))
+	j.Outputs = append(j.Outputs, o)
+}
+
+// Job returns the stats for one job, or nil when unknown.
+func (r *Recorder) Job(job string) *JobStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.jobs[job]
+}
+
+// Jobs returns all job stats sorted by name for stable reporting.
+func (r *Recorder) Jobs() []*JobStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*JobStats, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Job < out[k].Job })
+	return out
+}
+
+// Merged pools the latencies of every job whose name passes keep (nil keeps
+// all) into one sample — e.g. "all Group 1 jobs" rows in Figures 8 and 9.
+func (r *Recorder) Merged(keep func(job string) bool) *stats.Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := stats.NewSample(0)
+	for name, j := range r.jobs {
+		if keep == nil || keep(name) {
+			s.AddAll(j.Latencies.Values()...)
+		}
+	}
+	return s
+}
+
+// MergedSuccessRate reports the deadline success rate pooled across jobs
+// passing keep.
+func (r *Recorder) MergedSuccessRate(keep func(job string) bool) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	met, total := 0, 0
+	for name, j := range r.jobs {
+		if keep != nil && !keep(name) {
+			continue
+		}
+		n := j.Latencies.Len()
+		total += n
+		met += n - j.Latencies.CountAbove(float64(j.Constraint))
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(met) / float64(total)
+}

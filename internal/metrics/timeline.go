@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"sync"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// Timeline buckets a counter over fixed-width time intervals — throughput
+// per second for Figure 6, output latency over time for Figure 9 timelines.
+type Timeline struct {
+	mu     sync.Mutex
+	width  vtime.Duration
+	counts map[int64]float64
+	n      map[int64]int64
+}
+
+// NewTimeline returns a timeline with the given bucket width.
+func NewTimeline(width vtime.Duration) *Timeline {
+	if width <= 0 {
+		panic("metrics: timeline width must be positive")
+	}
+	return &Timeline{width: width, counts: make(map[int64]float64), n: make(map[int64]int64)}
+}
+
+// Add accumulates value v into the bucket containing t.
+func (tl *Timeline) Add(t vtime.Time, v float64) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	b := int64(t / tl.width)
+	tl.counts[b] += v
+	tl.n[b]++
+}
+
+// Point is one timeline bucket: T is the bucket start instant, Sum the
+// accumulated value, N the number of additions, Mean their ratio.
+type Point struct {
+	T    vtime.Time
+	Sum  float64
+	N    int64
+	Mean float64
+}
+
+// Series returns buckets in time order, including empty gaps as zero points
+// between the first and last populated bucket so plots don't hide idleness.
+func (tl *Timeline) Series() []Point {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if len(tl.counts) == 0 {
+		return nil
+	}
+	var lo, hi int64
+	first := true
+	for b := range tl.counts {
+		if first {
+			lo, hi = b, b
+			first = false
+			continue
+		}
+		if b < lo {
+			lo = b
+		}
+		if b > hi {
+			hi = b
+		}
+	}
+	out := make([]Point, 0, hi-lo+1)
+	for b := lo; b <= hi; b++ {
+		p := Point{T: vtime.Time(b) * tl.width, Sum: tl.counts[b], N: tl.n[b]}
+		if p.N > 0 {
+			p.Mean = p.Sum / float64(p.N)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ScheduleEvent is one operator execution for the schedule trace of Figure
+// 7(c): operator Op of stage Stage ran a message at Start for Cost.
+type ScheduleEvent struct {
+	Start vtime.Time
+	Cost  vtime.Duration
+	Job   string
+	Stage int
+	Op    string
+	P     vtime.Time // logical time of the message, to colour windows
+}
+
+// ScheduleTrace records operator executions in arrival order.
+type ScheduleTrace struct {
+	mu     sync.Mutex
+	events []ScheduleEvent
+	limit  int
+}
+
+// NewScheduleTrace returns a trace that keeps at most limit events
+// (0 = unlimited). Experiments cap traces so multi-minute simulations don't
+// hold gigabytes of events.
+func NewScheduleTrace(limit int) *ScheduleTrace {
+	return &ScheduleTrace{limit: limit}
+}
+
+// Add appends an event unless the limit is reached.
+func (st *ScheduleTrace) Add(e ScheduleEvent) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.limit > 0 && len(st.events) >= st.limit {
+		return
+	}
+	st.events = append(st.events, e)
+}
+
+// Events returns the recorded events. The caller must not modify them.
+func (st *ScheduleTrace) Events() []ScheduleEvent {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.events
+}
+
+// Counter is a concurrency-safe monotonically increasing tally.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increases the counter by d.
+func (c *Counter) Add(d int64) {
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Value returns the current tally.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// OverheadSnapshot is a point-in-time copy of an Overhead's accounting.
+type OverheadSnapshot struct {
+	Exec, Sched, PriGen vtime.Duration
+	Messages            int64
+}
+
+// Overhead accounts where scheduler time goes, for the Figure 12 breakdown:
+// Exec is useful message execution, Sched is queue manipulation, PriGen is
+// priority/context generation.
+type Overhead struct {
+	mu                  sync.Mutex
+	Exec, Sched, PriGen vtime.Duration
+	Messages            int64
+}
+
+// AddExec adds useful execution time for one message.
+func (o *Overhead) AddExec(d vtime.Duration) {
+	o.mu.Lock()
+	o.Exec += d
+	o.Messages++
+	o.mu.Unlock()
+}
+
+// AddSched adds scheduling (queue) time.
+func (o *Overhead) AddSched(d vtime.Duration) {
+	o.mu.Lock()
+	o.Sched += d
+	o.mu.Unlock()
+}
+
+// AddPriGen adds priority-generation (context conversion) time.
+func (o *Overhead) AddPriGen(d vtime.Duration) {
+	o.mu.Lock()
+	o.PriGen += d
+	o.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current accounting.
+func (o *Overhead) Snapshot() OverheadSnapshot {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return OverheadSnapshot{Exec: o.Exec, Sched: o.Sched, PriGen: o.PriGen, Messages: o.Messages}
+}
+
+// Fraction reports scheduling+generation time as a fraction of total time.
+func (o *Overhead) Fraction() float64 {
+	s := o.Snapshot()
+	total := s.Exec + s.Sched + s.PriGen
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Sched+s.PriGen) / float64(total)
+}

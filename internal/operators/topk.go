@@ -1,0 +1,234 @@
+package operators
+
+import (
+	"sort"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/progress"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// TopKSpec configures a windowed top-k operator: per tumbling window, emit
+// the k keys with the largest aggregated value (sum of tuple values).
+// A classic dashboard operator ("top advertisers this second") that
+// composes under Cameo exactly like the paper's aggregations.
+type TopKSpec struct {
+	// Size is the tumbling window length.
+	Size vtime.Duration
+	// K is how many top keys to emit per window.
+	K int
+}
+
+// TopK returns a handler factory for the windowed top-k stage.
+func TopK(spec TopKSpec) func(inChannels int) dataflow.Handler {
+	if spec.Size <= 0 || spec.K <= 0 {
+		panic("operators: TopK needs positive window size and k")
+	}
+	return func(inChannels int) dataflow.Handler {
+		return &topK{
+			spec:     spec,
+			frontier: progress.NewFrontier(inChannels),
+			wins:     make(map[vtime.Time]*aggWindow),
+		}
+	}
+}
+
+type topK struct {
+	spec     TopKSpec
+	frontier *progress.Frontier
+	wins     map[vtime.Time]*aggWindow
+	emitted  vtime.Time
+	late     int64
+}
+
+// LateTuples reports dropped late tuples.
+func (w *topK) LateTuples() int64 { return w.late }
+
+// OnMessage implements dataflow.Handler.
+func (w *topK) OnMessage(ctx *dataflow.Context, m *core.Message) []dataflow.Emission {
+	if b, _ := m.Payload.(*dataflow.Batch); b != nil {
+		for i, p := range b.Times {
+			end := (p/w.spec.Size + 1) * w.spec.Size
+			if end <= w.emitted {
+				w.late++
+				continue
+			}
+			win := w.wins[end]
+			if win == nil {
+				win = &aggWindow{accs: make(map[int64]*acc)}
+				w.wins[end] = win
+			}
+			var key int64
+			if b.Keys != nil {
+				key = b.Keys[i]
+			}
+			var val float64
+			if b.Vals != nil {
+				val = b.Vals[i]
+			}
+			a := win.accs[key]
+			if a == nil {
+				a = &acc{}
+				win.accs[key] = a
+			}
+			a.add(val)
+			if m.T > win.maxT {
+				win.maxT = m.T
+			}
+		}
+	}
+
+	f, ok := w.frontier.Advance(m.Channel, m.P)
+	if !ok {
+		return nil
+	}
+	boundary := (f / w.spec.Size) * w.spec.Size
+	if boundary <= w.emitted {
+		return nil
+	}
+
+	var ends []vtime.Time
+	for end := range w.wins {
+		if end <= boundary {
+			ends = append(ends, end)
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+
+	out := make([]dataflow.Emission, 0, len(ends)+1)
+	for _, end := range ends {
+		win := w.wins[end]
+		delete(w.wins, end)
+		out = append(out, dataflow.Emission{Batch: w.result(end, win), P: end, T: win.maxT})
+	}
+	if len(ends) == 0 || ends[len(ends)-1] < boundary {
+		out = append(out, dataflow.Emission{Batch: nil, P: boundary, T: m.T})
+	}
+	w.emitted = boundary
+	return out
+}
+
+func (w *topK) result(end vtime.Time, win *aggWindow) *dataflow.Batch {
+	type kv struct {
+		key int64
+		sum float64
+	}
+	all := make([]kv, 0, len(win.accs))
+	for k, a := range win.accs {
+		all = append(all, kv{k, a.sum})
+	}
+	// Descending by sum; key ascending breaks ties deterministically.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sum != all[j].sum {
+			return all[i].sum > all[j].sum
+		}
+		return all[i].key < all[j].key
+	})
+	n := w.spec.K
+	if n > len(all) {
+		n = len(all)
+	}
+	b := dataflow.NewBatch(n)
+	for _, e := range all[:n] {
+		b.Append(end-1, e.key, e.sum) // stamped just inside the window
+	}
+	return b
+}
+
+// DistinctCountSpec configures a windowed distinct-key counter: per
+// tumbling window, emit one tuple whose value is the number of distinct
+// keys observed.
+type DistinctCountSpec struct {
+	// Size is the tumbling window length.
+	Size vtime.Duration
+}
+
+// DistinctCount returns a handler factory for the windowed distinct-count
+// stage (exact counting via a per-window key set; the experiments' key
+// cardinalities make sketches unnecessary).
+func DistinctCount(spec DistinctCountSpec) func(inChannels int) dataflow.Handler {
+	if spec.Size <= 0 {
+		panic("operators: DistinctCount needs a positive window size")
+	}
+	return func(inChannels int) dataflow.Handler {
+		return &distinctCount{
+			size:     spec.Size,
+			frontier: progress.NewFrontier(inChannels),
+			wins:     make(map[vtime.Time]*distinctWindow),
+		}
+	}
+}
+
+type distinctWindow struct {
+	keys map[int64]struct{}
+	maxT vtime.Time
+}
+
+type distinctCount struct {
+	size     vtime.Duration
+	frontier *progress.Frontier
+	wins     map[vtime.Time]*distinctWindow
+	emitted  vtime.Time
+	late     int64
+}
+
+// LateTuples reports dropped late tuples.
+func (w *distinctCount) LateTuples() int64 { return w.late }
+
+// OnMessage implements dataflow.Handler.
+func (w *distinctCount) OnMessage(ctx *dataflow.Context, m *core.Message) []dataflow.Emission {
+	if b, _ := m.Payload.(*dataflow.Batch); b != nil {
+		for i, p := range b.Times {
+			end := (p/w.size + 1) * w.size
+			if end <= w.emitted {
+				w.late++
+				continue
+			}
+			win := w.wins[end]
+			if win == nil {
+				win = &distinctWindow{keys: make(map[int64]struct{})}
+				w.wins[end] = win
+			}
+			var key int64
+			if b.Keys != nil {
+				key = b.Keys[i]
+			}
+			win.keys[key] = struct{}{}
+			if m.T > win.maxT {
+				win.maxT = m.T
+			}
+		}
+	}
+
+	f, ok := w.frontier.Advance(m.Channel, m.P)
+	if !ok {
+		return nil
+	}
+	boundary := (f / w.size) * w.size
+	if boundary <= w.emitted {
+		return nil
+	}
+
+	var ends []vtime.Time
+	for end := range w.wins {
+		if end <= boundary {
+			ends = append(ends, end)
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+
+	out := make([]dataflow.Emission, 0, len(ends)+1)
+	for _, end := range ends {
+		win := w.wins[end]
+		delete(w.wins, end)
+		b := dataflow.NewBatch(1)
+		b.Append(end-1, 0, float64(len(win.keys)))
+		out = append(out, dataflow.Emission{Batch: b, P: end, T: win.maxT})
+	}
+	if len(ends) == 0 || ends[len(ends)-1] < boundary {
+		out = append(out, dataflow.Emission{Batch: nil, P: boundary, T: m.T})
+	}
+	w.emitted = boundary
+	return out
+}

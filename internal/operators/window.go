@@ -1,0 +1,244 @@
+// Package operators implements the streaming operators the paper's
+// evaluation queries are built from — "trill-lite": columnar tuple batches,
+// window IDs derived from logical time (Li et al.'s semantics, which the
+// paper's TRANSFORM is defined against), frontier-triggered windowed
+// aggregation and joins, and stateless map/filter/no-op operators.
+//
+// Handlers are per-operator-instance state machines; the engine guarantees
+// single-threaded invocation per instance (the actor model), so handlers
+// need no internal locking.
+package operators
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/progress"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// AggKind selects the aggregation of a windowed aggregate.
+type AggKind int
+
+// Supported aggregations.
+const (
+	Sum AggKind = iota
+	Count
+	Max
+	Min
+	Mean
+)
+
+// String names the aggregation.
+func (k AggKind) String() string {
+	switch k {
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	case Mean:
+		return "mean"
+	}
+	return fmt.Sprintf("agg(%d)", int(k))
+}
+
+type acc struct {
+	sum      float64
+	count    int64
+	min, max float64
+}
+
+func (a *acc) add(v float64) {
+	if a.count == 0 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	a.sum += v
+	a.count++
+}
+
+func (a *acc) result(k AggKind) float64 {
+	switch k {
+	case Sum:
+		return a.sum
+	case Count:
+		return float64(a.count)
+	case Max:
+		return a.max
+	case Min:
+		return a.min
+	case Mean:
+		if a.count == 0 {
+			return 0
+		}
+		return a.sum / float64(a.count)
+	}
+	return 0
+}
+
+// WindowAggSpec configures a windowed aggregation stage.
+type WindowAggSpec struct {
+	// Size is the window length; Slide the trigger step. Slide == Size is a
+	// tumbling window; Slide < Size a sliding window. Slide must divide
+	// evenly into window boundaries (both positive).
+	Size, Slide vtime.Duration
+	// Agg is the aggregation applied per key (or globally).
+	Agg AggKind
+	// Global aggregates all tuples of a window into a single result tuple
+	// (key 0) instead of one result per key.
+	Global bool
+}
+
+func (s WindowAggSpec) validate() {
+	if s.Size <= 0 || s.Slide <= 0 {
+		panic("operators: window size and slide must be positive")
+	}
+	if s.Slide > s.Size {
+		panic("operators: slide larger than window size")
+	}
+}
+
+// WindowAgg returns a handler factory for a windowed aggregation operator.
+// The factory signature matches dataflow.StageSpec.NewHandler.
+func WindowAgg(spec WindowAggSpec) func(inChannels int) dataflow.Handler {
+	spec.validate()
+	return func(inChannels int) dataflow.Handler {
+		return &windowAgg{
+			spec:     spec,
+			frontier: progress.NewFrontier(inChannels),
+			wins:     make(map[vtime.Time]*aggWindow),
+		}
+	}
+}
+
+type aggWindow struct {
+	accs map[int64]*acc
+	maxT vtime.Time
+}
+
+type windowAgg struct {
+	spec     WindowAggSpec
+	frontier *progress.Frontier
+	wins     map[vtime.Time]*aggWindow // keyed by window end
+	emitted  vtime.Time                // highest window end emitted (0 before first trigger)
+	late     int64
+}
+
+// LateTuples reports tuples that arrived after their window was emitted
+// (dropped). Nonzero values indicate a progress violation upstream.
+func (w *windowAgg) LateTuples() int64 { return w.late }
+
+// windowEnds iterates the ends of every window containing logical time p:
+// ends e with p < e <= p+size, aligned to the slide.
+func windowEnds(p vtime.Time, size, slide vtime.Duration, f func(end vtime.Time)) {
+	first := (p/slide + 1) * slide
+	for e := first; e <= p+size; e += slide {
+		f(e)
+	}
+}
+
+// OnMessage implements dataflow.Handler.
+func (w *windowAgg) OnMessage(ctx *dataflow.Context, m *core.Message) []dataflow.Emission {
+	if b, _ := m.Payload.(*dataflow.Batch); b != nil {
+		for i, p := range b.Times {
+			var key int64
+			if !w.spec.Global && b.Keys != nil {
+				key = b.Keys[i]
+			}
+			var val float64
+			if b.Vals != nil {
+				val = b.Vals[i]
+			}
+			fresh := false
+			windowEnds(p, w.spec.Size, w.spec.Slide, func(end vtime.Time) {
+				if end <= w.emitted {
+					return // window already emitted: tuple is late for it
+				}
+				fresh = true
+				win := w.wins[end]
+				if win == nil {
+					win = &aggWindow{accs: make(map[int64]*acc)}
+					w.wins[end] = win
+				}
+				a := win.accs[key]
+				if a == nil {
+					a = &acc{}
+					win.accs[key] = a
+				}
+				a.add(val)
+				if m.T > win.maxT {
+					win.maxT = m.T
+				}
+			})
+			if !fresh {
+				w.late++
+			}
+		}
+	}
+
+	f, ok := w.frontier.Advance(m.Channel, m.P)
+	if !ok {
+		return nil
+	}
+	boundary := (f / w.spec.Slide) * w.spec.Slide // highest complete window end
+	if boundary <= w.emitted {
+		return nil
+	}
+	return w.emitThrough(boundary, m.T)
+}
+
+// emitThrough emits every stored window with end <= boundary in end order,
+// plus one trailing progress-only emission at the boundary itself so
+// downstream frontiers advance even when this partition had no data
+// (the punctuation role of watermark heartbeats).
+func (w *windowAgg) emitThrough(boundary vtime.Time, t vtime.Time) []dataflow.Emission {
+	var ends []vtime.Time
+	for end := range w.wins {
+		if end <= boundary {
+			ends = append(ends, end)
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+
+	out := make([]dataflow.Emission, 0, len(ends)+1)
+	for _, end := range ends {
+		win := w.wins[end]
+		delete(w.wins, end)
+		out = append(out, dataflow.Emission{Batch: w.result(end, win), P: end, T: win.maxT})
+	}
+	if len(ends) == 0 || ends[len(ends)-1] < boundary {
+		out = append(out, dataflow.Emission{Batch: nil, P: boundary, T: t})
+	}
+	w.emitted = boundary
+	return out
+}
+
+func (w *windowAgg) result(end vtime.Time, win *aggWindow) *dataflow.Batch {
+	keys := make([]int64, 0, len(win.accs))
+	for k := range win.accs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	b := dataflow.NewBatch(len(keys))
+	for _, k := range keys {
+		// Result tuples are stamped just inside the window (end-1) so a
+		// downstream windowed stage with the same boundaries aggregates
+		// them in the *same* window — otherwise every stage would add a
+		// full window of latency. The message progress stays at `end`
+		// (the paper: the resultant message's logical time is p_MF).
+		b.Append(end-1, k, win.accs[k].result(w.spec.Agg))
+	}
+	return b
+}

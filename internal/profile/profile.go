@@ -1,0 +1,172 @@
+// Package profile implements Cameo's execution-cost profiling: per-operator
+// execution cost estimates (C_oM in the paper) and the critical-path cost
+// C_path accumulated recursively from sinks to sources via reply contexts
+// (paper §5.3 and Algorithm 1's PREPAREREPLY / PROCESSCTXFROMREPLY).
+package profile
+
+import (
+	"sync"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// EWMA is an exponentially weighted moving average over durations —
+// the cost estimator behind C_oM. The zero value is unusable; use NewEWMA.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	n     int64
+}
+
+// NewEWMA returns an estimator with smoothing factor alpha in (0, 1]; higher
+// alpha weighs recent observations more.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("profile: EWMA alpha out of (0,1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe feeds one measured duration.
+func (e *EWMA) Observe(d vtime.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.value = float64(d)
+	} else {
+		e.value = e.alpha*float64(d) + (1-e.alpha)*e.value
+	}
+	e.n++
+}
+
+// Value returns the current estimate (0 before any observation).
+func (e *EWMA) Value() vtime.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return vtime.Duration(e.value)
+}
+
+// Count reports the number of observations.
+func (e *EWMA) Count() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Seed primes the estimate before any measurement, e.g. from an offline
+// profiling run, without counting as an observation window reset.
+func (e *EWMA) Seed(d vtime.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.value = float64(d)
+		e.n = 1
+	}
+}
+
+// Reply is the reply-context payload an operator sends upstream on its acks:
+// Cm is the replier's own profiled execution cost, Cpath the critical-path
+// cost strictly below the replier (0 when the replier is a sink).
+type Reply struct {
+	Cm    vtime.Duration
+	Cpath vtime.Duration
+}
+
+// Total is the downstream cost contribution seen by the upstream operator:
+// executing the replier plus everything below it.
+func (r Reply) Total() vtime.Duration { return r.Cm + r.Cpath }
+
+// PathTracker aggregates replies from an operator's downstream children and
+// exposes the critical-path cost below this operator: the *maximum* over
+// children of (child cost + child's path cost), per the paper's definition
+// of C_path as the maximum execution time over critical paths to any output
+// operator.
+type PathTracker struct {
+	mu       sync.Mutex
+	children map[string]Reply
+}
+
+// NewPathTracker returns an empty tracker.
+func NewPathTracker() *PathTracker {
+	return &PathTracker{children: make(map[string]Reply)}
+}
+
+// OnReply folds in the latest reply context from the named child
+// (Algorithm 1's PROCESSCTXFROMREPLY: RClocal.update(r.RC)).
+func (p *PathTracker) OnReply(child string, r Reply) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.children[child] = r
+}
+
+// Reply returns the last reply context received from the named child.
+// ok is false before the first reply (cold start), in which case deadline
+// derivation proceeds with zero costs — tighter than reality, never looser.
+func (p *PathTracker) Reply(child string) (Reply, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.children[child]
+	return r, ok
+}
+
+// PathCost returns the critical-path cost below this operator.
+func (p *PathTracker) PathCost() vtime.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var m vtime.Duration
+	for _, r := range p.children {
+		if t := r.Total(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// HeadReply returns the reply context of the most expensive child — the
+// (Cm, Cpath) pair a policy should subtract when computing a message
+// deadline toward this operator's downstream (Eq. 3 uses the target's cost
+// and the path below the target).
+func (p *PathTracker) HeadReply() Reply {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var best Reply
+	for _, r := range p.children {
+		if r.Total() > best.Total() {
+			best = r
+		}
+	}
+	return best
+}
+
+// OpProfile bundles the per-operator profiling state: own execution cost and
+// the downstream critical path learned from acks. One OpProfile lives on
+// each operator instance.
+type OpProfile struct {
+	Cost *EWMA        // C_o: this operator's execution cost per message
+	Path *PathTracker // replies from downstream children
+
+	// Noise optionally perturbs reported costs, for the Figure 16
+	// measurement-inaccuracy experiment. It is called (if non-nil) each time
+	// the profile is asked for its reply context.
+	Noise func(vtime.Duration) vtime.Duration
+}
+
+// NewOpProfile returns a profile with the given EWMA smoothing.
+func NewOpProfile(alpha float64) *OpProfile {
+	return &OpProfile{Cost: NewEWMA(alpha), Path: NewPathTracker()}
+}
+
+// ReplyContext builds the reply this operator sends to its upstream
+// (Algorithm 1's PREPAREREPLY): its own cost, plus the critical path below
+// it (0 when it has no children, i.e. it is a sink).
+func (o *OpProfile) ReplyContext() Reply {
+	cm := o.Cost.Value()
+	if o.Noise != nil {
+		cm = o.Noise(cm)
+		if cm < 0 {
+			cm = 0
+		}
+	}
+	return Reply{Cm: cm, Cpath: o.Path.PathCost()}
+}

@@ -1,0 +1,185 @@
+package profile
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+func TestEWMAFirstObservation(t *testing.T) {
+	e := NewEWMA(0.2)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatal("fresh EWMA not zero")
+	}
+	e.Observe(100)
+	if e.Value() != 100 {
+		t.Fatalf("after first obs Value = %v, want 100", e.Value())
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(100)
+	e.Observe(200) // 0.5*200 + 0.5*100 = 150
+	if e.Value() != 150 {
+		t.Fatalf("Value = %v, want 150", e.Value())
+	}
+	e.Observe(150) // 0.5*150 + 0.5*150 = 150
+	if e.Value() != 150 {
+		t.Fatalf("Value = %v, want 150", e.Value())
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.1)
+	e.Observe(1000)
+	for i := 0; i < 200; i++ {
+		e.Observe(50)
+	}
+	if v := e.Value(); v < 49 || v > 52 {
+		t.Fatalf("Value = %v, want ~50", v)
+	}
+}
+
+func TestEWMASeed(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Seed(400)
+	if e.Value() != 400 {
+		t.Fatalf("seeded Value = %v", e.Value())
+	}
+	e.Seed(999) // second seed ignored
+	if e.Value() != 400 {
+		t.Fatalf("re-seed changed Value to %v", e.Value())
+	}
+	e.Observe(200) // 0.5*200+0.5*400 = 300
+	if e.Value() != 300 {
+		t.Fatalf("post-seed observe Value = %v, want 300", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestEWMAConcurrent(t *testing.T) {
+	e := NewEWMA(0.5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				e.Observe(100)
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Count() != 8000 || e.Value() != 100 {
+		t.Fatalf("concurrent EWMA: count=%d value=%v", e.Count(), e.Value())
+	}
+}
+
+func TestPathTrackerMax(t *testing.T) {
+	p := NewPathTracker()
+	if p.PathCost() != 0 {
+		t.Fatal("empty tracker PathCost != 0")
+	}
+	p.OnReply("a", Reply{Cm: 10, Cpath: 5})  // total 15
+	p.OnReply("b", Reply{Cm: 20, Cpath: 30}) // total 50
+	if got := p.PathCost(); got != 50 {
+		t.Fatalf("PathCost = %v, want 50", got)
+	}
+	head := p.HeadReply()
+	if head.Cm != 20 || head.Cpath != 30 {
+		t.Fatalf("HeadReply = %+v", head)
+	}
+	// Later reply from the same child replaces, not accumulates.
+	p.OnReply("b", Reply{Cm: 1, Cpath: 1})
+	if got := p.PathCost(); got != 15 {
+		t.Fatalf("PathCost after update = %v, want 15", got)
+	}
+}
+
+// Property: PathCost is always the max of (Cm+Cpath) over last replies.
+func TestPathTrackerProperty(t *testing.T) {
+	f := func(replies []struct {
+		Child uint8
+		Cm    uint16
+		Cp    uint16
+	}) bool {
+		p := NewPathTracker()
+		last := map[uint8]Reply{}
+		for _, r := range replies {
+			rep := Reply{Cm: vtime.Duration(r.Cm), Cpath: vtime.Duration(r.Cp)}
+			p.OnReply(string(rune('a'+r.Child%26)), rep)
+			last[r.Child%26] = rep
+		}
+		var want vtime.Duration
+		for _, r := range last {
+			if t := r.Total(); t > want {
+				want = t
+			}
+		}
+		return p.PathCost() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpProfileReplyChain(t *testing.T) {
+	// Three-operator chain: sink <- mid <- src. Replies accumulate critical
+	// path exactly as Algorithm 1 prescribes.
+	sink := NewOpProfile(1)
+	mid := NewOpProfile(1)
+	src := NewOpProfile(1)
+
+	sink.Cost.Observe(30)
+	mid.Cost.Observe(20)
+	src.Cost.Observe(10)
+
+	// Sink replies to mid: {Cm: 30, Cpath: 0}.
+	r := sink.ReplyContext()
+	if r.Cm != 30 || r.Cpath != 0 {
+		t.Fatalf("sink reply = %+v", r)
+	}
+	mid.Path.OnReply("sink", r)
+
+	// Mid replies to src: {Cm: 20, Cpath: 30}.
+	r = mid.ReplyContext()
+	if r.Cm != 20 || r.Cpath != 30 {
+		t.Fatalf("mid reply = %+v", r)
+	}
+	src.Path.OnReply("mid", r)
+
+	// From src's perspective, scheduling a message toward mid must subtract
+	// C_mid=20 and Cpath(below mid)=30.
+	head := src.Path.HeadReply()
+	if head.Cm != 20 || head.Cpath != 30 {
+		t.Fatalf("src head reply = %+v", head)
+	}
+}
+
+func TestOpProfileNoise(t *testing.T) {
+	p := NewOpProfile(1)
+	p.Cost.Observe(100)
+	p.Noise = func(d vtime.Duration) vtime.Duration { return d - 500 } // drive negative
+	if r := p.ReplyContext(); r.Cm != 0 {
+		t.Fatalf("noisy reply Cm = %v, want clamped 0", r.Cm)
+	}
+	p.Noise = func(d vtime.Duration) vtime.Duration { return d + 7 }
+	if r := p.ReplyContext(); r.Cm != 107 {
+		t.Fatalf("noisy reply Cm = %v, want 107", r.Cm)
+	}
+}

@@ -1,0 +1,144 @@
+// Package progress implements Cameo's stream-progress mapping (paper §4.3):
+// the TRANSFORM function that rounds a message's logical time up to the
+// frontier progress that will trigger its target windowed operator, and the
+// PROGRESSMAP functions that translate frontier progress (logical time) into
+// frontier time (physical time).
+package progress
+
+import (
+	"sync"
+
+	"github.com/cameo-stream/cameo/internal/stats"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// Transform computes the frontier progress p_MF for a message with logical
+// time p sent from an upstream operator with slide sou to a target operator
+// with slide sod (paper §4.3 Step 1, after Li et al.'s window-ID semantics):
+//
+//	TRANSFORM(p) = (p/S_od + 1) · S_od   if S_ou < S_od
+//	             = p                      otherwise
+//
+// A slide of 0 denotes a regular (non-windowed) operator. Messages into a
+// regular operator trigger immediately, so their frontier progress is their
+// own logical time. A windowed target only produces output when its window
+// closes, so progress is rounded up to the next window boundary.
+func Transform(p vtime.Time, sou, sod vtime.Duration) vtime.Time {
+	if sod <= 0 {
+		return p // regular target: triggers immediately
+	}
+	if sou >= sod {
+		// Upstream already advances in steps at least as coarse as the
+		// target's slide; p is already a trigger boundary for the target.
+		return p
+	}
+	return (p/sod + 1) * sod
+}
+
+// Mapper maps frontier progress to frontier time. Map reports ok=false when
+// no estimate is available yet, in which case the scheduler falls back to
+// treating the windowed operator as a regular one (conservative laxity,
+// paper §4.3 last paragraph).
+type Mapper interface {
+	// Map estimates the physical time at which logical progress p will have
+	// been observed at the sources.
+	Map(p vtime.Time) (t vtime.Time, ok bool)
+	// Observe feeds a ground-truth pair: logical time p was observed at
+	// physical time t. Used to improve future predictions.
+	Observe(p, t vtime.Time)
+}
+
+// IdentityMapper is the PROGRESSMAP for ingestion-time streams: logical time
+// is assigned by the system at the entry point, so frontier time equals
+// frontier progress (paper §4.3: t_MF = p_MF).
+type IdentityMapper struct{}
+
+// Map returns p unchanged.
+func (IdentityMapper) Map(p vtime.Time) (vtime.Time, bool) { return p, true }
+
+// Observe is a no-op: the identity mapping needs no fitting.
+func (IdentityMapper) Observe(p, t vtime.Time) {}
+
+// RegressionMapper is the PROGRESSMAP for event-time streams: an online
+// linear model t ≈ α·p + γ fitted over a sliding window of observed
+// (progress, physical time) pairs (paper §4.3 Step 2). It is safe for
+// concurrent use; the real-time engine updates it from multiple workers.
+type RegressionMapper struct {
+	mu  sync.Mutex
+	reg *stats.SlidingLinReg
+	min int // minimum observations before predictions are offered
+}
+
+// NewRegressionMapper returns a mapper fitting over a window of the given
+// number of observations. minObs pairs are required before Map returns
+// estimates; below that the scheduler uses the conservative fallback.
+func NewRegressionMapper(window, minObs int) *RegressionMapper {
+	if minObs < 2 {
+		minObs = 2
+	}
+	return &RegressionMapper{reg: stats.NewSlidingLinReg(window), min: minObs}
+}
+
+// Map predicts the physical time for logical progress p.
+func (m *RegressionMapper) Map(p vtime.Time) (vtime.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.reg.Len() < m.min {
+		return 0, false
+	}
+	return vtime.Time(m.reg.Predict(float64(p))), true
+}
+
+// Observe records that logical time p was seen at physical time t.
+func (m *RegressionMapper) Observe(p, t vtime.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg.Observe(float64(p), float64(t))
+}
+
+// Frontier tracks watermark-style stream progress across the input channels
+// of an operator. A windowed operator may only trigger a window once every
+// input channel has advanced past the window's end (paper §4.2.2: "a
+// windowed operator will not produce output until frontier progresses are
+// observed at all source operators"). Channel-wise in-order delivery is a
+// runtime guarantee, so per-channel progress is just the last seen value.
+type Frontier struct {
+	channels map[int]vtime.Time
+	expected int
+}
+
+// NewFrontier returns a frontier over the given number of input channels.
+// Progress is reported only after every channel has been heard from.
+func NewFrontier(expected int) *Frontier {
+	return &Frontier{channels: make(map[int]vtime.Time, expected), expected: expected}
+}
+
+// Advance records progress p on channel ch and returns the new global
+// frontier (the minimum across channels), with ok=false while some expected
+// channel has not reported yet. Regressing progress on a channel panics:
+// in-order delivery is an engine invariant, and silently accepting a
+// regression would mask a routing bug.
+func (f *Frontier) Advance(ch int, p vtime.Time) (vtime.Time, bool) {
+	if prev, seen := f.channels[ch]; seen && p < prev {
+		panic("progress: channel progress moved backwards")
+	}
+	f.channels[ch] = p
+	return f.Min()
+}
+
+// Min returns the minimum progress across channels; ok=false until all
+// expected channels have reported.
+func (f *Frontier) Min() (vtime.Time, bool) {
+	if len(f.channels) < f.expected {
+		return 0, false
+	}
+	first := true
+	var m vtime.Time
+	for _, p := range f.channels {
+		if first || p < m {
+			m = p
+			first = false
+		}
+	}
+	return m, true
+}

@@ -1,0 +1,181 @@
+package progress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+func sec(n int64) vtime.Time { return vtime.Time(n) * vtime.Second }
+
+func TestTransformRegularTarget(t *testing.T) {
+	// Slide 0 means a regular operator: progress passes through.
+	if got := Transform(sec(7), sec(1), 0); got != sec(7) {
+		t.Fatalf("Transform regular = %v", got)
+	}
+}
+
+func TestTransformPaperExample(t *testing.T) {
+	// Paper §4.3: tumbling window with size 10s. Expected frontier progress
+	// occurs at the next multiple of 10s strictly after p.
+	sod := sec(10)
+	cases := []struct {
+		p    vtime.Time
+		want vtime.Time
+	}{
+		{0, sec(10)},
+		{sec(1), sec(10)},
+		{sec(9), sec(10)},
+		{sec(10), sec(20)}, // at a boundary the *next* window triggers this message's result
+		{sec(11), sec(20)},
+	}
+	for _, c := range cases {
+		if got := Transform(c.p, 0, sod); got != c.want {
+			t.Errorf("Transform(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestTransformCoarseUpstream(t *testing.T) {
+	// Upstream slide >= target slide: p is already aligned to target
+	// boundaries and passes through unchanged.
+	if got := Transform(sec(20), sec(10), sec(10)); got != sec(20) {
+		t.Fatalf("aligned Transform = %v", got)
+	}
+	if got := Transform(sec(20), sec(20), sec(10)); got != sec(20) {
+		t.Fatalf("coarser upstream Transform = %v", got)
+	}
+}
+
+func TestTransformProperties(t *testing.T) {
+	f := func(p16 uint16, sod8, sou8 uint8) bool {
+		p := vtime.Time(p16)
+		sod := vtime.Duration(sod8%50) + 1
+		sou := vtime.Duration(sou8 % 50)
+		got := Transform(p, sou, sod)
+		if sou >= sod {
+			return got == p
+		}
+		// Frontier progress is strictly after p, aligned to sod, and within
+		// one slide of p.
+		return got > p && got%sod == 0 && got-p <= sod
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentityMapper(t *testing.T) {
+	var m IdentityMapper
+	if got, ok := m.Map(sec(42)); !ok || got != sec(42) {
+		t.Fatalf("identity Map = %v/%v", got, ok)
+	}
+	m.Observe(sec(1), sec(2)) // must not panic
+}
+
+func TestRegressionMapperWarmup(t *testing.T) {
+	m := NewRegressionMapper(32, 3)
+	if _, ok := m.Map(sec(1)); ok {
+		t.Fatal("cold mapper offered a prediction")
+	}
+	m.Observe(sec(1), sec(3))
+	m.Observe(sec(2), sec(4))
+	if _, ok := m.Map(sec(3)); ok {
+		t.Fatal("mapper predicted below minObs")
+	}
+	m.Observe(sec(3), sec(5))
+	got, ok := m.Map(sec(10))
+	if !ok {
+		t.Fatal("warm mapper refused to predict")
+	}
+	// Paper's example: constant 2s ingestion delay => t = p + 2s.
+	if got != sec(12) {
+		t.Fatalf("Map(10s) = %v, want 12s", got)
+	}
+}
+
+func TestRegressionMapperTracksDrift(t *testing.T) {
+	m := NewRegressionMapper(8, 2)
+	// Delay shifts from 2s to 5s; the sliding window forgets the old regime.
+	for i := int64(1); i <= 20; i++ {
+		m.Observe(sec(i), sec(i+2))
+	}
+	for i := int64(21); i <= 40; i++ {
+		m.Observe(sec(i), sec(i+5))
+	}
+	got, _ := m.Map(sec(50))
+	if got < sec(54) || got > sec(56) {
+		t.Fatalf("Map(50s) after drift = %v, want ~55s", got)
+	}
+}
+
+func TestFrontierWaitsForAllChannels(t *testing.T) {
+	f := NewFrontier(2)
+	if _, ok := f.Advance(0, sec(5)); ok {
+		t.Fatal("frontier reported before all channels seen")
+	}
+	got, ok := f.Advance(1, sec(3))
+	if !ok || got != sec(3) {
+		t.Fatalf("frontier = %v/%v, want 3s", got, ok)
+	}
+	got, _ = f.Advance(1, sec(10))
+	if got != sec(5) {
+		t.Fatalf("frontier = %v, want 5s (min across channels)", got)
+	}
+}
+
+func TestFrontierRegressionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f := NewFrontier(1)
+	f.Advance(0, sec(5))
+	f.Advance(0, sec(4))
+}
+
+func TestFrontierSingleChannel(t *testing.T) {
+	f := NewFrontier(1)
+	got, ok := f.Advance(0, sec(1))
+	if !ok || got != sec(1) {
+		t.Fatalf("single channel frontier = %v/%v", got, ok)
+	}
+}
+
+// Property: the frontier equals the minimum of the last report per channel.
+func TestFrontierProperty(t *testing.T) {
+	f := func(reports []uint16) bool {
+		const channels = 3
+		fr := NewFrontier(channels)
+		last := map[int]vtime.Time{}
+		cur := map[int]vtime.Time{}
+		for i, r := range reports {
+			ch := i % channels
+			p := vtime.Max(cur[ch], vtime.Time(r)) // keep per-channel monotone
+			cur[ch] = p
+			got, ok := fr.Advance(ch, p)
+			last[ch] = p
+			if len(last) < channels {
+				if ok {
+					return false
+				}
+				continue
+			}
+			var want vtime.Time = 1 << 62
+			for _, v := range last {
+				if v < want {
+					want = v
+				}
+			}
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package queue
+
+// Bag models the run-queue semantics of .NET's ConcurrentBag<T>, which the
+// default Orleans scheduler uses for its global message queue (paper §6:
+// "ConcurrentBag optimizes processing throughput by prioritizing processing
+// thread-local tasks over the global ones").
+//
+// Semantics reproduced here:
+//
+//   - each worker owns a local list; work a worker generates lands on its
+//     own list and is retrieved LIFO (freshest first, best locality);
+//   - items added from outside any worker (network/source arrivals) land in
+//     a shared global FIFO;
+//   - a worker takes from its local list first, then the global FIFO, then
+//     steals from the *opposite* end (FIFO) of other workers' lists.
+//
+// This is a sequential model for the deterministic simulator; the real-time
+// engine wraps it in a mutex. Concurrency-safety inside the structure would
+// buy nothing but non-determinism in the experiments.
+type Bag[T any] struct {
+	locals []Ring[T] // per-worker deques; PushBack = local push, steal from front
+	global Ring[T]
+	size   int
+}
+
+// NewBag returns a bag for the given number of workers.
+func NewBag[T any](workers int) *Bag[T] {
+	if workers <= 0 {
+		panic("queue: Bag needs at least one worker")
+	}
+	return &Bag[T]{locals: make([]Ring[T], workers)}
+}
+
+// Len reports the total queued items across all lists.
+func (b *Bag[T]) Len() int { return b.size }
+
+// Add pushes v onto worker w's local list.
+func (b *Bag[T]) Add(w int, v T) {
+	b.locals[w].PushBack(v)
+	b.size++
+}
+
+// AddGlobal pushes v onto the shared FIFO, for producers that are not
+// workers (sources, network).
+func (b *Bag[T]) AddGlobal(v T) {
+	b.global.PushBack(v)
+	b.size++
+}
+
+// Take returns the next item for worker w: local LIFO first, then the global
+// FIFO, then round-robin stealing from other workers' list heads.
+// ok is false when the bag is empty.
+func (b *Bag[T]) Take(w int) (v T, ok bool) {
+	if v, ok = b.locals[w].PopBack(); ok { // LIFO: freshest local item
+		b.size--
+		return v, true
+	}
+	if v, ok = b.global.PopFront(); ok {
+		b.size--
+		return v, true
+	}
+	for i := 1; i < len(b.locals); i++ {
+		victim := (w + i) % len(b.locals)
+		if v, ok = b.locals[victim].PopFront(); ok { // steal oldest
+			b.size--
+			return v, true
+		}
+	}
+	return v, false
+}

@@ -1,0 +1,176 @@
+// Package queue provides the priority and run-queue data structures under
+// the schedulers: an indexed binary min-heap with update-key (the Cameo
+// global operator queue), a growable FIFO ring (the custom FIFO baseline and
+// per-channel buffers), and a ConcurrentBag modelling the run queue of the
+// default Orleans scheduler.
+package queue
+
+// Pri is a two-part priority: Key orders items (lower is more urgent) and
+// Tie breaks equal keys deterministically (typically an arrival sequence
+// number). Deterministic tie-breaking is what makes simulated experiments
+// reproducible bit-for-bit.
+type Pri struct {
+	Key int64
+	Tie int64
+}
+
+// Less reports whether p is strictly more urgent than q.
+func (p Pri) Less(q Pri) bool {
+	if p.Key != q.Key {
+		return p.Key < q.Key
+	}
+	return p.Tie < q.Tie
+}
+
+type heapEntry[T comparable] struct {
+	value T
+	pri   Pri
+}
+
+// IndexedHeap is a binary min-heap over unique values with O(log n)
+// update-key and remove. The Cameo scheduler re-keys an operator whenever
+// its head message changes, which is exactly the update-key operation.
+// The zero value is not usable; call NewIndexedHeap.
+type IndexedHeap[T comparable] struct {
+	entries []heapEntry[T]
+	pos     map[T]int
+}
+
+// NewIndexedHeap returns an empty heap.
+func NewIndexedHeap[T comparable]() *IndexedHeap[T] {
+	return &IndexedHeap[T]{pos: make(map[T]int)}
+}
+
+// Len reports the number of items.
+func (h *IndexedHeap[T]) Len() int { return len(h.entries) }
+
+// Contains reports whether v is in the heap.
+func (h *IndexedHeap[T]) Contains(v T) bool {
+	_, ok := h.pos[v]
+	return ok
+}
+
+// Push inserts v with priority p. It panics if v is already present —
+// callers must use Update for re-keying; a silent double insert would
+// corrupt scheduling order.
+func (h *IndexedHeap[T]) Push(v T, p Pri) {
+	if _, ok := h.pos[v]; ok {
+		panic("queue: Push of value already in heap")
+	}
+	h.entries = append(h.entries, heapEntry[T]{value: v, pri: p})
+	i := len(h.entries) - 1
+	h.pos[v] = i
+	h.up(i)
+}
+
+// Update re-keys v to priority p. It panics if v is absent.
+func (h *IndexedHeap[T]) Update(v T, p Pri) {
+	i, ok := h.pos[v]
+	if !ok {
+		panic("queue: Update of value not in heap")
+	}
+	old := h.entries[i].pri
+	h.entries[i].pri = p
+	if p.Less(old) {
+		h.up(i)
+	} else {
+		h.down(i)
+	}
+}
+
+// PushOrUpdate inserts v or re-keys it if already present.
+func (h *IndexedHeap[T]) PushOrUpdate(v T, p Pri) {
+	if h.Contains(v) {
+		h.Update(v, p)
+	} else {
+		h.Push(v, p)
+	}
+}
+
+// PeekMin returns the most urgent value and its priority without removing
+// it. ok is false when the heap is empty.
+func (h *IndexedHeap[T]) PeekMin() (v T, p Pri, ok bool) {
+	if len(h.entries) == 0 {
+		return v, p, false
+	}
+	return h.entries[0].value, h.entries[0].pri, true
+}
+
+// PopMin removes and returns the most urgent value.
+func (h *IndexedHeap[T]) PopMin() (v T, p Pri, ok bool) {
+	if len(h.entries) == 0 {
+		return v, p, false
+	}
+	e := h.entries[0]
+	h.removeAt(0)
+	return e.value, e.pri, true
+}
+
+// Remove deletes v if present and reports whether it was.
+func (h *IndexedHeap[T]) Remove(v T) bool {
+	i, ok := h.pos[v]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+// PriOf returns v's current priority; ok is false when absent.
+func (h *IndexedHeap[T]) PriOf(v T) (Pri, bool) {
+	i, ok := h.pos[v]
+	if !ok {
+		return Pri{}, false
+	}
+	return h.entries[i].pri, true
+}
+
+func (h *IndexedHeap[T]) removeAt(i int) {
+	last := len(h.entries) - 1
+	delete(h.pos, h.entries[i].value)
+	if i != last {
+		h.entries[i] = h.entries[last]
+		h.pos[h.entries[i].value] = i
+	}
+	h.entries = h.entries[:last]
+	if i < len(h.entries) {
+		h.up(i)
+		h.down(i)
+	}
+}
+
+func (h *IndexedHeap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.entries[i].pri.Less(h.entries[parent].pri) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedHeap[T]) down(i int) {
+	n := len(h.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.entries[l].pri.Less(h.entries[smallest].pri) {
+			smallest = l
+		}
+		if r < n && h.entries[r].pri.Less(h.entries[smallest].pri) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *IndexedHeap[T]) swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.pos[h.entries[i].value] = i
+	h.pos[h.entries[j].value] = j
+}

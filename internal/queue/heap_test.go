@@ -1,0 +1,190 @@
+package queue
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeapPushPopOrder(t *testing.T) {
+	h := NewIndexedHeap[string]()
+	h.Push("c", Pri{Key: 30})
+	h.Push("a", Pri{Key: 10})
+	h.Push("b", Pri{Key: 20})
+	want := []string{"a", "b", "c"}
+	for _, w := range want {
+		v, _, ok := h.PopMin()
+		if !ok || v != w {
+			t.Fatalf("PopMin = %q, want %q", v, w)
+		}
+	}
+	if _, _, ok := h.PopMin(); ok {
+		t.Fatal("PopMin on empty heap returned ok")
+	}
+}
+
+func TestHeapTieBreak(t *testing.T) {
+	h := NewIndexedHeap[int]()
+	h.Push(2, Pri{Key: 5, Tie: 2})
+	h.Push(1, Pri{Key: 5, Tie: 1})
+	h.Push(3, Pri{Key: 5, Tie: 3})
+	for want := 1; want <= 3; want++ {
+		v, _, _ := h.PopMin()
+		if v != want {
+			t.Fatalf("tie-break order: got %d, want %d", v, want)
+		}
+	}
+}
+
+func TestHeapUpdate(t *testing.T) {
+	h := NewIndexedHeap[string]()
+	h.Push("x", Pri{Key: 10})
+	h.Push("y", Pri{Key: 20})
+	h.Update("y", Pri{Key: 5}) // promote y past x
+	if v, p, _ := h.PeekMin(); v != "y" || p.Key != 5 {
+		t.Fatalf("after promote PeekMin = %q/%d", v, p.Key)
+	}
+	h.Update("y", Pri{Key: 30}) // demote y below x
+	if v, _, _ := h.PeekMin(); v != "x" {
+		t.Fatalf("after demote PeekMin = %q", v)
+	}
+}
+
+func TestHeapRemove(t *testing.T) {
+	h := NewIndexedHeap[int]()
+	for i := 0; i < 10; i++ {
+		h.Push(i, Pri{Key: int64(i)})
+	}
+	if !h.Remove(0) || !h.Remove(5) || h.Remove(99) {
+		t.Fatal("Remove results wrong")
+	}
+	if h.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", h.Len())
+	}
+	var got []int
+	for {
+		v, _, ok := h.PopMin()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	want := []int{1, 2, 3, 4, 6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeapDoublePushPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h := NewIndexedHeap[int]()
+	h.Push(1, Pri{})
+	h.Push(1, Pri{})
+}
+
+func TestHeapUpdateAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIndexedHeap[int]().Update(1, Pri{})
+}
+
+func TestHeapPushOrUpdate(t *testing.T) {
+	h := NewIndexedHeap[int]()
+	h.PushOrUpdate(1, Pri{Key: 10})
+	h.PushOrUpdate(1, Pri{Key: 3})
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", h.Len())
+	}
+	if p, ok := h.PriOf(1); !ok || p.Key != 3 {
+		t.Fatalf("PriOf = %v/%v", p, ok)
+	}
+}
+
+// Property: draining the heap yields priorities in nondecreasing order, and
+// every pushed element comes out exactly once.
+func TestHeapPropertyHeapsort(t *testing.T) {
+	f := func(keys []int16) bool {
+		h := NewIndexedHeap[int]()
+		for i, k := range keys {
+			h.Push(i, Pri{Key: int64(k), Tie: int64(i)})
+		}
+		var drained []int64
+		seen := map[int]bool{}
+		for {
+			v, p, ok := h.PopMin()
+			if !ok {
+				break
+			}
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			drained = append(drained, p.Key)
+		}
+		if len(drained) != len(keys) {
+			return false
+		}
+		return sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i] < drained[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleavings of push/update/remove keep the heap
+// consistent (PeekMin is always the global minimum of live entries).
+func TestHeapPropertyConsistency(t *testing.T) {
+	f := func(ops []struct {
+		V uint8
+		K int16
+		D uint8
+	}) bool {
+		h := NewIndexedHeap[uint8]()
+		live := map[uint8]Pri{}
+		for i, op := range ops {
+			p := Pri{Key: int64(op.K), Tie: int64(i)}
+			switch op.D % 3 {
+			case 0:
+				h.PushOrUpdate(op.V, p)
+				live[op.V] = p
+			case 1:
+				if h.Contains(op.V) {
+					h.Update(op.V, p)
+					live[op.V] = p
+				}
+			case 2:
+				h.Remove(op.V)
+				delete(live, op.V)
+			}
+			if h.Len() != len(live) {
+				return false
+			}
+			if v, p, ok := h.PeekMin(); ok {
+				for _, q := range live {
+					if q.Less(p) {
+						return false
+					}
+				}
+				if live[v] != p {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package queue
+
+// Ring is a growable FIFO ring buffer. It backs per-channel buffers and the
+// global run queue of the FIFO baseline scheduler. The zero value is ready
+// to use.
+type Ring[T any] struct {
+	buf        []T
+	head, size int
+}
+
+// Len reports the number of queued items.
+func (r *Ring[T]) Len() int { return r.size }
+
+// PushBack appends v at the tail.
+func (r *Ring[T]) PushBack(v T) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+}
+
+// PushFront prepends v at the head (used by schedulers that hand a popped
+// item back after peeking).
+func (r *Ring[T]) PushFront(v T) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1 + len(r.buf)) % len(r.buf)
+	r.buf[r.head] = v
+	r.size++
+}
+
+// PopFront removes and returns the head item; ok is false when empty.
+func (r *Ring[T]) PopFront() (v T, ok bool) {
+	if r.size == 0 {
+		return v, false
+	}
+	v = r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release references for GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v, true
+}
+
+// PopBack removes and returns the tail item; ok is false when empty.
+func (r *Ring[T]) PopBack() (v T, ok bool) {
+	if r.size == 0 {
+		return v, false
+	}
+	i := (r.head + r.size - 1) % len(r.buf)
+	v = r.buf[i]
+	var zero T
+	r.buf[i] = zero
+	r.size--
+	return v, true
+}
+
+// PeekFront returns the head item without removing it.
+func (r *Ring[T]) PeekFront() (v T, ok bool) {
+	if r.size == 0 {
+		return v, false
+	}
+	return r.buf[r.head], true
+}
+
+// At returns the i-th queued item counting from the head (0 = head).
+// It panics when i is out of range.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.size {
+		panic("queue: Ring.At out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+func (r *Ring[T]) grow() {
+	next := make([]T, max(4, 2*len(r.buf)))
+	for i := 0; i < r.size; i++ {
+		next[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = next
+	r.head = 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,293 @@
+// Package runtime is the real-time execution engine: the same dataflow and
+// scheduling code the simulator drives, running on actual goroutine
+// workers against the wall clock. It is the engine library users embed —
+// the examples under examples/ are built on it — and it cross-checks that
+// Cameo's scheduling behaviour holds outside virtual time.
+//
+// One Engine is one node: a worker pool pulling from a single dispatcher,
+// exactly like a simulated node. Events enter through Ingest; operator
+// costs are measured (not modelled) and feed the same profiling machinery
+// the policies consume.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/metrics"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the worker-pool size (defaults to 1).
+	Workers int
+	// Scheduler selects the dispatcher (default Cameo).
+	Scheduler core.SchedulerKind
+	// Policy generates priorities; defaults like the simulator (LLF for
+	// Cameo, arrival order for baselines).
+	Policy core.Policy
+	// Quantum is the re-scheduling grain (default 1 ms).
+	Quantum vtime.Duration
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = vtime.Millisecond
+	}
+	if c.Policy == nil {
+		if c.Scheduler == core.CameoScheduler {
+			c.Policy = &core.DeadlinePolicy{Kind: core.KindLLF}
+		} else {
+			c.Policy = core.ArrivalPolicy{}
+		}
+	}
+}
+
+// Engine is a single-node real-time stream engine.
+type Engine struct {
+	cfg   Config
+	clock *vtime.WallClock
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	disp    core.Dispatcher[*dataflow.Operator]
+	jobs    map[string]*dataflow.Job
+	started bool
+	stopped bool
+	active  int // workers currently executing a message
+
+	rec           *metrics.Recorder
+	overhead      *metrics.Overhead
+	msgID         atomic.Int64
+	executed      atomic.Int64
+	handlerPanics atomic.Int64
+	wg            sync.WaitGroup
+}
+
+// New returns an engine; add jobs, then Start it.
+func New(cfg Config) *Engine {
+	cfg.fill()
+	e := &Engine{
+		cfg:      cfg,
+		clock:    vtime.NewWallClock(),
+		disp:     core.NewDispatcher[*dataflow.Operator](cfg.Scheduler, cfg.Workers),
+		jobs:     make(map[string]*dataflow.Job),
+		rec:      metrics.NewRecorder(),
+		overhead: &metrics.Overhead{},
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Recorder exposes collected output metrics.
+func (e *Engine) Recorder() *metrics.Recorder { return e.rec }
+
+// Overhead exposes the engine's time accounting.
+func (e *Engine) Overhead() *metrics.Overhead { return e.overhead }
+
+// Now reports engine time (microseconds since engine creation).
+func (e *Engine) Now() vtime.Time { return e.clock.Now() }
+
+// Executed reports the number of messages executed so far.
+func (e *Engine) Executed() int64 { return e.executed.Load() }
+
+// HandlerPanics reports how many handler invocations panicked. Panicking
+// messages are dropped (their operator keeps running); a nonzero count
+// indicates a bug in user handler code.
+func (e *Engine) HandlerPanics() int64 { return e.handlerPanics.Load() }
+
+// AddJob instantiates a job on this engine. Jobs must be added before
+// Start.
+func (e *Engine) AddJob(spec dataflow.JobSpec) (*dataflow.Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return nil, fmt.Errorf("runtime: AddJob after Start")
+	}
+	if _, dup := e.jobs[spec.Name]; dup {
+		return nil, fmt.Errorf("runtime: duplicate job %q", spec.Name)
+	}
+	job, err := dataflow.NewJob(spec)
+	if err != nil {
+		return nil, err
+	}
+	e.jobs[spec.Name] = job
+	e.rec.DeclareJob(spec.Name, spec.Latency)
+	return job, nil
+}
+
+// Start launches the worker pool.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker(i)
+	}
+}
+
+// Stop shuts the workers down and waits for them to exit. Pending messages
+// are abandoned; call Drain first for a clean flush.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Ingest feeds one source batch for a job: src is the source channel, b the
+// tuple batch, p the stream progress (logical time of the newest tuple).
+// The arrival time is stamped by the engine clock. Safe for concurrent use.
+func (e *Engine) Ingest(job string, src int, b *dataflow.Batch, p vtime.Time) error {
+	e.mu.Lock()
+	j, ok := e.jobs[job]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("runtime: unknown job %q", job)
+	}
+	now := e.clock.Now()
+	t0 := time.Now()
+	msgs := dataflow.SourceMessages(j, src, b, p, now, e.cfg.Policy, e.nextID)
+	e.overhead.AddPriGen(vtime.FromStd(time.Since(t0)))
+	for _, cm := range msgs {
+		cm.Msg.Enqueued = now
+		e.disp.Push(cm.Target, cm.Msg, -1)
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return nil
+}
+
+// Drain blocks until every queued message has been executed (and no worker
+// is mid-message) or the timeout elapses; it reports whether the engine
+// fully drained.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		e.mu.Lock()
+		idle := e.disp.Pending() == 0 && e.active == 0
+		e.mu.Unlock()
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func (e *Engine) nextID() int64 { return e.msgID.Add(1) }
+
+// safeInvoke runs the operator handler, converting a handler panic into a
+// dropped message instead of a dead worker.
+func (e *Engine) safeInvoke(op *dataflow.Operator, m *core.Message, now vtime.Time) (emissions []dataflow.Emission, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+		}
+	}()
+	return dataflow.Invoke(op, m, now), false
+}
+
+// worker is the scheduling loop of one pool thread, the real-time
+// incarnation of the dispatcher protocol.
+func (e *Engine) worker(id int) {
+	defer e.wg.Done()
+	e.mu.Lock()
+	for {
+		if e.stopped {
+			e.mu.Unlock()
+			return
+		}
+		op, ok := e.disp.NextOp(id)
+		if !ok {
+			// No acquirable operator right now. This must Wait (releasing
+			// the lock) even when messages are pending for operators other
+			// workers hold — spinning here would hold the mutex and
+			// deadlock the workers that need it to finish their messages.
+			e.cond.Wait()
+			continue
+		}
+		acquired := e.clock.Now()
+		for {
+			m, ok := e.disp.PopMsg(op)
+			if !ok {
+				e.disp.Done(op, id)
+				e.cond.Broadcast() // Done may have requeued the operator
+				break
+			}
+			e.active++
+			e.mu.Unlock()
+
+			start := e.clock.Now()
+			emissions, panicked := e.safeInvoke(op, m, start)
+			cost := e.clock.Now() - start
+			if cost <= 0 {
+				cost = 1
+			}
+			if panicked {
+				// The message is dropped but the operator, its profile,
+				// and the worker all keep going — one bad tuple must not
+				// take the engine down.
+				e.handlerPanics.Add(1)
+				emissions = nil
+			}
+			t0 := time.Now()
+			outcome := dataflow.Finish(op, m, emissions, cost, e.cfg.Policy, e.nextID)
+			prigen := vtime.FromStd(time.Since(t0))
+			now := e.clock.Now()
+
+			e.overhead.AddExec(cost)
+			e.overhead.AddPriGen(prigen)
+			e.executed.Add(1)
+			for _, o := range outcome.Outputs {
+				e.rec.Record(metrics.Output{
+					Job: op.Job.Spec.Name, Emitted: now, Ready: o.T, Window: int64(o.P),
+				})
+			}
+
+			e.mu.Lock()
+			e.active--
+			for _, cm := range outcome.Children {
+				cm.Msg.Enqueued = now
+				e.disp.Push(cm.Target, cm.Msg, id)
+			}
+			if len(outcome.Children) > 0 {
+				e.cond.Broadcast()
+			}
+			if e.stopped {
+				e.disp.Done(op, id)
+				e.mu.Unlock()
+				return
+			}
+			if now-acquired >= e.cfg.Quantum {
+				// Re-scheduling decision point: swap if more urgent work
+				// waits, otherwise start a fresh quantum.
+				if e.disp.ShouldYield(op) {
+					e.disp.Done(op, id)
+					e.cond.Broadcast()
+					break
+				}
+				acquired = now
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/operators"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+func lsSpec(name string) dataflow.JobSpec {
+	win := 50 * vtime.Millisecond
+	return dataflow.JobSpec{
+		Name:    name,
+		Latency: 500 * vtime.Millisecond,
+		Sources: 2,
+		Stages: []dataflow.StageSpec{
+			{Name: "agg", Parallelism: 2, Slide: win,
+				NewHandler: operators.WindowAgg(operators.WindowAggSpec{Size: win, Slide: win, Agg: operators.Sum})},
+			{Name: "total", Parallelism: 1, Slide: win,
+				NewHandler: operators.WindowAgg(operators.WindowAggSpec{Size: win, Slide: win, Agg: operators.Sum, Global: true})},
+		},
+	}
+}
+
+// ingestWindows pushes n windows' worth of batches into the engine using
+// the engine clock as both logical and physical time (ingestion time).
+func ingestWindows(t *testing.T, e *Engine, job string, windows int) {
+	t.Helper()
+	win := 50 * vtime.Millisecond
+	for w := 1; w <= windows; w++ {
+		p := vtime.Time(w) * win
+		for src := 0; src < 2; src++ {
+			b := dataflow.NewBatch(10)
+			for i := 0; i < 10; i++ {
+				b.Append(p-vtime.Time(i+1), int64(i), 1)
+			}
+			if err := e.Ingest(job, src, b, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// A trailing progress-only ingest closes the final window.
+	for src := 0; src < 2; src++ {
+		if err := e.Ingest(job, src, nil, vtime.Time(windows+1)*win); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEngineEndToEnd(t *testing.T) {
+	for _, kind := range []core.SchedulerKind{core.CameoScheduler, core.OrleansScheduler, core.FIFOScheduler} {
+		e := New(Config{Workers: 2, Scheduler: kind})
+		if _, err := e.AddJob(lsSpec("j")); err != nil {
+			t.Fatal(err)
+		}
+		e.Start()
+		ingestWindows(t, e, "j", 10)
+		if !e.Drain(5 * time.Second) {
+			t.Fatalf("%v: engine did not drain", kind)
+		}
+		e.Stop()
+		js := e.Recorder().Job("j")
+		if js.Latencies.Len() < 8 {
+			t.Fatalf("%v: outputs = %d, want >= 8", kind, js.Latencies.Len())
+		}
+		if e.Executed() == 0 {
+			t.Fatalf("%v: no messages executed", kind)
+		}
+		snap := e.Overhead().Snapshot()
+		if snap.Exec <= 0 || snap.Messages != e.Executed() {
+			t.Fatalf("%v: overhead accounting %+v", kind, snap)
+		}
+	}
+}
+
+func TestEngineConcurrentIngest(t *testing.T) {
+	e := New(Config{Workers: 4})
+	if _, err := e.AddJob(lsSpec("j")); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+
+	var wg sync.WaitGroup
+	win := 50 * vtime.Millisecond
+	for src := 0; src < 2; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for w := 1; w <= 50; w++ {
+				b := dataflow.NewBatch(5)
+				p := vtime.Time(w) * win
+				for i := 0; i < 5; i++ {
+					b.Append(p-vtime.Time(i+1), int64(i), 1)
+				}
+				if err := e.Ingest("j", src, b, p); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(src)
+	}
+	wg.Wait()
+	if !e.Drain(5 * time.Second) {
+		t.Fatal("did not drain")
+	}
+	if e.Recorder().Job("j").Latencies.Len() < 40 {
+		t.Fatalf("outputs = %d", e.Recorder().Job("j").Latencies.Len())
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.AddJob(lsSpec("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddJob(lsSpec("a")); err == nil {
+		t.Fatal("duplicate job accepted")
+	}
+	if err := e.Ingest("ghost", 0, nil, 0); err == nil {
+		t.Fatal("ingest for unknown job accepted")
+	}
+	e.Start()
+	if _, err := e.AddJob(lsSpec("b")); err == nil {
+		t.Fatal("AddJob after Start accepted")
+	}
+	e.Stop()
+	e.Stop() // idempotent
+}
+
+func TestEngineStopWithoutStart(t *testing.T) {
+	e := New(Config{})
+	e.Stop() // must not hang or panic
+}
+
+func TestEngineDrainTimeout(t *testing.T) {
+	// A slow handler holds a message long enough for Drain's short timeout
+	// to expire.
+	slow := dataflow.JobSpec{
+		Name: "slow", Latency: vtime.Second, Sources: 1,
+		Stages: []dataflow.StageSpec{{
+			Name: "s", Parallelism: 1,
+			NewHandler: func(int) dataflow.Handler {
+				return dataflow.HandlerFunc(func(*dataflow.Context, *core.Message) []dataflow.Emission {
+					time.Sleep(300 * time.Millisecond)
+					return nil
+				})
+			},
+		}},
+	}
+	e := New(Config{Workers: 1})
+	if _, err := e.AddJob(slow); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	b := dataflow.NewBatch(1)
+	b.Append(1, 0, 1)
+	if err := e.Ingest("slow", 0, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Drain(10 * time.Millisecond) {
+		t.Fatal("Drain reported success while a message was executing")
+	}
+	if !e.Drain(3 * time.Second) {
+		t.Fatal("Drain never completed")
+	}
+}
+
+func TestEnginePanicIsolation(t *testing.T) {
+	// A handler that panics on every third message: the engine must drop
+	// those messages, count the panics, and keep processing the rest.
+	var calls int
+	spec := dataflow.JobSpec{
+		Name: "panicky", Latency: vtime.Second, Sources: 1,
+		Stages: []dataflow.StageSpec{{
+			Name: "p", Parallelism: 1,
+			NewHandler: func(int) dataflow.Handler {
+				return dataflow.HandlerFunc(func(*dataflow.Context, *core.Message) []dataflow.Emission {
+					calls++
+					if calls%3 == 0 {
+						panic("handler bug")
+					}
+					return nil
+				})
+			},
+		}},
+	}
+	e := New(Config{Workers: 1})
+	if _, err := e.AddJob(spec); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	for i := 1; i <= 9; i++ {
+		b := dataflow.NewBatch(1)
+		b.Append(vtime.Time(i), 0, 1)
+		if err := e.Ingest("panicky", 0, b, vtime.Time(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Drain(5 * time.Second) {
+		t.Fatal("engine did not drain after handler panics")
+	}
+	if e.Executed() != 9 {
+		t.Fatalf("executed %d messages, want 9", e.Executed())
+	}
+	if e.HandlerPanics() != 3 {
+		t.Fatalf("recorded %d panics, want 3", e.HandlerPanics())
+	}
+}
+
+func TestEngineMeasuresCosts(t *testing.T) {
+	// The profiled cost of a deliberately slow operator must reflect the
+	// real execution time, proving measured (not modelled) profiling.
+	spec := dataflow.JobSpec{
+		Name: "prof", Latency: vtime.Second, Sources: 1,
+		Stages: []dataflow.StageSpec{{
+			Name: "slow", Parallelism: 1,
+			NewHandler: func(int) dataflow.Handler {
+				return dataflow.HandlerFunc(func(*dataflow.Context, *core.Message) []dataflow.Emission {
+					time.Sleep(5 * time.Millisecond)
+					return nil
+				})
+			},
+		}},
+	}
+	e := New(Config{Workers: 1})
+	job, err := e.AddJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	for i := 1; i <= 5; i++ {
+		b := dataflow.NewBatch(1)
+		b.Append(vtime.Time(i), 0, 1)
+		if err := e.Ingest("prof", 0, b, vtime.Time(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Drain(5 * time.Second) {
+		t.Fatal("did not drain")
+	}
+	got := job.Stages[0][0].Profile.Cost.Value()
+	if got < 4*vtime.Millisecond {
+		t.Fatalf("profiled cost = %v, want >= ~5ms", got)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+type eventKind int
+
+const (
+	// evSource injects one source batch emission.
+	evSource eventKind = iota
+	// evDeliver delivers a message into a node's dispatcher (after a
+	// network delay).
+	evDeliver
+	// evComplete finishes a worker's in-flight message execution.
+	evComplete
+)
+
+// event is one entry of the simulation's time-ordered heap. Ties on t are
+// broken by insertion sequence, which makes runs deterministic.
+type event struct {
+	t    vtime.Time
+	seq  int64
+	kind eventKind
+
+	// evSource
+	job   *jobEntry
+	src   int
+	batch *dataflow.Batch
+	p     vtime.Time
+
+	// evDeliver
+	node   *node
+	target *dataflow.Operator
+	msg    *core.Message
+
+	// evComplete
+	worker *worker
+}
+
+func eventLess(a, b event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a plain binary min-heap of events.
+type eventHeap struct {
+	items []event
+}
+
+// Len reports the number of queued events.
+func (h *eventHeap) Len() int { return len(h.items) }
+
+// Push inserts an event.
+func (h *eventHeap) Push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. It panics on an empty heap;
+// the run loop checks Len first.
+func (h *eventHeap) Pop() event {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items[last] = event{}
+	h.items = h.items[:last]
+	i, n := 0, len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}

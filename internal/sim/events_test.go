@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+func TestEventHeapOrdersByTimeThenSeq(t *testing.T) {
+	var h eventHeap
+	h.Push(event{t: 30, seq: 1})
+	h.Push(event{t: 10, seq: 2})
+	h.Push(event{t: 10, seq: 3})
+	h.Push(event{t: 20, seq: 4})
+
+	want := []struct {
+		t   vtime.Time
+		seq int64
+	}{{10, 2}, {10, 3}, {20, 4}, {30, 1}}
+	for _, w := range want {
+		e := h.Pop()
+		if e.t != w.t || e.seq != w.seq {
+			t.Fatalf("Pop = (%v, %d), want (%v, %d)", e.t, e.seq, w.t, w.seq)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after drain", h.Len())
+	}
+}
+
+// Property: draining the event heap yields a non-decreasing (time, seq)
+// sequence containing every pushed event exactly once.
+func TestEventHeapProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var h eventHeap
+		for i, tt := range times {
+			h.Push(event{t: vtime.Time(tt), seq: int64(i)})
+		}
+		var drained []event
+		for h.Len() > 0 {
+			drained = append(drained, h.Pop())
+		}
+		if len(drained) != len(times) {
+			return false
+		}
+		seen := map[int64]bool{}
+		for _, e := range drained {
+			if seen[e.seq] {
+				return false
+			}
+			seen[e.seq] = true
+		}
+		return sort.SliceIsSorted(drained, func(i, j int) bool {
+			return eventLess(drained[i], drained[j])
+		})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width bins over [lo, hi).
+// Out-of-range observations are clamped into the first/last bin so totals
+// are conserved — experiment harnesses care about mass, not about silently
+// dropping outliers.
+type Histogram struct {
+	lo, hi float64
+	bins   []int64
+	total  int64
+}
+
+// NewHistogram returns a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || !(hi > lo) {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(math.Floor((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins))))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.bins) {
+		idx = len(h.bins) - 1
+	}
+	h.bins[idx]++
+	h.total++
+}
+
+// Total reports the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int64 { return h.bins[i] }
+
+// NumBins reports the number of bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + (float64(i)+0.5)*w
+}
+
+// Render draws a crude fixed-width ASCII bar chart, one row per bin.
+// Used by cmd/cameo-trace to eyeball synthetic workload shapes.
+func (h *Histogram) Render(width int) string {
+	var b strings.Builder
+	maxCount := int64(1)
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.bins {
+		bar := int(float64(c) / float64(maxCount) * float64(width))
+		fmt.Fprintf(&b, "%12.3f |%-*s| %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinRegExactLine(t *testing.T) {
+	r := NewSlidingLinReg(16)
+	for x := 0.0; x < 10; x++ {
+		r.Observe(x, 3*x+5)
+	}
+	alpha, gamma := r.Fit()
+	if math.Abs(alpha-3) > 1e-9 || math.Abs(gamma-5) > 1e-9 {
+		t.Fatalf("Fit = (%v, %v), want (3, 5)", alpha, gamma)
+	}
+	if p := r.Predict(100); math.Abs(p-305) > 1e-9 {
+		t.Fatalf("Predict(100) = %v, want 305", p)
+	}
+}
+
+func TestLinRegSlidesWindow(t *testing.T) {
+	r := NewSlidingLinReg(4)
+	// Old regime: y = x. New regime: y = x + 100.
+	for x := 0.0; x < 10; x++ {
+		r.Observe(x, x)
+	}
+	for x := 10.0; x < 14; x++ {
+		r.Observe(x, x+100)
+	}
+	// Window holds only the new regime now.
+	alpha, gamma := r.Fit()
+	if math.Abs(alpha-1) > 1e-6 || math.Abs(gamma-100) > 1e-6 {
+		t.Fatalf("after regime change Fit = (%v, %v), want (1, 100)", alpha, gamma)
+	}
+}
+
+func TestLinRegConstantX(t *testing.T) {
+	r := NewSlidingLinReg(8)
+	r.Observe(5, 10)
+	r.Observe(5, 14)
+	alpha, gamma := r.Fit()
+	if alpha != 0 || math.Abs(gamma-12) > 1e-9 {
+		t.Fatalf("degenerate Fit = (%v, %v), want (0, 12)", alpha, gamma)
+	}
+}
+
+func TestLinRegReady(t *testing.T) {
+	r := NewSlidingLinReg(4)
+	if r.Ready() {
+		t.Fatal("Ready on empty regression")
+	}
+	r.Observe(1, 1)
+	if r.Ready() {
+		t.Fatal("Ready with a single point")
+	}
+	r.Observe(2, 2)
+	if !r.Ready() {
+		t.Fatal("not Ready with two points")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+}
+
+func TestLinRegWindowLen(t *testing.T) {
+	r := NewSlidingLinReg(3)
+	for i := 0; i < 10; i++ {
+		r.Observe(float64(i), float64(i))
+		wantLen := i + 1
+		if wantLen > 3 {
+			wantLen = 3
+		}
+		if r.Len() != wantLen {
+			t.Fatalf("after %d observations Len = %d, want %d", i+1, r.Len(), wantLen)
+		}
+	}
+}
+
+func TestLinRegRecoversNoisyLine(t *testing.T) {
+	rng := NewRNG(20)
+	r := NewSlidingLinReg(256)
+	for i := 0; i < 256; i++ {
+		x := float64(i)
+		r.Observe(x, 2*x+7+rng.Normal(0, 0.5))
+	}
+	alpha, gamma := r.Fit()
+	if math.Abs(alpha-2) > 0.01 {
+		t.Errorf("alpha = %v, want ~2", alpha)
+	}
+	if math.Abs(gamma-7) > 1 {
+		t.Errorf("gamma = %v, want ~7", gamma)
+	}
+}
+
+// Property: fitting any exact line from its samples recovers the line.
+func TestLinRegPropertyExactFit(t *testing.T) {
+	f := func(a8, g8 int8, n8 uint8) bool {
+		a, g := float64(a8), float64(g8)
+		n := int(n8%20) + 3
+		r := NewSlidingLinReg(64)
+		for i := 0; i < n; i++ {
+			x := float64(i)
+			r.Observe(x, a*x+g)
+		}
+		alpha, gamma := r.Fit()
+		return math.Abs(alpha-a) < 1e-6 && math.Abs(gamma-g) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", h.Total())
+	}
+	// Bins: [0,2): {-1 clamped, 0, 1.9} = 3; [2,4): {2} = 1; [4,6): {5} = 1;
+	// [6,8): 0; [8,10): {9.9, 10 clamped, 100 clamped} = 3.
+	want := []int64{3, 1, 1, 0, 3}
+	for i, w := range want {
+		if h.Bin(i) != w {
+			t.Errorf("Bin(%d) = %d, want %d", i, h.Bin(i), w)
+		}
+	}
+	if c := h.BinCenter(0); math.Abs(c-1) > 1e-12 {
+		t.Errorf("BinCenter(0) = %v, want 1", c)
+	}
+	if h.NumBins() != 5 {
+		t.Errorf("NumBins = %d", h.NumBins())
+	}
+	if s := h.Render(20); len(s) == 0 {
+		t.Error("Render produced nothing")
+	}
+}

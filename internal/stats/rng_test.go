@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children started identically")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", x)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(4)
+	seen := make([]bool, 7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("Intn(7) never produced %d in 10000 draws", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(5)
+	s := NewSample(0)
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Normal(10, 2))
+	}
+	if m := s.Mean(); math.Abs(m-10) > 0.05 {
+		t.Errorf("normal mean = %v, want ~10", m)
+	}
+	if sd := s.StdDev(); math.Abs(sd-2) > 0.05 {
+		t.Errorf("normal stddev = %v, want ~2", sd)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(6)
+	s := NewSample(0)
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Exp(4)) // mean 1/4
+	}
+	if m := s.Mean(); math.Abs(m-0.25) > 0.01 {
+		t.Errorf("exp mean = %v, want ~0.25", m)
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	r := NewRNG(8)
+	// All draws >= xm; heavy tail: some draws far above xm.
+	xm, alpha := 2.0, 1.5
+	maxSeen := 0.0
+	for i := 0; i < 100000; i++ {
+		x := r.Pareto(xm, alpha)
+		if x < xm {
+			t.Fatalf("Pareto draw %v below xm %v", x, xm)
+		}
+		if x > maxSeen {
+			maxSeen = x
+		}
+	}
+	if maxSeen < 10*xm {
+		t.Errorf("Pareto(alpha=1.5) max over 1e5 draws = %v; tail looks too light", maxSeen)
+	}
+}
+
+func TestParetoMedian(t *testing.T) {
+	// Median of Pareto(xm, alpha) is xm * 2^(1/alpha).
+	r := NewRNG(9)
+	s := NewSample(0)
+	for i := 0; i < 100000; i++ {
+		s.Add(r.Pareto(1, 2))
+	}
+	want := math.Pow(2, 0.5)
+	if got := s.Median(); math.Abs(got-want) > 0.02 {
+		t.Errorf("Pareto median = %v, want ~%v", got, want)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(10)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("Zipf rank 0 (%d) not more popular than rank 50 (%d)", counts[0], counts[50])
+	}
+	// Rank 0 should dominate: with s=1.2 over n=100, weight(0) ≈ 0.26.
+	if counts[0] < 15000 {
+		t.Errorf("Zipf rank 0 drew only %d/100000", counts[0])
+	}
+}
+
+func TestZipfWeightsSumToOne(t *testing.T) {
+	z := NewZipf(NewRNG(11), 50, 2)
+	sum := 0.0
+	for k := 0; k < 50; k++ {
+		w := z.Weight(k)
+		if w <= 0 {
+			t.Fatalf("Weight(%d) = %v", k, w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		xs := make([]int, int(n))
+		for i := range xs {
+			xs[i] = i
+		}
+		Shuffle(NewRNG(seed), xs)
+		seen := make(map[int]bool, len(xs))
+		for _, x := range xs {
+			seen[x] = true
+		}
+		return len(seen) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations for percentile and moment queries.
+// It stores raw values; experiment populations are small enough (at most a
+// few million outputs) that exact percentiles are affordable and keep the
+// reproduction honest — no sketch error to argue about.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample, optionally pre-sized.
+func NewSample(capacity int) *Sample { return &Sample{xs: make([]float64, 0, capacity)} }
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(xs ...float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// Len reports the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Values returns the observations sorted ascending. The returned slice is
+// owned by the sample; callers must not modify it.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return s.xs
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by linear interpolation
+// between closest ranks. It panics on an empty sample — asking for the
+// latency of an experiment that produced no outputs is always a harness bug.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Quantile(%v) out of range", q))
+	}
+	s.sort()
+	if len(s.xs) == 1 {
+		return s.xs[0]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev returns the population standard deviation, or 0 for fewer than two
+// observations.
+func (s *Sample) StdDev() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(s.xs)))
+}
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 {
+	s.sort()
+	return s.xs[0]
+}
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 {
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// CountAbove reports how many observations exceed x.
+func (s *Sample) CountAbove(x float64) int {
+	s.sort()
+	return len(s.xs) - sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+}
+
+// FractionAbove reports the fraction of observations exceeding x
+// (0 for an empty sample).
+func (s *Sample) FractionAbove(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return float64(s.CountAbove(x)) / float64(len(s.xs))
+}
+
+// CDF returns (value, cumulative fraction) pairs at the requested number of
+// evenly spaced ranks, suitable for plotting a latency CDF (paper Fig 7b).
+func (s *Sample) CDF(points int) [][2]float64 {
+	if len(s.xs) == 0 || points <= 0 {
+		return nil
+	}
+	s.sort()
+	if points > len(s.xs) {
+		points = len(s.xs)
+	}
+	out := make([][2]float64, 0, points)
+	for i := 0; i < points; i++ {
+		rank := (i + 1) * len(s.xs) / points
+		out = append(out, [2]float64{s.xs[rank-1], float64(rank) / float64(len(s.xs))})
+	}
+	return out
+}
+
+// Summary is a fixed set of descriptive statistics for reporting tables.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, Max           float64
+	P50, P90, P95, P99 float64
+}
+
+// Summarize computes a Summary, returning the zero value for empty input.
+func (s *Sample) Summarize() Summary {
+	if len(s.xs) == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    len(s.xs),
+		Mean: s.Mean(), Std: s.StdDev(),
+		Min: s.Min(), Max: s.Max(),
+		P50: s.Quantile(0.50), P90: s.Quantile(0.90),
+		P95: s.Quantile(0.95), P99: s.Quantile(0.99),
+	}
+}
+
+// String renders the summary on one line for experiment logs.
+func (m Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+		m.N, m.Mean, m.P50, m.P95, m.P99, m.Max)
+}

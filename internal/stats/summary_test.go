@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.99, 99.01},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileSingleton(t *testing.T) {
+	s := NewSample(0)
+	s.Add(7)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+}
+
+func TestQuantileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSample(0).Quantile(0.5)
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		// Normalize q values into [0, 1], ordered.
+		qa = math.Abs(math.Mod(qa, 1))
+		qb = math.Abs(math.Mod(qb, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		s := NewSample(0)
+		s.AddAll(xs...)
+		return s.Quantile(qa) <= s.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if m := s.Mean(); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if sd := s.StdDev(); math.Abs(sd-2) > 1e-9 {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestCountFractionAbove(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll(1, 2, 3, 4, 5)
+	if got := s.CountAbove(3); got != 2 {
+		t.Errorf("CountAbove(3) = %d, want 2", got)
+	}
+	if got := s.CountAbove(5); got != 0 {
+		t.Errorf("CountAbove(5) = %d, want 0", got)
+	}
+	if got := s.CountAbove(0); got != 5 {
+		t.Errorf("CountAbove(0) = %d, want 5", got)
+	}
+	if got := s.FractionAbove(3); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("FractionAbove(3) = %v, want 0.4", got)
+	}
+	if got := NewSample(0).FractionAbove(1); got != 0 {
+		t.Errorf("FractionAbove on empty = %v, want 0", got)
+	}
+}
+
+func TestCDFShape(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	cdf := s.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("CDF points = %d, want 10", len(cdf))
+	}
+	if cdf[len(cdf)-1][1] != 1 {
+		t.Errorf("CDF does not end at 1: %v", cdf[len(cdf)-1])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i][0] < cdf[i-1][0] || cdf[i][1] <= cdf[i-1][1] {
+			t.Errorf("CDF not monotone at %d: %v -> %v", i, cdf[i-1], cdf[i])
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.N != 100 || sum.Min != 1 || sum.Max != 100 {
+		t.Errorf("Summary basics wrong: %+v", sum)
+	}
+	if sum.P50 >= sum.P95 || sum.P95 >= sum.P99 {
+		t.Errorf("Summary percentiles not ordered: %+v", sum)
+	}
+	var empty Sample
+	if got := empty.Summarize(); got.N != 0 {
+		t.Errorf("empty Summarize = %+v", got)
+	}
+}
+
+func TestValuesSorted(t *testing.T) {
+	s := NewSample(0)
+	s.AddAll(3, 1, 2)
+	vs := s.Values()
+	if !sort.Float64sAreSorted(vs) {
+		t.Fatalf("Values not sorted: %v", vs)
+	}
+	// Adding after a sort must re-sort on next access.
+	s.Add(0)
+	if vs = s.Values(); !sort.Float64sAreSorted(vs) || vs[0] != 0 {
+		t.Fatalf("Values after Add not sorted: %v", vs)
+	}
+}

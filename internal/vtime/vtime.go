@@ -1,0 +1,127 @@
+// Package vtime defines the single time axis shared by the discrete-event
+// simulator and the real-time engine.
+//
+// All timestamps in the system — logical stream progress, physical arrival
+// times, message deadlines, profiled execution costs — are vtime.Time values,
+// microseconds on an int64 axis. Using one scalar type everywhere keeps the
+// scheduler's deadline arithmetic (paper Eq. 1–3) branch-free and lets the
+// same scheduling code run against a virtual clock (simulation) or the wall
+// clock (real-time engine).
+package vtime
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Time is an instant (or a logical stream progress value) in microseconds.
+// The zero value is the origin of the experiment's time axis.
+type Time int64
+
+// Duration is a span of time in microseconds.
+type Duration = Time
+
+// Common durations, mirroring the time package but on the vtime axis.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// Infinity is a sentinel "never" instant used for unset deadlines and for
+// the minimum-priority tag of untokened traffic in the fair-share policy.
+const Infinity Time = 1<<63 - 1
+
+// FromStd converts a standard library duration to a vtime duration,
+// truncating to microsecond resolution.
+func FromStd(d time.Duration) Duration { return Duration(d.Microseconds()) }
+
+// Std converts a vtime duration to a standard library duration.
+func Std(d Duration) time.Duration { return time.Duration(d) * time.Microsecond }
+
+// Seconds reports t as floating-point seconds. Intended for reporting only.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as floating-point milliseconds. Intended for reporting only.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the instant with adaptive units for logs and tables.
+func (t Time) String() string {
+	switch {
+	case t == Infinity:
+		return "inf"
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%dus", int64(t))
+	}
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clock supplies the current instant. The simulator advances a VirtualClock
+// explicitly; the real-time engine uses a WallClock anchored at start-up.
+type Clock interface {
+	Now() Time
+}
+
+// VirtualClock is a manually advanced clock for discrete-event simulation.
+// It is not safe for concurrent use; the simulator is single-threaded by
+// design so that experiments are deterministic.
+type VirtualClock struct {
+	now Time
+}
+
+// NewVirtualClock returns a virtual clock positioned at start.
+func NewVirtualClock(start Time) *VirtualClock { return &VirtualClock{now: start} }
+
+// Now returns the clock's current instant.
+func (c *VirtualClock) Now() Time { return c.now }
+
+// AdvanceTo moves the clock forward to t. Moving backwards panics: the event
+// loop popping a stale event is a simulator bug, never valid input.
+func (c *VirtualClock) AdvanceTo(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("vtime: clock moved backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// WallClock reports wall time relative to an anchor instant, so experiment
+// time axes start near zero regardless of the host's epoch. It is safe for
+// concurrent use.
+type WallClock struct {
+	anchor time.Time
+	offset atomic.Int64 // applied adjustment, for tests
+}
+
+// NewWallClock returns a wall clock anchored at the current instant.
+func NewWallClock() *WallClock { return &WallClock{anchor: time.Now()} }
+
+// Now returns microseconds elapsed since the anchor.
+func (c *WallClock) Now() Time {
+	return Time(time.Since(c.anchor).Microseconds() + c.offset.Load())
+}
+
+// Advance shifts the clock's reading forward by d. Used by tests that need a
+// wall clock but deterministic spacing.
+func (c *WallClock) Advance(d Duration) { c.offset.Add(int64(d)) }

@@ -1,0 +1,123 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUnitConstants(t *testing.T) {
+	if Millisecond != 1000 {
+		t.Fatalf("Millisecond = %d, want 1000", Millisecond)
+	}
+	if Second != 1_000_000 {
+		t.Fatalf("Second = %d, want 1e6", Second)
+	}
+	if Minute != 60*Second || Hour != 60*Minute {
+		t.Fatalf("Minute/Hour derived constants wrong: %d %d", Minute, Hour)
+	}
+}
+
+func TestFromStdRoundTrip(t *testing.T) {
+	cases := []time.Duration{0, time.Microsecond, 1500 * time.Microsecond, time.Second, 2 * time.Hour}
+	for _, d := range cases {
+		got := Std(FromStd(d))
+		if got != d.Truncate(time.Microsecond) {
+			t.Errorf("Std(FromStd(%v)) = %v", d, got)
+		}
+	}
+}
+
+func TestFromStdTruncates(t *testing.T) {
+	if got := FromStd(1500 * time.Nanosecond); got != 1 {
+		t.Fatalf("FromStd(1.5us) = %d, want 1", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0us"},
+		{999, "999us"},
+		{Millisecond, "1.000ms"},
+		{1500, "1.500ms"},
+		{Second, "1.000s"},
+		{2*Second + 500*Millisecond, "2.500s"},
+		{-3 * Millisecond, "-3.000ms"},
+		{Infinity, "inf"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min wrong")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max wrong")
+	}
+	if Min(7, 7) != 7 || Max(7, 7) != 7 {
+		t.Error("Min/Max not reflexive")
+	}
+}
+
+func TestMinMaxProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Time(a), Time(b)
+		mn, mx := Min(x, y), Max(x, y)
+		return mn <= mx && (mn == x || mn == y) && (mx == x || mx == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	c := NewVirtualClock(10)
+	if c.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", c.Now())
+	}
+	c.AdvanceTo(10) // no-op advance to same instant is legal
+	c.AdvanceTo(25)
+	if c.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", c.Now())
+	}
+}
+
+func TestVirtualClockBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on backwards advance")
+		}
+	}()
+	c := NewVirtualClock(100)
+	c.AdvanceTo(99)
+}
+
+func TestWallClockMonotone(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	b := c.Now()
+	if b < a {
+		t.Fatalf("wall clock went backwards: %v then %v", a, b)
+	}
+	if a < 0 {
+		t.Fatalf("wall clock negative at start: %v", a)
+	}
+}
+
+func TestWallClockAdvance(t *testing.T) {
+	c := NewWallClock()
+	before := c.Now()
+	c.Advance(5 * Second)
+	after := c.Now()
+	if after-before < 5*Second {
+		t.Fatalf("Advance(5s): delta = %v, want >= 5s", after-before)
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/stats"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// SourceConfig describes one source channel of a feed.
+type SourceConfig struct {
+	// Interval is the emission period (paper Group 1: 1 message per second
+	// per source).
+	Interval vtime.Duration
+	// Rate yields the tuple count per emission.
+	Rate RateSchedule
+	// Keys is the grouping-key cardinality of generated tuples.
+	Keys int64
+	// Delay is the event-time ingestion delay: tuples' logical times trail
+	// their arrival by this much. Zero models ingestion-time streams.
+	Delay vtime.Duration
+	// Start and End bound the emission times; End 0 means "until the
+	// simulation horizon".
+	Start, End vtime.Time
+	// Phase offsets this source's emission instants within its interval,
+	// de-phasing sources that would otherwise emit in lockstep.
+	Phase vtime.Duration
+}
+
+// Feed generates per-source batch emissions for one job, implementing the
+// simulator's source-driver contract (sim.Feed is structurally identical).
+// Emissions are deterministic given the construction seed.
+type Feed struct {
+	sources []*sourceState
+}
+
+type sourceState struct {
+	cfg   SourceConfig
+	rng   *stats.RNG
+	next  vtime.Time
+	lastP vtime.Time
+}
+
+// NewFeed builds a feed with one state per source config.
+func NewFeed(seed uint64, cfgs ...SourceConfig) *Feed {
+	root := stats.NewRNG(seed)
+	f := &Feed{}
+	for i, cfg := range cfgs {
+		if cfg.Interval <= 0 {
+			panic(fmt.Sprintf("workload: source %d has non-positive interval", i))
+		}
+		if cfg.Keys <= 0 {
+			cfg.Keys = 1
+		}
+		f.sources = append(f.sources, &sourceState{
+			cfg:  cfg,
+			rng:  root.Split(),
+			next: cfg.Start + cfg.Interval + cfg.Phase,
+		})
+	}
+	return f
+}
+
+// Uniform builds a feed of n identical sources (lockstep emissions).
+func Uniform(seed uint64, n int, cfg SourceConfig) *Feed {
+	cfgs := make([]SourceConfig, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+	}
+	return NewFeed(seed, cfgs...)
+}
+
+// UniformSpread builds a feed of n identical sources whose emission phases
+// are spread evenly across the interval — independent streams rather than
+// lockstep bursts.
+func UniformSpread(seed uint64, n int, cfg SourceConfig) *Feed {
+	cfgs := make([]SourceConfig, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Phase = vtime.Duration(i) * cfg.Interval / vtime.Duration(n)
+	}
+	return NewFeed(seed, cfgs...)
+}
+
+// Sources reports the number of source channels.
+func (f *Feed) Sources() int { return len(f.sources) }
+
+// Next returns the next emission for source src: the tuple batch, its
+// stream progress p (max logical time, a promise that no later tuple of
+// this source precedes it), and the physical arrival time t. ok=false when
+// the source's configured End has passed.
+func (f *Feed) Next(src int) (b *dataflow.Batch, p, t vtime.Time, ok bool) {
+	s := f.sources[src]
+	t = s.next
+	if s.cfg.End > 0 && t > s.cfg.End {
+		return nil, 0, 0, false
+	}
+	s.next += s.cfg.Interval
+
+	n := s.cfg.Rate.Tuples(t, s.rng)
+	p = t - s.cfg.Delay
+	if p < s.lastP {
+		p = s.lastP // progress never regresses, even with shifting delays
+	}
+	if n > 0 {
+		b = dataflow.NewBatch(n)
+		lo := p - s.cfg.Interval
+		if lo < s.lastP {
+			lo = s.lastP
+		}
+		span := p - lo
+		for i := 0; i < n; i++ {
+			// Tuple logical times spread over (lo, p], newest last.
+			var tt vtime.Time
+			if span > 0 {
+				tt = lo + 1 + vtime.Time(s.rng.Int63n(int64(span)))
+			} else {
+				tt = p
+			}
+			key := s.rng.Int63n(s.cfg.Keys)
+			b.Append(tt, key, s.rng.Float64()*100)
+		}
+	}
+	s.lastP = p
+	return b, p, t, true
+}

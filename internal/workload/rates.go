@@ -1,0 +1,125 @@
+// Package workload synthesizes the paper's evaluation workloads: source
+// feeds with configurable rate schedules (constant, bursty, Pareto,
+// trace-driven), the Group-1 latency-sensitive and Group-2 bulk-analytics
+// job mixes of §6, the IPQ1–IPQ4 single-tenant queries, and generators
+// reproducing the production-trace characteristics of Figure 2 and the
+// Type-1/Type-2 spatial skew of Figure 10.
+package workload
+
+import (
+	"github.com/cameo-stream/cameo/internal/stats"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// RateSchedule yields the tuple count of the batch a source emits at time t.
+// Implementations may draw from rng (deterministic per-source stream).
+type RateSchedule interface {
+	Tuples(t vtime.Time, rng *stats.RNG) int
+}
+
+// ConstantRate emits the same tuple count every interval.
+type ConstantRate int
+
+// Tuples implements RateSchedule.
+func (c ConstantRate) Tuples(vtime.Time, *stats.RNG) int { return int(c) }
+
+// BurstyRate emits Base tuples normally and Spike tuples during the first
+// Duty fraction of every Period — the "spikes lasting one to a few seconds,
+// as well as periods of idleness" of the production heatmap (Fig 2c).
+type BurstyRate struct {
+	Base, Spike int
+	Period      vtime.Duration
+	Duty        float64 // fraction of the period spent spiking, in (0, 1)
+}
+
+// Tuples implements RateSchedule.
+func (b BurstyRate) Tuples(t vtime.Time, _ *stats.RNG) int {
+	if b.Period <= 0 {
+		return b.Base
+	}
+	phase := float64(t%b.Period) / float64(b.Period)
+	if phase < b.Duty {
+		return b.Spike
+	}
+	return b.Base
+}
+
+// ParetoRate draws batch sizes from a Pareto distribution with the given
+// minimum and shape — the heavy-tailed temporal variation of Figure 9.
+// Draws are capped at Cap (0 = uncapped) to bound simulation memory.
+type ParetoRate struct {
+	Xm    float64
+	Alpha float64
+	Cap   int
+}
+
+// Tuples implements RateSchedule.
+func (p ParetoRate) Tuples(_ vtime.Time, rng *stats.RNG) int {
+	n := int(rng.Pareto(p.Xm, p.Alpha))
+	if p.Cap > 0 && n > p.Cap {
+		n = p.Cap
+	}
+	return n
+}
+
+// TraceRate replays a per-interval tuple count series, repeating it when
+// the series is exhausted.
+type TraceRate struct {
+	Counts   []int
+	Interval vtime.Duration
+}
+
+// Tuples implements RateSchedule.
+func (tr TraceRate) Tuples(t vtime.Time, _ *stats.RNG) int {
+	if len(tr.Counts) == 0 || tr.Interval <= 0 {
+		return 0
+	}
+	idx := int(t/tr.Interval) % len(tr.Counts)
+	return tr.Counts[idx]
+}
+
+// OnOffRate emits Rate tuples between Start and Stop and nothing outside —
+// used for the staggered job arrivals of Figure 6.
+type OnOffRate struct {
+	Rate        int
+	Start, Stop vtime.Time
+}
+
+// Tuples implements RateSchedule.
+func (o OnOffRate) Tuples(t vtime.Time, _ *stats.RNG) int {
+	if t < o.Start || (o.Stop > 0 && t >= o.Stop) {
+		return 0
+	}
+	return o.Rate
+}
+
+// ScaledRate multiplies another schedule by a constant factor, for sweeping
+// ingestion volume (Fig 8a).
+type ScaledRate struct {
+	Inner  RateSchedule
+	Factor float64
+}
+
+// Tuples implements RateSchedule.
+func (s ScaledRate) Tuples(t vtime.Time, rng *stats.RNG) int {
+	return int(float64(s.Inner.Tuples(t, rng)) * s.Factor)
+}
+
+// JitterRate multiplies another schedule by a uniform factor in
+// [1-Frac, 1+Frac] per emission — the short-term volume variability every
+// production stream shows (Fig 2c). Without it, evenly-phased constant-rate
+// sources make arrivals deterministic and queueing vanishes.
+type JitterRate struct {
+	Inner RateSchedule
+	Frac  float64
+}
+
+// Tuples implements RateSchedule.
+func (j JitterRate) Tuples(t vtime.Time, rng *stats.RNG) int {
+	n := float64(j.Inner.Tuples(t, rng))
+	f := 1 + j.Frac*(2*rng.Float64()-1)
+	if f < 0 {
+		f = 0
+	}
+	return int(n * f)
+}
