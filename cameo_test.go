@@ -3,6 +3,8 @@ package cameo
 import (
 	"testing"
 	"time"
+
+	"github.com/cameo-stream/cameo/internal/testkit"
 )
 
 func dashboardQuery(name string) *Query {
@@ -50,6 +52,7 @@ func TestQueryBuilderPorts(t *testing.T) {
 }
 
 func TestEngineEndToEnd(t *testing.T) {
+	defer testkit.LeakCheck(t)()
 	eng := NewEngine(EngineConfig{Workers: 2})
 	if err := eng.Submit(dashboardQuery("job")); err != nil {
 		t.Fatal(err)
@@ -75,9 +78,7 @@ func TestEngineEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if !eng.Drain(5 * time.Second) {
-		t.Fatal("engine did not drain")
-	}
+	testkit.DrainOrFail(t, eng, 5*time.Second)
 	st, err := eng.Stats("job")
 	if err != nil {
 		t.Fatal(err)

@@ -27,11 +27,15 @@ func main() {
 		list = flag.Bool("list", false, "list available figures")
 		seed = flag.Uint64("seed", 1, "workload seed (fixed seed = identical rows)")
 		plot = flag.Bool("plot", false, "also render each table's last numeric column as ASCII bars")
+		rt   = flag.Bool("rt", false, "benchmark the real-time engine: dispatcher x worker-count scaling sweep")
+		reps = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt)")
 	)
 	flag.Parse()
 	plotTables = *plot
 
 	switch {
+	case *rt:
+		runRealtimeSweep(*seed, *reps)
 	case *list:
 		fmt.Println("available figures:")
 		for _, e := range experiments.Registry() {

@@ -1,0 +1,142 @@
+package main
+
+// The -rt mode: multi-worker scaling of the real-time engine's two
+// dispatch paths on a multitenant workload (latency-sensitive jobs
+// collocated with bulk-analytics jobs), driven through the public API.
+// It prints messages/second per (dispatcher, workers) cell — the numbers
+// the ROADMAP's dispatcher-scaling baseline records.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	cameo "github.com/cameo-stream/cameo"
+)
+
+type rtJob struct {
+	name    string
+	sources int
+	window  time.Duration
+	tuples  int
+	windows int
+}
+
+func rtJobs() []rtJob {
+	return []rtJob{
+		{name: "ls0", sources: 4, window: 10 * time.Millisecond, tuples: 4, windows: 100},
+		{name: "ls1", sources: 4, window: 10 * time.Millisecond, tuples: 4, windows: 100},
+		{name: "ba0", sources: 4, window: 50 * time.Millisecond, tuples: 40, windows: 20},
+		{name: "ba1", sources: 4, window: 50 * time.Millisecond, tuples: 40, windows: 20},
+	}
+}
+
+func rtQuery(j rtJob) *cameo.Query {
+	return cameo.NewQuery(j.name).
+		LatencyTarget(time.Second).
+		Sources(j.sources).
+		Aggregate("agg", 4, cameo.Window(j.window), cameo.Sum).
+		AggregateGlobal("total", cameo.Window(j.window), cameo.Sum)
+}
+
+// rtEvents pre-renders the batch for (job, source, window) so the timed
+// region measures ingest and scheduling only.
+func rtEvents(j rtJob, seed uint64, src, w int) []cameo.Event {
+	state := seed ^ uint64(src)<<32 ^ uint64(w)
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	events := make([]cameo.Event, j.tuples)
+	end := time.Duration(w) * j.window
+	for i := range events {
+		events[i] = cameo.Event{
+			Time:  end - time.Duration(next()%uint64(j.window.Microseconds()-1)+1)*time.Microsecond,
+			Key:   int64(next() % 32),
+			Value: float64(next()%1000) / 100,
+		}
+	}
+	return events
+}
+
+// rtRun executes the whole workload once and returns executed messages
+// and elapsed wall time.
+func rtRun(mode cameo.DispatchMode, workers int, seed uint64) (int64, time.Duration) {
+	eng := cameo.NewEngine(cameo.EngineConfig{Workers: workers, Dispatch: mode})
+	jobs := rtJobs()
+	for _, j := range jobs {
+		if err := eng.Submit(rtQuery(j)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	start := time.Now()
+	done := make(chan error, len(jobs))
+	for _, j := range jobs {
+		go func(j rtJob) {
+			for w := 1; w <= j.windows; w++ {
+				progress := time.Duration(w) * j.window
+				for src := 0; src < j.sources; src++ {
+					if err := eng.IngestBatch(j.name, src, rtEvents(j, seed, src, w), progress); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			for src := 0; src < j.sources; src++ {
+				if err := eng.AdvanceProgress(j.name, src, time.Duration(j.windows+1)*j.window); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(j)
+	}
+	for range jobs {
+		if err := <-done; err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !eng.Drain(60 * time.Second) {
+		fmt.Fprintln(os.Stderr, "engine did not drain")
+		os.Exit(1)
+	}
+	return eng.Executed(), time.Since(start)
+}
+
+func runRealtimeSweep(seed uint64, reps int) {
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Printf("real-time dispatcher scaling, multitenant workload (GOMAXPROCS=%d, best of %d)\n\n",
+		runtime.GOMAXPROCS(0), reps)
+	fmt.Printf("%-12s %8s %14s %12s\n", "dispatcher", "workers", "msg/s", "elapsed")
+	base := make(map[int]float64) // single-lock msg/s per worker count
+	for _, mode := range []cameo.DispatchMode{cameo.DispatchSingleLock, cameo.DispatchSharded} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			var best float64
+			var bestDur time.Duration
+			for r := 0; r < reps; r++ {
+				msgs, dur := rtRun(mode, workers, seed+uint64(r))
+				if rate := float64(msgs) / dur.Seconds(); rate > best {
+					best, bestDur = rate, dur
+				}
+			}
+			note := ""
+			if mode == cameo.DispatchSingleLock {
+				base[workers] = best
+			} else if b := base[workers]; b > 0 {
+				note = fmt.Sprintf("  (%.2fx single-lock)", best/b)
+			}
+			fmt.Printf("%-12v %8d %14.0f %12v%s\n", mode, workers, best, bestDur.Round(time.Millisecond), note)
+		}
+	}
+}

@@ -9,6 +9,25 @@ import (
 	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
+// DispatchMode selects the engine's concurrency strategy for scheduling.
+type DispatchMode = runtime.DispatchMode
+
+// Dispatch modes for EngineConfig.Dispatch.
+const (
+	// DispatchAuto picks DispatchSharded for the Cameo scheduler and
+	// DispatchSingleLock for the baseline schedulers.
+	DispatchAuto = runtime.DispatchAuto
+	// DispatchSharded schedules through per-worker deadline heaps with a
+	// global overflow lane and priority-aware work stealing, so ingest and
+	// workers scale with the worker count instead of contending on one
+	// engine-wide lock.
+	DispatchSharded = runtime.DispatchSharded
+	// DispatchSingleLock serializes all scheduling through one engine-wide
+	// mutex — the reference implementation the sharded path is
+	// cross-checked against.
+	DispatchSingleLock = runtime.DispatchSingleLock
+)
+
 // EngineConfig parameterizes a real-time Engine.
 type EngineConfig struct {
 	// Workers is the worker-pool size (default 1).
@@ -21,6 +40,10 @@ type EngineConfig struct {
 	// Quantum is the re-scheduling grain (default 1ms): how long a worker
 	// holds an operator before checking whether more urgent work waits.
 	Quantum time.Duration
+	// Dispatch selects the scheduling concurrency strategy (default
+	// DispatchAuto). The sharded dispatcher requires SchedulerCameo;
+	// baseline schedulers always run single-lock.
+	Dispatch DispatchMode
 }
 
 // Engine is the real-time execution engine: a single-node worker pool
@@ -39,6 +62,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 			Scheduler: cfg.Scheduler,
 			Policy:    cfg.Policy,
 			Quantum:   vtime.FromStd(cfg.Quantum),
+			Dispatch:  cfg.Dispatch,
 		}),
 		jobs: make(map[string]*dataflow.Job),
 	}
@@ -81,6 +105,13 @@ type Event struct {
 // Now returns the engine's clock: time elapsed since NewEngine. Event
 // times and stream progress are expressed on this axis.
 func (e *Engine) Now() time.Duration { return vtime.Std(e.inner.Now()) }
+
+// Executed reports the number of messages executed so far — the engine's
+// raw scheduling throughput counter (cameo-bench -rt uses it).
+func (e *Engine) Executed() int64 { return e.inner.Executed() }
+
+// Dispatch reports the dispatch mode the engine resolved to.
+func (e *Engine) Dispatch() DispatchMode { return e.inner.Dispatch() }
 
 // IngestBatch offers a batch of events on one source channel of a job,
 // advancing the channel's stream progress to the given value. Progress is

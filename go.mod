@@ -1,0 +1,3 @@
+module github.com/cameo-stream/cameo
+
+go 1.22

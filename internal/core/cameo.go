@@ -9,7 +9,7 @@ import "github.com/cameo-stream/cameo/internal/queue"
 // sense — it holds only pending messages and their priorities, no per-job
 // bookkeeping — so it scales with message volume, not job count.
 type CameoDispatcher[O comparable] struct {
-	ops      map[O]*msgHeap
+	ops      map[O]*MsgHeap
 	waiting  *queue.IndexedHeap[O] // operators not currently acquired
 	acquired map[O]bool
 	pending  int
@@ -18,7 +18,7 @@ type CameoDispatcher[O comparable] struct {
 // NewCameoDispatcher returns an empty Cameo dispatcher.
 func NewCameoDispatcher[O comparable]() *CameoDispatcher[O] {
 	return &CameoDispatcher[O]{
-		ops:      make(map[O]*msgHeap),
+		ops:      make(map[O]*MsgHeap),
 		waiting:  queue.NewIndexedHeap[O](),
 		acquired: make(map[O]bool),
 	}
@@ -32,13 +32,13 @@ func (d *CameoDispatcher[O]) Name() string { return "cameo" }
 func (d *CameoDispatcher[O]) Push(op O, m *Message, producer int) {
 	q := d.ops[op]
 	if q == nil {
-		q = &msgHeap{}
+		q = &MsgHeap{}
 		d.ops[op] = q
 	}
 	q.Push(m)
 	d.pending++
 	if !d.acquired[op] {
-		d.waiting.PushOrUpdate(op, globalPri(q.Peek()))
+		d.waiting.PushOrUpdate(op, GlobalPri(q.Peek()))
 	}
 }
 
@@ -85,7 +85,7 @@ func (d *CameoDispatcher[O]) Done(op O, worker int) {
 		delete(d.ops, op)
 		return
 	}
-	d.waiting.PushOrUpdate(op, globalPri(q.Peek()))
+	d.waiting.PushOrUpdate(op, GlobalPri(q.Peek()))
 }
 
 // ShouldYield implements Dispatcher: the paper's quantum swap check — while
@@ -100,7 +100,7 @@ func (d *CameoDispatcher[O]) ShouldYield(op O) bool {
 	if q == nil || q.Len() == 0 {
 		return true
 	}
-	return next.Less(globalPri(q.Peek()))
+	return next.Less(GlobalPri(q.Peek()))
 }
 
 // QueueLen implements Dispatcher.

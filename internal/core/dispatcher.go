@@ -50,15 +50,18 @@ type Dispatcher[O comparable] interface {
 	Pending() int
 }
 
-// msgHeap orders an operator's pending messages by (PriLocal, ID) — the
-// paper's local priority with deterministic tie-breaking.
-type msgHeap struct {
+// MsgHeap orders an operator's pending messages by (PriLocal, ID) — the
+// paper's local priority with deterministic tie-breaking. It is exported so
+// the real-time engine's sharded dispatcher can reuse the exact ordering of
+// the reference dispatchers; like them, it is a plain data structure the
+// caller synchronizes.
+type MsgHeap struct {
 	items []*Message
 }
 
-func (h *msgHeap) Len() int { return len(h.items) }
+func (h *MsgHeap) Len() int { return len(h.items) }
 
-func (h *msgHeap) Peek() *Message {
+func (h *MsgHeap) Peek() *Message {
 	if len(h.items) == 0 {
 		return nil
 	}
@@ -72,7 +75,7 @@ func msgLess(a, b *Message) bool {
 	return a.ID < b.ID
 }
 
-func (h *msgHeap) Push(m *Message) {
+func (h *MsgHeap) Push(m *Message) {
 	h.items = append(h.items, m)
 	i := len(h.items) - 1
 	for i > 0 {
@@ -85,7 +88,7 @@ func (h *msgHeap) Push(m *Message) {
 	}
 }
 
-func (h *msgHeap) Pop() *Message {
+func (h *MsgHeap) Pop() *Message {
 	if len(h.items) == 0 {
 		return nil
 	}
@@ -113,8 +116,8 @@ func (h *msgHeap) Pop() *Message {
 	return top
 }
 
-// globalPri is the heap key for an operator: the PriGlobal of its head
+// GlobalPri is the run-queue key for an operator: the PriGlobal of its head
 // message with the message ID as deterministic tie-break.
-func globalPri(m *Message) queue.Pri {
+func GlobalPri(m *Message) queue.Pri {
 	return queue.Pri{Key: int64(m.PC.PriGlobal), Tie: m.ID}
 }

@@ -288,13 +288,13 @@ func TestCameoPropertySchedulingInvariant(t *testing.T) {
 			if !ok {
 				return false
 			}
-			myPri := globalPri(m)
+			myPri := GlobalPri(m)
 			for other := uint8(0); other < 8; other++ {
 				if other == op {
 					continue
 				}
 				if om, ok := d.PeekMsg(other); ok && d.QueueLen(other) > 0 {
-					if globalPri(om).Less(myPri) {
+					if GlobalPri(om).Less(myPri) {
 						return false
 					}
 				}

@@ -1,31 +1,22 @@
-package dataflow
+package dataflow_test
 
 import (
 	"strings"
 	"testing"
 	"testing/quick"
 
-	"github.com/cameo-stream/cameo/internal/core"
+	. "github.com/cameo-stream/cameo/internal/dataflow"
 	"github.com/cameo-stream/cameo/internal/profile"
 	"github.com/cameo-stream/cameo/internal/progress"
+	"github.com/cameo-stream/cameo/internal/testkit"
 	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
-func nopHandler(int) Handler {
-	return HandlerFunc(func(*Context, *core.Message) []Emission { return nil })
-}
+// nopHandler and twoStageSpec were local copies of what internal/testkit
+// now provides for every engine test suite.
+var nopHandler = testkit.NopHandler
 
-func twoStageSpec() JobSpec {
-	return JobSpec{
-		Name:    "j",
-		Latency: vtime.Second,
-		Sources: 4,
-		Stages: []StageSpec{
-			{Name: "a", Parallelism: 2, Slide: vtime.Second, NewHandler: nopHandler},
-			{Name: "b", Parallelism: 1, NewHandler: nopHandler},
-		},
-	}
-}
+func twoStageSpec() JobSpec { return testkit.NopSpec("j") }
 
 func TestBatchPartitionConservesTuples(t *testing.T) {
 	f := func(keys []int64, n8 uint8) bool {

@@ -1,45 +1,27 @@
-package experiments
+package experiments_test
 
 import (
-	"strconv"
 	"strings"
 	"testing"
+
+	. "github.com/cameo-stream/cameo/internal/experiments"
+	"github.com/cameo-stream/cameo/internal/testkit"
 )
 
 // The tests in this file assert the *shapes* the paper claims — who wins,
 // in which direction, roughly how strongly — against the regenerated
 // figures. Absolute numbers are environment-specific by design.
 
-// cell parses table cell [row][col] as a float.
+// cell and findRow delegate to the shared experiment-table accessors in
+// internal/testkit, which replaced the ad-hoc copies here.
 func cell(t *testing.T, tb *Table, row, col int) float64 {
 	t.Helper()
-	if row >= len(tb.Rows) || col >= len(tb.Rows[row]) {
-		t.Fatalf("table %q has no cell (%d,%d)", tb.Title, row, col)
-	}
-	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
-	if err != nil {
-		t.Fatalf("table %q cell (%d,%d) = %q not numeric", tb.Title, row, col, tb.Rows[row][col])
-	}
-	return v
+	return testkit.Cell(t, tb.Title, tb.Rows, row, col)
 }
 
-// findRow returns the first row whose leading cells match the given labels.
 func findRow(t *testing.T, tb *Table, labels ...string) int {
 	t.Helper()
-	for i, row := range tb.Rows {
-		ok := true
-		for j, l := range labels {
-			if j >= len(row) || !strings.HasPrefix(row[j], l) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return i
-		}
-	}
-	t.Fatalf("table %q has no row %v", tb.Title, labels)
-	return -1
+	return testkit.FindRow(t, tb.Title, tb.Rows, labels...)
 }
 
 func TestFig01Shape(t *testing.T) {

@@ -84,6 +84,7 @@ type ScheduleEvent struct {
 	Stage int
 	Op    string
 	P     vtime.Time // logical time of the message, to colour windows
+	Msg   int64      // engine-assigned message ID, for execution-order diffs
 }
 
 // ScheduleTrace records operator executions in arrival order.

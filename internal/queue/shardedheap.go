@@ -1,0 +1,196 @@
+package queue
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// GlobalLane is the lane index of a ShardedHeap's overflow lane.
+const GlobalLane = -1
+
+type shardLane[T comparable] struct {
+	mu sync.Mutex
+	h  *IndexedHeap[T]
+	_  [40]byte // pad to a cache line so shard locks don't false-share
+}
+
+// ShardedHeap is the concurrent run-queue under the real-time engine's
+// sharded dispatcher: one priority heap ("shard") per worker plus a global
+// overflow lane, each behind its own mutex. It is the deadline-ordered
+// concurrent realization of the Bag semantics — per-worker local lists with
+// a shared lane and stealing — except every lane is a min-heap on Pri, so a
+// worker always takes its most urgent local item and steals the most urgent
+// item of a victim, never an arbitrary one.
+//
+// Lock discipline: every operation locks at most ONE lane at a time, so
+// callers may hold their own (coarser) locks around ShardedHeap calls
+// without ordering hazards. Membership is not tracked across lanes; callers
+// that need re-keying remember which lane they inserted a value into and
+// pass it back (a stale lane index is safe — Update reports false when the
+// value is no longer there).
+type ShardedHeap[T comparable] struct {
+	shards []shardLane[T]
+	global shardLane[T]
+	// lens[i] mirrors shard i's heap length and glen the global lane's, so
+	// idle checks and steal scans can skip empty lanes without locking.
+	lens []atomic.Int64
+	glen atomic.Int64
+	size atomic.Int64
+}
+
+// NewShardedHeap returns a heap with the given number of worker shards.
+func NewShardedHeap[T comparable](shards int) *ShardedHeap[T] {
+	if shards <= 0 {
+		panic("queue: ShardedHeap needs at least one shard")
+	}
+	s := &ShardedHeap[T]{
+		shards: make([]shardLane[T], shards),
+		lens:   make([]atomic.Int64, shards),
+	}
+	for i := range s.shards {
+		s.shards[i].h = NewIndexedHeap[T]()
+	}
+	s.global.h = NewIndexedHeap[T]()
+	return s
+}
+
+// Shards reports the number of worker shards (excluding the global lane).
+func (s *ShardedHeap[T]) Shards() int { return len(s.shards) }
+
+// Len reports the total queued values across all lanes.
+func (s *ShardedHeap[T]) Len() int { return int(s.size.Load()) }
+
+// LaneLen reports lane's current length without locking (GlobalLane for the
+// overflow lane). It is a racy snapshot, suitable only for heuristics.
+func (s *ShardedHeap[T]) LaneLen(lane int) int {
+	if lane == GlobalLane {
+		return int(s.glen.Load())
+	}
+	return int(s.lens[lane].Load())
+}
+
+func (s *ShardedHeap[T]) lane(i int) (*shardLane[T], *atomic.Int64) {
+	if i == GlobalLane {
+		return &s.global, &s.glen
+	}
+	return &s.shards[i], &s.lens[i]
+}
+
+// Push inserts v with priority p into the given lane (GlobalLane for the
+// overflow lane). v must not already be in that lane.
+func (s *ShardedHeap[T]) Push(lane int, v T, p Pri) {
+	l, n := s.lane(lane)
+	l.mu.Lock()
+	l.h.Push(v, p)
+	n.Store(int64(l.h.Len()))
+	l.mu.Unlock()
+	s.size.Add(1)
+}
+
+// Update re-keys v inside the given lane, reporting whether v was present.
+// A false return means v was concurrently popped or stolen — the popper
+// observes the caller's state change instead, so a miss is never an error.
+func (s *ShardedHeap[T]) Update(lane int, v T, p Pri) bool {
+	l, _ := s.lane(lane)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.h.Contains(v) {
+		return false
+	}
+	l.h.Update(v, p)
+	return true
+}
+
+// Remove deletes v from the given lane if still present.
+func (s *ShardedHeap[T]) Remove(lane int, v T) bool {
+	l, n := s.lane(lane)
+	l.mu.Lock()
+	ok := l.h.Remove(v)
+	n.Store(int64(l.h.Len()))
+	l.mu.Unlock()
+	if ok {
+		s.size.Add(-1)
+	}
+	return ok
+}
+
+// PopLane removes and returns the most urgent value of one lane.
+func (s *ShardedHeap[T]) PopLane(lane int) (v T, p Pri, ok bool) {
+	l, n := s.lane(lane)
+	l.mu.Lock()
+	v, p, ok = l.h.PopMin()
+	n.Store(int64(l.h.Len()))
+	l.mu.Unlock()
+	if ok {
+		s.size.Add(-1)
+	}
+	return v, p, ok
+}
+
+// PeekLane returns the most urgent value of one lane without removing it.
+func (s *ShardedHeap[T]) PeekLane(lane int) (v T, p Pri, ok bool) {
+	l, _ := s.lane(lane)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.h.PeekMin()
+}
+
+// PopLocalOrGlobal removes and returns the more urgent of worker w's shard
+// head and the global lane head — the acquisition fast path. The two lanes
+// are peeked under separate locks, so under contention the choice is a
+// heuristic snapshot; the popped value is always the current minimum of the
+// lane it came from.
+func (s *ShardedHeap[T]) PopLocalOrGlobal(w int) (v T, p Pri, ok bool) {
+	for attempt := 0; attempt < 2; attempt++ {
+		var lp, gp Pri
+		var lok, gok bool
+		_, lp, lok = s.PeekLane(w)
+		if s.glen.Load() > 0 {
+			_, gp, gok = s.PeekLane(GlobalLane)
+		}
+		if !lok && !gok {
+			return v, p, false
+		}
+		first, second := w, GlobalLane
+		if gok && (!lok || gp.Less(lp)) {
+			first, second = GlobalLane, w
+		}
+		if v, p, ok = s.PopLane(first); ok {
+			return v, p, true
+		}
+		if v, p, ok = s.PopLane(second); ok {
+			return v, p, true
+		}
+		// Both lanes were emptied between peek and pop (a thief took the
+		// local head, another worker the global); rescan once.
+	}
+	return v, p, false
+}
+
+// Steal removes and returns the most urgent value among all OTHER workers'
+// shards — priority-aware stealing: the thief scans every victim's head and
+// takes the globally most urgent, not the first it finds. ok is false when
+// every victim is empty.
+func (s *ShardedHeap[T]) Steal(thief int) (v T, p Pri, ok bool) {
+	for attempt := 0; attempt < 2; attempt++ {
+		best, found := -1, false
+		var bestPri Pri
+		for i := 1; i < len(s.shards); i++ {
+			victim := (thief + i) % len(s.shards)
+			if s.lens[victim].Load() == 0 {
+				continue
+			}
+			if _, vp, vok := s.PeekLane(victim); vok && (!found || vp.Less(bestPri)) {
+				best, bestPri, found = victim, vp, true
+			}
+		}
+		if !found {
+			return v, p, false
+		}
+		if v, p, ok = s.PopLane(best); ok {
+			return v, p, true
+		}
+		// The chosen victim was drained between peek and pop; rescan once.
+	}
+	return v, p, false
+}

@@ -1,0 +1,167 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestShardedHeapLaneOrdering(t *testing.T) {
+	s := NewShardedHeap[string](2)
+	s.Push(0, "c", Pri{Key: 3})
+	s.Push(0, "a", Pri{Key: 1})
+	s.Push(0, "b", Pri{Key: 2})
+	s.Push(GlobalLane, "g", Pri{Key: 0})
+	if s.Len() != 4 || s.LaneLen(0) != 3 || s.LaneLen(GlobalLane) != 1 {
+		t.Fatalf("lengths: total=%d lane0=%d global=%d", s.Len(), s.LaneLen(0), s.LaneLen(GlobalLane))
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		v, _, ok := s.PopLane(0)
+		if !ok || v != want {
+			t.Fatalf("PopLane(0) = %q, want %q", v, want)
+		}
+	}
+	if v, _, ok := s.PopLane(GlobalLane); !ok || v != "g" {
+		t.Fatalf("global pop = %q", v)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after draining", s.Len())
+	}
+}
+
+func TestShardedHeapPopLocalOrGlobal(t *testing.T) {
+	s := NewShardedHeap[string](2)
+	s.Push(0, "local", Pri{Key: 5})
+	s.Push(GlobalLane, "urgent", Pri{Key: 1})
+	if v, _, _ := s.PopLocalOrGlobal(0); v != "urgent" {
+		t.Fatalf("first pop = %q, want the more urgent global item", v)
+	}
+	if v, _, _ := s.PopLocalOrGlobal(0); v != "local" {
+		t.Fatalf("second pop = %q, want local", v)
+	}
+	if _, _, ok := s.PopLocalOrGlobal(0); ok {
+		t.Fatal("pop from empty heap succeeded")
+	}
+	// Local wins when it is the more urgent side.
+	s.Push(0, "l2", Pri{Key: 1})
+	s.Push(GlobalLane, "g2", Pri{Key: 5})
+	if v, _, _ := s.PopLocalOrGlobal(0); v != "l2" {
+		t.Fatalf("pop = %q, want more urgent local item", v)
+	}
+}
+
+// TestShardedHeapStealMostUrgent is the stealing contract: a thief takes
+// the most urgent item across all victims' shards, not the first or an
+// arbitrary one.
+func TestShardedHeapStealMostUrgent(t *testing.T) {
+	s := NewShardedHeap[string](4)
+	s.Push(1, "lax", Pri{Key: 50})
+	s.Push(2, "mid", Pri{Key: 20})
+	s.Push(3, "urgent", Pri{Key: 5})
+	s.Push(3, "urgent2", Pri{Key: 7})
+	for _, want := range []string{"urgent", "urgent2", "mid", "lax"} {
+		v, _, ok := s.Steal(0)
+		if !ok || v != want {
+			t.Fatalf("Steal = %q, want %q", v, want)
+		}
+	}
+	if _, _, ok := s.Steal(0); ok {
+		t.Fatal("steal from empty heap succeeded")
+	}
+	// A thief never steals from its own shard.
+	s.Push(0, "own", Pri{Key: 1})
+	if _, _, ok := s.Steal(0); ok {
+		t.Fatal("thief stole from its own shard")
+	}
+}
+
+func TestShardedHeapUpdateAndRemove(t *testing.T) {
+	s := NewShardedHeap[string](1)
+	s.Push(0, "x", Pri{Key: 10})
+	s.Push(0, "y", Pri{Key: 5})
+	if !s.Update(0, "x", Pri{Key: 1}) {
+		t.Fatal("Update of present value failed")
+	}
+	if s.Update(0, "ghost", Pri{Key: 1}) {
+		t.Fatal("Update of absent value succeeded")
+	}
+	if v, _, _ := s.PeekLane(0); v != "x" {
+		t.Fatalf("head after re-key = %q", v)
+	}
+	if !s.Remove(0, "x") || s.Remove(0, "x") {
+		t.Fatal("Remove semantics wrong")
+	}
+	if v, _, _ := s.PopLane(0); v != "y" || s.Len() != 0 {
+		t.Fatalf("after remove: pop=%q len=%d", v, s.Len())
+	}
+}
+
+// TestShardedHeapConcurrent hammers all entry points from many goroutines;
+// run under -race it checks the locking, and the final count checks that
+// no item is lost or duplicated.
+func TestShardedHeapConcurrent(t *testing.T) {
+	const (
+		shards  = 4
+		pushers = 8
+		items   = 2000
+	)
+	s := NewShardedHeap[int](shards)
+	var popped sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				id := g*items + i
+				lane := id % (shards + 1)
+				if lane == shards {
+					lane = GlobalLane
+				}
+				s.Push(lane, id, Pri{Key: int64(id % 97), Tie: int64(id)})
+			}
+		}(g)
+	}
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			misses := 0
+			for misses < 1000 {
+				v, _, ok := s.PopLocalOrGlobal(w)
+				if !ok {
+					v, _, ok = s.Steal(w)
+				}
+				if !ok {
+					misses++
+					continue
+				}
+				misses = 0
+				if _, dup := popped.LoadOrStore(v, true); dup {
+					t.Errorf("item %d popped twice", v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Drain the stragglers left when the consumers hit their miss limit.
+	for {
+		v, _, ok := s.PopLocalOrGlobal(0)
+		if !ok {
+			if v, _, ok = s.Steal(0); !ok {
+				break
+			}
+		}
+		if _, dup := popped.LoadOrStore(v, true); dup {
+			t.Fatalf("item %d popped twice", v)
+		}
+	}
+	total := 0
+	popped.Range(func(any, any) bool { total++; return true })
+	if total != pushers*items {
+		t.Fatalf("popped %d items, pushed %d", total, pushers*items)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after drain", s.Len())
+	}
+}

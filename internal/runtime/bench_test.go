@@ -1,0 +1,143 @@
+package runtime_test
+
+// Multi-worker scaling benchmarks comparing the two dispatch paths on the
+// paper's two shared-cluster shapes:
+//
+//   - multitenant: latency-sensitive jobs collocated with bulk-analytics
+//     jobs (the Figure 8 setting);
+//   - fairshare: identical jobs sharing the node (the Figure 6 setting).
+//
+// One benchmark iteration ingests a fixed seeded workload from one
+// producer goroutine per job (the concurrent-ingest path) and drains it;
+// msg/s is reported so mode-vs-mode speedups read directly.
+//
+//	go test -bench Dispatch -benchtime 3x ./internal/runtime/
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/runtime"
+	"github.com/cameo-stream/cameo/internal/testkit"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+type benchJob struct {
+	spec dataflow.JobSpec
+	wl   testkit.Workload
+}
+
+// multitenantJobs: two strict small-window jobs and two lax bulk jobs —
+// many cheap messages, so the dispatcher (not the handler) is the
+// bottleneck, as in the paper's motivating workloads.
+func multitenantJobs() []benchJob {
+	win := 10 * vtime.Millisecond
+	var jobs []benchJob
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("ls%d", i)
+		jobs = append(jobs, benchJob{
+			spec: testkit.AggSpec(name, 4, 4, win, 100*vtime.Millisecond),
+			wl:   testkit.Workload{Seed: uint64(i + 1), Sources: 4, Windows: 60, Tuples: 4, Keys: 16, Win: win},
+		})
+	}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("ba%d", i)
+		jobs = append(jobs, benchJob{
+			spec: testkit.AggSpec(name, 4, 4, 5*win, 10*vtime.Second),
+			wl:   testkit.Workload{Seed: uint64(i + 10), Sources: 4, Windows: 12, Tuples: 40, Keys: 64, Win: 5 * win},
+		})
+	}
+	return jobs
+}
+
+// fairshareJobs: three identical jobs contending for the pool.
+func fairshareJobs() []benchJob {
+	win := 10 * vtime.Millisecond
+	var jobs []benchJob
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("fs%d", i)
+		jobs = append(jobs, benchJob{
+			spec: testkit.AggSpec(name, 4, 4, win, 100*vtime.Millisecond),
+			wl:   testkit.Workload{Seed: uint64(i + 21), Sources: 4, Windows: 60, Tuples: 4, Keys: 16, Win: win},
+		})
+	}
+	return jobs
+}
+
+type preBatch struct {
+	job string
+	src int
+	b   *dataflow.Batch
+	p   vtime.Time
+}
+
+// prepare renders every batch up front so the timed loop measures ingest
+// and scheduling, not workload generation.
+func prepare(jobs []benchJob) [][]preBatch {
+	var feeds [][]preBatch
+	for _, j := range jobs {
+		var f []preBatch
+		for w := 1; w <= j.wl.Windows; w++ {
+			for src := 0; src < j.wl.Sources; src++ {
+				f = append(f, preBatch{job: j.spec.Name, src: src, b: j.wl.Batch(src, w), p: j.wl.Progress(w)})
+			}
+		}
+		for src := 0; src < j.wl.Sources; src++ {
+			f = append(f, preBatch{job: j.spec.Name, src: src, b: nil, p: j.wl.Progress(j.wl.Windows + 1)})
+		}
+		feeds = append(feeds, f)
+	}
+	return feeds
+}
+
+func benchDispatch(b *testing.B, jobs []benchJob, mode runtime.DispatchMode, workers int) {
+	feeds := prepare(jobs)
+	e := runtime.New(runtime.Config{Workers: workers, Dispatch: mode})
+	for _, j := range jobs {
+		if _, err := e.AddJob(j.spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Start()
+	defer e.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, feed := range feeds {
+			wg.Add(1)
+			go func(feed []preBatch) {
+				defer wg.Done()
+				for _, pb := range feed {
+					if err := e.Ingest(pb.job, pb.src, pb.b, pb.p); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(feed)
+		}
+		wg.Wait()
+		if !e.Drain(30 * time.Second) {
+			b.Fatal("engine did not drain")
+		}
+	}
+	b.StopTimer()
+	msgs := float64(e.Executed()) / float64(b.N)
+	b.ReportMetric(msgs*float64(b.N)/b.Elapsed().Seconds(), "msg/s")
+}
+
+func benchModesAndWorkers(b *testing.B, jobs func() []benchJob) {
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%v/w%d", mode, workers), func(b *testing.B) {
+				benchDispatch(b, jobs(), mode, workers)
+			})
+		}
+	}
+}
+
+func BenchmarkDispatchMultitenant(b *testing.B) { benchModesAndWorkers(b, multitenantJobs) }
+func BenchmarkDispatchFairshare(b *testing.B)   { benchModesAndWorkers(b, fairshareJobs) }

@@ -4,10 +4,20 @@
 // the examples under examples/ are built on it — and it cross-checks that
 // Cameo's scheduling behaviour holds outside virtual time.
 //
-// One Engine is one node: a worker pool pulling from a single dispatcher,
+// One Engine is one node: a worker pool pulling deadline-ordered work,
 // exactly like a simulated node. Events enter through Ingest; operator
 // costs are measured (not modelled) and feed the same profiling machinery
 // the policies consume.
+//
+// Two dispatch paths implement the worker protocol:
+//
+//   - DispatchSingleLock wraps the sequential core.Dispatcher in one
+//     engine-wide mutex — simple, supports every SchedulerKind, and is the
+//     reference the sharded path is cross-checked against.
+//   - DispatchSharded (the default for the Cameo scheduler) shards the run
+//     queue per worker with a global overflow lane and priority-aware work
+//     stealing, so Ingest and the workers contend only on narrow per-shard
+//     locks. See sharded.go.
 package runtime
 
 import (
@@ -22,17 +32,52 @@ import (
 	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
+// DispatchMode selects the engine's concurrency strategy for scheduling.
+type DispatchMode int
+
+const (
+	// DispatchAuto picks DispatchSharded for the Cameo scheduler and
+	// DispatchSingleLock for the baseline schedulers.
+	DispatchAuto DispatchMode = iota
+	// DispatchSharded uses per-worker deadline heaps with a global overflow
+	// lane and priority-aware work stealing. Requires the Cameo scheduler.
+	DispatchSharded
+	// DispatchSingleLock serializes all scheduling through one engine-wide
+	// mutex around the sequential dispatcher — the pre-sharding behaviour.
+	DispatchSingleLock
+)
+
+// String names the dispatch mode.
+func (m DispatchMode) String() string {
+	switch m {
+	case DispatchAuto:
+		return "auto"
+	case DispatchSharded:
+		return "sharded"
+	case DispatchSingleLock:
+		return "single-lock"
+	}
+	return fmt.Sprintf("dispatch(%d)", int(m))
+}
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Workers is the worker-pool size (defaults to 1).
 	Workers int
-	// Scheduler selects the dispatcher (default Cameo).
+	// Scheduler selects the run-queue discipline (default Cameo).
 	Scheduler core.SchedulerKind
 	// Policy generates priorities; defaults like the simulator (LLF for
 	// Cameo, arrival order for baselines).
 	Policy core.Policy
 	// Quantum is the re-scheduling grain (default 1 ms).
 	Quantum vtime.Duration
+	// Dispatch selects the concurrency strategy (default DispatchAuto).
+	// The sharded path implements Cameo's deadline ordering only; asking
+	// for it with a baseline scheduler falls back to the single lock.
+	Dispatch DispatchMode
+	// TraceLimit, when positive, records up to this many executions in a
+	// schedule trace (mirrors sim.Config.TraceLimit), exposed via Trace.
+	TraceLimit int
 }
 
 func (c *Config) fill() {
@@ -49,6 +94,12 @@ func (c *Config) fill() {
 			c.Policy = core.ArrivalPolicy{}
 		}
 	}
+	if c.Dispatch == DispatchAuto {
+		c.Dispatch = DispatchSharded
+	}
+	if c.Dispatch == DispatchSharded && c.Scheduler != core.CameoScheduler {
+		c.Dispatch = DispatchSingleLock
+	}
 }
 
 // Engine is a single-node real-time stream engine.
@@ -56,20 +107,39 @@ type Engine struct {
 	cfg   Config
 	clock *vtime.WallClock
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	disp    core.Dispatcher[*dataflow.Operator]
+	jobsMu  sync.RWMutex
 	jobs    map[string]*dataflow.Job
-	started bool
-	stopped bool
-	active  int // workers currently executing a message
+	started atomic.Bool
+	stopped atomic.Bool
+
+	path dispatchPath
 
 	rec           *metrics.Recorder
 	overhead      *metrics.Overhead
+	trace         *metrics.ScheduleTrace
 	msgID         atomic.Int64
 	executed      atomic.Int64
 	handlerPanics atomic.Int64
-	wg            sync.WaitGroup
+	// outstanding counts messages that exist but have not finished
+	// executing: incremented when a message is created (ingest; children
+	// in the same atomic op as their parent's completion), decremented on
+	// completion. A single atomic read therefore gives Drain a consistent
+	// idle test — the consistency the engine-wide mutex used to provide.
+	outstanding atomic.Int64
+	wg          sync.WaitGroup
+}
+
+// dispatchPath is the concurrency strategy behind an Engine; exactly one
+// implementation is instantiated per engine, per Config.Dispatch.
+type dispatchPath interface {
+	// worker runs one pool goroutine's scheduling loop until stop.
+	worker(id int)
+	// ingest enqueues externally arrived messages and wakes workers.
+	ingest(msgs []dataflow.ChildMessage)
+	// pendingCount reports queued (not yet popped) messages.
+	pendingCount() int
+	// stopAll wakes every blocked worker so it can observe e.stopped.
+	stopAll()
 }
 
 // New returns an engine; add jobs, then Start it.
@@ -78,20 +148,32 @@ func New(cfg Config) *Engine {
 	e := &Engine{
 		cfg:      cfg,
 		clock:    vtime.NewWallClock(),
-		disp:     core.NewDispatcher[*dataflow.Operator](cfg.Scheduler, cfg.Workers),
 		jobs:     make(map[string]*dataflow.Job),
 		rec:      metrics.NewRecorder(),
 		overhead: &metrics.Overhead{},
 	}
-	e.cond = sync.NewCond(&e.mu)
+	if cfg.TraceLimit > 0 {
+		e.trace = metrics.NewScheduleTrace(cfg.TraceLimit)
+	}
+	if cfg.Dispatch == DispatchSharded {
+		e.path = newShardedPath(e, cfg.Workers)
+	} else {
+		e.path = newSingleLockPath(e, cfg)
+	}
 	return e
 }
+
+// Dispatch reports the dispatch mode the engine resolved to.
+func (e *Engine) Dispatch() DispatchMode { return e.cfg.Dispatch }
 
 // Recorder exposes collected output metrics.
 func (e *Engine) Recorder() *metrics.Recorder { return e.rec }
 
 // Overhead exposes the engine's time accounting.
 func (e *Engine) Overhead() *metrics.Overhead { return e.overhead }
+
+// Trace exposes the schedule trace (nil unless Config.TraceLimit was set).
+func (e *Engine) Trace() *metrics.ScheduleTrace { return e.trace }
 
 // Now reports engine time (microseconds since engine creation).
 func (e *Engine) Now() vtime.Time { return e.clock.Now() }
@@ -107,9 +189,9 @@ func (e *Engine) HandlerPanics() int64 { return e.handlerPanics.Load() }
 // AddJob instantiates a job on this engine. Jobs must be added before
 // Start.
 func (e *Engine) AddJob(spec dataflow.JobSpec) (*dataflow.Job, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.started {
+	e.jobsMu.Lock()
+	defer e.jobsMu.Unlock()
+	if e.started.Load() {
 		return nil, fmt.Errorf("runtime: AddJob after Start")
 	}
 	if _, dup := e.jobs[spec.Name]; dup {
@@ -126,40 +208,35 @@ func (e *Engine) AddJob(spec dataflow.JobSpec) (*dataflow.Job, error) {
 
 // Start launches the worker pool.
 func (e *Engine) Start() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.started {
+	if e.started.Swap(true) {
 		return
 	}
-	e.started = true
 	for i := 0; i < e.cfg.Workers; i++ {
 		e.wg.Add(1)
-		go e.worker(i)
+		go e.path.worker(i)
 	}
 }
 
 // Stop shuts the workers down and waits for them to exit. Pending messages
 // are abandoned; call Drain first for a clean flush.
 func (e *Engine) Stop() {
-	e.mu.Lock()
-	if !e.started || e.stopped {
-		e.mu.Unlock()
+	if !e.started.Load() || e.stopped.Swap(true) {
 		return
 	}
-	e.stopped = true
-	e.cond.Broadcast()
-	e.mu.Unlock()
+	e.path.stopAll()
 	e.wg.Wait()
 }
 
 // Ingest feeds one source batch for a job: src is the source channel, b the
 // tuple batch, p the stream progress (logical time of the newest tuple).
-// The arrival time is stamped by the engine clock. Safe for concurrent use.
+// The arrival time is stamped by the engine clock. Safe for concurrent use;
+// under the sharded dispatcher concurrent ingests from different sources
+// proceed in parallel, contending only per shard.
 func (e *Engine) Ingest(job string, src int, b *dataflow.Batch, p vtime.Time) error {
-	e.mu.Lock()
+	e.jobsMu.RLock()
 	j, ok := e.jobs[job]
+	e.jobsMu.RUnlock()
 	if !ok {
-		e.mu.Unlock()
 		return fmt.Errorf("runtime: unknown job %q", job)
 	}
 	now := e.clock.Now()
@@ -168,23 +245,24 @@ func (e *Engine) Ingest(job string, src int, b *dataflow.Batch, p vtime.Time) er
 	e.overhead.AddPriGen(vtime.FromStd(time.Since(t0)))
 	for _, cm := range msgs {
 		cm.Msg.Enqueued = now
-		e.disp.Push(cm.Target, cm.Msg, -1)
 	}
-	e.cond.Broadcast()
-	e.mu.Unlock()
+	e.outstanding.Add(int64(len(msgs)))
+	e.path.ingest(msgs)
 	return nil
 }
 
+// Pending reports the number of queued (not yet executed) messages.
+func (e *Engine) Pending() int { return e.path.pendingCount() }
+
 // Drain blocks until every queued message has been executed (and no worker
 // is mid-message) or the timeout elapses; it reports whether the engine
-// fully drained.
+// fully drained. The outstanding counter covers queued AND in-flight
+// messages (children are added in the same atomic op that retires their
+// parent), so one atomic read is a consistent idle test.
 func (e *Engine) Drain(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
-		e.mu.Lock()
-		idle := e.disp.Pending() == 0 && e.active == 0
-		e.mu.Unlock()
-		if idle {
+		if e.outstanding.Load() == 0 {
 			return true
 		}
 		if time.Now().After(deadline) {
@@ -207,87 +285,51 @@ func (e *Engine) safeInvoke(op *dataflow.Operator, m *core.Message, now vtime.Ti
 	return dataflow.Invoke(op, m, now), false
 }
 
-// worker is the scheduling loop of one pool thread, the real-time
-// incarnation of the dispatcher protocol.
-func (e *Engine) worker(id int) {
-	defer e.wg.Done()
-	e.mu.Lock()
-	for {
-		if e.stopped {
-			e.mu.Unlock()
-			return
-		}
-		op, ok := e.disp.NextOp(id)
-		if !ok {
-			// No acquirable operator right now. This must Wait (releasing
-			// the lock) even when messages are pending for operators other
-			// workers hold — spinning here would hold the mutex and
-			// deadlock the workers that need it to finish their messages.
-			e.cond.Wait()
-			continue
-		}
-		acquired := e.clock.Now()
-		for {
-			m, ok := e.disp.PopMsg(op)
-			if !ok {
-				e.disp.Done(op, id)
-				e.cond.Broadcast() // Done may have requeued the operator
-				break
-			}
-			e.active++
-			e.mu.Unlock()
-
-			start := e.clock.Now()
-			emissions, panicked := e.safeInvoke(op, m, start)
-			cost := e.clock.Now() - start
-			if cost <= 0 {
-				cost = 1
-			}
-			if panicked {
-				// The message is dropped but the operator, its profile,
-				// and the worker all keep going — one bad tuple must not
-				// take the engine down.
-				e.handlerPanics.Add(1)
-				emissions = nil
-			}
-			t0 := time.Now()
-			outcome := dataflow.Finish(op, m, emissions, cost, e.cfg.Policy, e.nextID)
-			prigen := vtime.FromStd(time.Since(t0))
-			now := e.clock.Now()
-
-			e.overhead.AddExec(cost)
-			e.overhead.AddPriGen(prigen)
-			e.executed.Add(1)
-			for _, o := range outcome.Outputs {
-				e.rec.Record(metrics.Output{
-					Job: op.Job.Spec.Name, Emitted: now, Ready: o.T, Window: int64(o.P),
-				})
-			}
-
-			e.mu.Lock()
-			e.active--
-			for _, cm := range outcome.Children {
-				cm.Msg.Enqueued = now
-				e.disp.Push(cm.Target, cm.Msg, id)
-			}
-			if len(outcome.Children) > 0 {
-				e.cond.Broadcast()
-			}
-			if e.stopped {
-				e.disp.Done(op, id)
-				e.mu.Unlock()
-				return
-			}
-			if now-acquired >= e.cfg.Quantum {
-				// Re-scheduling decision point: swap if more urgent work
-				// waits, otherwise start a fresh quantum.
-				if e.disp.ShouldYield(op) {
-					e.disp.Done(op, id)
-					e.cond.Broadcast()
-					break
-				}
-				acquired = now
-			}
-		}
+// execMessage runs one message end to end — invoke, profile, route, record
+// — and returns the derived child messages (stamped Enqueued) plus the
+// completion instant. Both worker loops call it with no scheduling locks
+// held; everything it touches is either owned by the executing worker (the
+// operator, under the actor guarantee) or internally synchronized.
+func (e *Engine) execMessage(op *dataflow.Operator, m *core.Message) ([]dataflow.ChildMessage, vtime.Time) {
+	start := e.clock.Now()
+	emissions, panicked := e.safeInvoke(op, m, start)
+	cost := e.clock.Now() - start
+	if cost <= 0 {
+		cost = 1
 	}
+	if panicked {
+		// The message is dropped but the operator, its profile, and the
+		// worker all keep going — one bad tuple must not take the engine
+		// down.
+		e.handlerPanics.Add(1)
+		emissions = nil
+	}
+	t0 := time.Now()
+	outcome := dataflow.Finish(op, m, emissions, cost, e.cfg.Policy, e.nextID)
+	prigen := vtime.FromStd(time.Since(t0))
+	now := e.clock.Now()
+
+	e.overhead.AddExec(cost)
+	e.overhead.AddPriGen(prigen)
+	e.executed.Add(1)
+	for _, o := range outcome.Outputs {
+		e.rec.Record(metrics.Output{
+			Job: op.Job.Spec.Name, Emitted: now, Ready: o.T, Window: int64(o.P),
+		})
+	}
+	if e.trace != nil {
+		e.trace.Add(metrics.ScheduleEvent{
+			Start: start, Cost: cost,
+			Job: op.Job.Spec.Name, Stage: op.Stage, Op: op.Name, P: m.P, Msg: m.ID,
+		})
+	}
+	for _, cm := range outcome.Children {
+		cm.Msg.Enqueued = now
+	}
+	// One atomic op both registers the children and retires the parent,
+	// so the outstanding count can never dip to zero while derived work
+	// exists. The children are counted before the caller pushes them —
+	// over-counting briefly, never under-counting.
+	e.outstanding.Add(int64(len(outcome.Children)) - 1)
+	return outcome.Children, now
 }

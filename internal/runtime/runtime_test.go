@@ -7,109 +7,82 @@ import (
 
 	"github.com/cameo-stream/cameo/internal/core"
 	"github.com/cameo-stream/cameo/internal/dataflow"
-	"github.com/cameo-stream/cameo/internal/operators"
+	"github.com/cameo-stream/cameo/internal/testkit"
 	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
+const testWin = 50 * vtime.Millisecond
+
 func lsSpec(name string) dataflow.JobSpec {
-	win := 50 * vtime.Millisecond
-	return dataflow.JobSpec{
-		Name:    name,
-		Latency: 500 * vtime.Millisecond,
-		Sources: 2,
-		Stages: []dataflow.StageSpec{
-			{Name: "agg", Parallelism: 2, Slide: win,
-				NewHandler: operators.WindowAgg(operators.WindowAggSpec{Size: win, Slide: win, Agg: operators.Sum})},
-			{Name: "total", Parallelism: 1, Slide: win,
-				NewHandler: operators.WindowAgg(operators.WindowAggSpec{Size: win, Slide: win, Agg: operators.Sum, Global: true})},
-		},
-	}
+	return testkit.AggSpec(name, 2, 2, testWin, 500*vtime.Millisecond)
 }
 
-// ingestWindows pushes n windows' worth of batches into the engine using
-// the engine clock as both logical and physical time (ingestion time).
-func ingestWindows(t *testing.T, e *Engine, job string, windows int) {
-	t.Helper()
-	win := 50 * vtime.Millisecond
-	for w := 1; w <= windows; w++ {
-		p := vtime.Time(w) * win
-		for src := 0; src < 2; src++ {
-			b := dataflow.NewBatch(10)
-			for i := 0; i < 10; i++ {
-				b.Append(p-vtime.Time(i+1), int64(i), 1)
-			}
-			if err := e.Ingest(job, src, b, p); err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-	// A trailing progress-only ingest closes the final window.
-	for src := 0; src < 2; src++ {
-		if err := e.Ingest(job, src, nil, vtime.Time(windows+1)*win); err != nil {
-			t.Fatal(err)
-		}
-	}
+// testLoad is the shared seeded workload: 10 windows x 2 sources x 10
+// tuples.
+func testLoad(windows int) testkit.Workload {
+	return testkit.Workload{Seed: 7, Sources: 2, Windows: windows, Tuples: 10, Keys: 10, Win: testWin}
 }
 
 func TestEngineEndToEnd(t *testing.T) {
 	for _, kind := range []core.SchedulerKind{core.CameoScheduler, core.OrleansScheduler, core.FIFOScheduler} {
-		e := New(Config{Workers: 2, Scheduler: kind})
-		if _, err := e.AddJob(lsSpec("j")); err != nil {
-			t.Fatal(err)
-		}
-		e.Start()
-		ingestWindows(t, e, "j", 10)
-		if !e.Drain(5 * time.Second) {
-			t.Fatalf("%v: engine did not drain", kind)
-		}
-		e.Stop()
-		js := e.Recorder().Job("j")
-		if js.Latencies.Len() < 8 {
-			t.Fatalf("%v: outputs = %d, want >= 8", kind, js.Latencies.Len())
-		}
-		if e.Executed() == 0 {
-			t.Fatalf("%v: no messages executed", kind)
-		}
-		snap := e.Overhead().Snapshot()
-		if snap.Exec <= 0 || snap.Messages != e.Executed() {
-			t.Fatalf("%v: overhead accounting %+v", kind, snap)
+		for _, mode := range []DispatchMode{DispatchSingleLock, DispatchSharded} {
+			t.Run(kind.String()+"/"+mode.String(), func(t *testing.T) {
+				defer testkit.LeakCheck(t)()
+				e := New(Config{Workers: 2, Scheduler: kind, Dispatch: mode})
+				if kind != core.CameoScheduler && e.Dispatch() != DispatchSingleLock {
+					t.Fatal("baseline scheduler did not fall back to single lock")
+				}
+				if _, err := e.AddJob(lsSpec("j")); err != nil {
+					t.Fatal(err)
+				}
+				e.Start()
+				testLoad(10).IngestAll(t, e, "j")
+				testkit.DrainOrFail(t, e, 5*time.Second)
+				e.Stop()
+				js := e.Recorder().Job("j")
+				if js.Latencies.Len() < 8 {
+					t.Fatalf("outputs = %d, want >= 8", js.Latencies.Len())
+				}
+				if e.Executed() == 0 {
+					t.Fatal("no messages executed")
+				}
+				snap := e.Overhead().Snapshot()
+				if snap.Exec <= 0 || snap.Messages != e.Executed() {
+					t.Fatalf("overhead accounting %+v", snap)
+				}
+			})
 		}
 	}
 }
 
 func TestEngineConcurrentIngest(t *testing.T) {
-	e := New(Config{Workers: 4})
-	if _, err := e.AddJob(lsSpec("j")); err != nil {
-		t.Fatal(err)
-	}
-	e.Start()
-	defer e.Stop()
+	for _, mode := range []DispatchMode{DispatchSingleLock, DispatchSharded} {
+		e := New(Config{Workers: 4, Dispatch: mode})
+		if _, err := e.AddJob(lsSpec("j")); err != nil {
+			t.Fatal(err)
+		}
+		e.Start()
 
-	var wg sync.WaitGroup
-	win := 50 * vtime.Millisecond
-	for src := 0; src < 2; src++ {
-		wg.Add(1)
-		go func(src int) {
-			defer wg.Done()
-			for w := 1; w <= 50; w++ {
-				b := dataflow.NewBatch(5)
-				p := vtime.Time(w) * win
-				for i := 0; i < 5; i++ {
-					b.Append(p-vtime.Time(i+1), int64(i), 1)
+		wl := testkit.Workload{Seed: 3, Sources: 2, Windows: 50, Tuples: 5, Keys: 5, Win: testWin}
+		var wg sync.WaitGroup
+		for src := 0; src < wl.Sources; src++ {
+			wg.Add(1)
+			go func(src int) {
+				defer wg.Done()
+				for w := 1; w <= wl.Windows; w++ {
+					if err := e.Ingest("j", src, wl.Batch(src, w), wl.Progress(w)); err != nil {
+						t.Error(err)
+						return
+					}
 				}
-				if err := e.Ingest("j", src, b, p); err != nil {
-					t.Error(err)
-					return
-				}
-			}
-		}(src)
-	}
-	wg.Wait()
-	if !e.Drain(5 * time.Second) {
-		t.Fatal("did not drain")
-	}
-	if e.Recorder().Job("j").Latencies.Len() < 40 {
-		t.Fatalf("outputs = %d", e.Recorder().Job("j").Latencies.Len())
+			}(src)
+		}
+		wg.Wait()
+		testkit.DrainOrFail(t, e, 5*time.Second)
+		if e.Recorder().Job("j").Latencies.Len() < 40 {
+			t.Fatalf("%v: outputs = %d", mode, e.Recorder().Job("j").Latencies.Len())
+		}
+		e.Stop()
 	}
 }
 

@@ -1,0 +1,388 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/queue"
+)
+
+// shardedPath is the concurrent dispatch strategy: a deadline-ordered
+// realization of the ConcurrentBag shape (per-worker local lanes, a shared
+// overflow lane, stealing) built from two lock domains —
+//
+//   - state shards: each operator's message heap and scheduling state live
+//     in a fixed home shard (hash of the operator name), guarded by that
+//     shard's mutex;
+//   - run-queue lanes: a queue.ShardedHeap of *runnable* operators keyed by
+//     the deadline (PriGlobal) of their head message — one lane per worker
+//     plus the global overflow lane, each with its own lock.
+//
+// The lock hierarchy is strict: a state-shard lock may be held while taking
+// one run-queue lane lock, never the reverse, and never two locks of the
+// same domain — so the structure is deadlock-free by construction.
+//
+// Worker protocol (the same acquire/drain/yield protocol as the sequential
+// dispatcher, made concurrent):
+//
+//	acquire: pop the more urgent of (own lane head, overflow head); when
+//	         both are empty, steal the most urgent head among the other
+//	         lanes; park when there is nothing anywhere.
+//	drain:   pop the acquired operator's messages in PriLocal order,
+//	         executing without any scheduling lock held.
+//	yield:   after a quantum, release the operator if a waiting operator
+//	         (own lane or overflow) is more urgent than our next message.
+//
+// Placement mirrors the Bag: children a worker generates make their target
+// operator runnable on the worker's own lane (locality), external arrivals
+// spread round-robin across lanes, overflowing to the global lane when the
+// chosen lane is running long. An operator's run-queue entry may therefore
+// sit on any lane while its messages stay in its home shard; the actor
+// guarantee (one worker per operator) is enforced by the acquired flag
+// under the home-shard lock, which every acquisition and release passes
+// through — that lock is also the happens-before edge carrying operator
+// state between consecutive workers.
+type shardedPath struct {
+	e       *Engine
+	workers int
+	runq    *queue.ShardedHeap[*dataflow.Operator]
+	states  []stateShard
+	pending atomic.Int64
+	rr      atomic.Int64 // round-robin cursor for external arrivals
+
+	parked []atomic.Bool
+	wake   []chan struct{}
+	stopCh chan struct{}
+}
+
+// laneNone marks an operator that is not on any run-queue lane (idle with
+// no messages, or acquired by a worker).
+const laneNone = -2
+
+type stateShard struct {
+	mu  sync.Mutex
+	ops map[*dataflow.Operator]*opState
+	_   [40]byte // keep shard locks on separate cache lines
+}
+
+type opState struct {
+	q        core.MsgHeap
+	acquired bool
+	lane     int // run-queue lane holding this operator, or laneNone
+}
+
+func newShardedPath(e *Engine, workers int) *shardedPath {
+	p := &shardedPath{
+		e:       e,
+		workers: workers,
+		runq:    queue.NewShardedHeap[*dataflow.Operator](workers),
+		states:  make([]stateShard, workers),
+		parked:  make([]atomic.Bool, workers),
+		wake:    make([]chan struct{}, workers),
+		stopCh:  make(chan struct{}),
+	}
+	for i := range p.states {
+		p.states[i].ops = make(map[*dataflow.Operator]*opState)
+	}
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+	}
+	return p
+}
+
+// home returns the state shard owning op. The inline FNV-1a hash of the
+// stable operator name (rather than pointer identity) keeps placement
+// deterministic across runs — which the equivalence tests rely on — and
+// allocation-free, since home sits on every push and pop.
+func (p *shardedPath) home(op *dataflow.Operator) *stateShard {
+	return &p.states[p.homeIdx(op)]
+}
+
+func (p *shardedPath) homeIdx(op *dataflow.Operator) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(op.Name); i++ {
+		h = (h ^ uint32(op.Name[i])) * 16777619
+	}
+	return int(h % uint32(p.workers))
+}
+
+func (p *shardedPath) pendingCount() int { return int(p.pending.Load()) }
+
+// laneFor picks the run-queue lane for a newly runnable operator. Workers
+// keep their own lane (locality: the freshest producer is the natural
+// consumer, and its lane lock is uncontended). External arrivals spread
+// round-robin, overflowing to the global lane when the chosen lane is more
+// than twice its fair share — the overflow lane is checked by every worker
+// on every acquisition, so backlog behind one busy worker stays visible.
+func (p *shardedPath) laneFor(producer int) int {
+	if producer >= 0 {
+		return producer
+	}
+	lane := int(p.rr.Add(1)-1) % p.workers
+	// Overflow when the chosen lane already holds at least twice its fair
+	// share of the runnable operators (and a handful in absolute terms) —
+	// a racy snapshot, but a misrouted operator is still reachable by
+	// everyone via the overflow lane or stealing.
+	if n := p.runq.LaneLen(lane); n >= 4 && n*p.workers >= 2*p.runq.Len() {
+		return queue.GlobalLane
+	}
+	return lane
+}
+
+// push enqueues one message, making the target operator runnable if it was
+// idle. producer is the pushing worker, or -1 for external arrivals.
+func (p *shardedPath) push(op *dataflow.Operator, m *core.Message, producer int) {
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := hs.ops[op]
+	if st == nil {
+		st = &opState{lane: laneNone}
+		hs.ops[op] = st
+	}
+	oldHead := st.q.Peek()
+	st.q.Push(m)
+	p.pending.Add(1)
+	if st.acquired {
+		// The holding worker re-checks the heap before releasing, so the
+		// new message cannot be stranded; no signal needed.
+		hs.mu.Unlock()
+		return
+	}
+	if st.lane != laneNone {
+		// Already runnable on some lane; re-key it if the head changed.
+		// A missed update (the operator was popped between our lock and
+		// the lane's) is benign: the popping worker sees the new message.
+		if head := st.q.Peek(); head != oldHead {
+			p.runq.Update(st.lane, op, core.GlobalPri(head))
+		}
+		hs.mu.Unlock()
+		return
+	}
+	lane := p.laneFor(producer)
+	st.lane = lane
+	p.runq.Push(lane, op, core.GlobalPri(st.q.Peek()))
+	hs.mu.Unlock()
+	p.signal(lane)
+}
+
+// ingest is the batched fast path: the batch's messages are walked once
+// per home shard so each shard lock is taken once per batch, not once per
+// message. Batches are small (one message per stage-0 instance), so the
+// grouping is a shard-indexed scan rather than an allocated index.
+func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
+	if len(msgs) <= 1 || p.workers > 63 {
+		for _, cm := range msgs {
+			p.push(cm.Target, cm.Msg, -1)
+		}
+		return
+	}
+	var signalMask uint64 // bit lane+1; lane counts are guarded <= 63 above
+	done := 0
+	for shard := 0; shard < p.workers && done < len(msgs); shard++ {
+		hs := &p.states[shard]
+		locked := false
+		for _, cm := range msgs {
+			if p.homeIdx(cm.Target) != shard {
+				continue
+			}
+			if !locked {
+				hs.mu.Lock()
+				locked = true
+			}
+			done++
+			op := cm.Target
+			st := hs.ops[op]
+			if st == nil {
+				st = &opState{lane: laneNone}
+				hs.ops[op] = st
+			}
+			oldHead := st.q.Peek()
+			st.q.Push(cm.Msg)
+			p.pending.Add(1)
+			switch {
+			case st.acquired:
+			case st.lane != laneNone:
+				if head := st.q.Peek(); head != oldHead {
+					p.runq.Update(st.lane, op, core.GlobalPri(head))
+				}
+			default:
+				lane := p.laneFor(-1)
+				st.lane = lane
+				p.runq.Push(lane, op, core.GlobalPri(st.q.Peek()))
+				signalMask |= 1 << uint(lane+1) // +1 folds GlobalLane(-1) to bit 0
+			}
+		}
+		if locked {
+			hs.mu.Unlock()
+		}
+	}
+	if signalMask != 0 {
+		for lane := -1; lane < p.workers; lane++ {
+			if signalMask&(1<<uint(lane+1)) != 0 {
+				p.signal(lane)
+			}
+		}
+	}
+}
+
+// signal wakes the lane's worker plus any parked worker — parked thieves
+// must learn about work on other lanes, and a wake is one non-blocking
+// channel send.
+func (p *shardedPath) signal(lane int) {
+	if lane >= 0 {
+		p.wakeWorker(lane)
+	}
+	for w := 0; w < p.workers; w++ {
+		if w != lane && p.parked[w].Load() {
+			p.wakeWorker(w)
+		}
+	}
+}
+
+func (p *shardedPath) wakeWorker(w int) {
+	select {
+	case p.wake[w] <- struct{}{}:
+	default:
+	}
+}
+
+func (p *shardedPath) stopAll() {
+	close(p.stopCh)
+}
+
+// acquire returns the next operator for worker w, marking it acquired, or
+// ok=false when the engine is stopping. It parks when no lane has work.
+func (p *shardedPath) acquire(w int) (*dataflow.Operator, bool) {
+	for {
+		if p.e.stopped.Load() {
+			return nil, false
+		}
+		op, _, ok := p.runq.PopLocalOrGlobal(w)
+		if !ok {
+			op, _, ok = p.runq.Steal(w)
+		}
+		if ok {
+			hs := p.home(op)
+			hs.mu.Lock()
+			st := hs.ops[op]
+			st.acquired = true
+			st.lane = laneNone
+			hs.mu.Unlock()
+			return op, true
+		}
+		// Park: declare intent, then re-check for work pushed between the
+		// failed scan and the flag store (the pusher's flag load and our
+		// queue-length load cannot both miss under seq-cst atomics).
+		p.parked[w].Store(true)
+		if p.runq.Len() > 0 || p.e.stopped.Load() {
+			p.parked[w].Store(false)
+			continue
+		}
+		select {
+		case <-p.wake[w]:
+		case <-p.stopCh:
+		}
+		p.parked[w].Store(false)
+	}
+}
+
+// popMsg removes the next message of an acquired operator in PriLocal
+// order. (Drain does not watch the pending count — e.outstanding retires
+// a message only after execution — so the pop creates no idle window.)
+func (p *shardedPath) popMsg(op *dataflow.Operator) (*core.Message, bool) {
+	hs := p.home(op)
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	st := hs.ops[op]
+	if st == nil || st.q.Len() == 0 {
+		return nil, false
+	}
+	m := st.q.Pop()
+	p.pending.Add(-1)
+	return m, true
+}
+
+// release returns an acquired operator to the scheduler: requeued on the
+// worker's own lane if messages remain (either freshly arrived or left by
+// a yield), dropped from the shard map when drained.
+func (p *shardedPath) release(op *dataflow.Operator, w int) {
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := hs.ops[op]
+	st.acquired = false
+	if st.q.Len() == 0 {
+		delete(hs.ops, op)
+		hs.mu.Unlock()
+		return
+	}
+	st.lane = w
+	p.runq.Push(w, op, core.GlobalPri(st.q.Peek()))
+	hs.mu.Unlock()
+	p.signal(w)
+}
+
+// shouldYield reports whether worker w, holding op past its quantum,
+// should release it: true when a waiting operator visible to this worker
+// (own lane or overflow lane) is strictly more urgent than op's next
+// message. Other workers' lanes are deliberately not scanned — their
+// owners or thieves will get to them, and a cheap decision point is the
+// point of the quantum.
+func (p *shardedPath) shouldYield(op *dataflow.Operator, w int) bool {
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := hs.ops[op]
+	if st == nil || st.q.Len() == 0 {
+		hs.mu.Unlock()
+		return true
+	}
+	mine := core.GlobalPri(st.q.Peek())
+	hs.mu.Unlock()
+	if _, lp, ok := p.runq.PeekLane(w); ok && lp.Less(mine) {
+		return true
+	}
+	if p.runq.LaneLen(queue.GlobalLane) > 0 {
+		if _, gp, ok := p.runq.PeekLane(queue.GlobalLane); ok && gp.Less(mine) {
+			return true
+		}
+	}
+	return false
+}
+
+// worker is the scheduling loop of one pool thread on the sharded path.
+func (p *shardedPath) worker(w int) {
+	e := p.e
+	defer e.wg.Done()
+	for {
+		op, ok := p.acquire(w)
+		if !ok {
+			return
+		}
+		acquired := e.clock.Now()
+		for {
+			m, ok := p.popMsg(op)
+			if !ok {
+				p.release(op, w)
+				break
+			}
+			children, now := e.execMessage(op, m)
+			for _, cm := range children {
+				p.push(cm.Target, cm.Msg, w)
+			}
+			if e.stopped.Load() {
+				p.release(op, w)
+				return
+			}
+			if now-acquired >= e.cfg.Quantum {
+				// Re-scheduling decision point: swap if more urgent work
+				// waits, otherwise start a fresh quantum.
+				if p.shouldYield(op, w) {
+					p.release(op, w)
+					break
+				}
+				acquired = now
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package runtime
+
+import (
+	"sync"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+)
+
+// singleLockPath is the original dispatch strategy: the sequential
+// core.Dispatcher guarded by one engine-wide mutex, with a condition
+// variable waking idle workers. It supports every SchedulerKind (the
+// baselines have no sharded realization) and serves as the reference
+// implementation the sharded path is cross-checked against in equivalence
+// tests.
+type singleLockPath struct {
+	e    *Engine
+	mu   sync.Mutex
+	cond *sync.Cond
+	disp core.Dispatcher[*dataflow.Operator]
+}
+
+func newSingleLockPath(e *Engine, cfg Config) *singleLockPath {
+	p := &singleLockPath{
+		e:    e,
+		disp: core.NewDispatcher[*dataflow.Operator](cfg.Scheduler, cfg.Workers),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *singleLockPath) ingest(msgs []dataflow.ChildMessage) {
+	p.mu.Lock()
+	for _, cm := range msgs {
+		p.disp.Push(cm.Target, cm.Msg, -1)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *singleLockPath) pendingCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.disp.Pending()
+}
+
+// stopAll wakes every waiting worker so they observe the stopped flag.
+func (p *singleLockPath) stopAll() {
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// worker is the scheduling loop of one pool thread, the real-time
+// incarnation of the sequential dispatcher protocol.
+func (p *singleLockPath) worker(id int) {
+	e := p.e
+	defer e.wg.Done()
+	p.mu.Lock()
+	for {
+		if e.stopped.Load() {
+			p.mu.Unlock()
+			return
+		}
+		op, ok := p.disp.NextOp(id)
+		if !ok {
+			// No acquirable operator right now. This must Wait (releasing
+			// the lock) even when messages are pending for operators other
+			// workers hold — spinning here would hold the mutex and
+			// deadlock the workers that need it to finish their messages.
+			p.cond.Wait()
+			continue
+		}
+		acquired := e.clock.Now()
+		for {
+			m, ok := p.disp.PopMsg(op)
+			if !ok {
+				p.disp.Done(op, id)
+				p.cond.Broadcast() // Done may have requeued the operator
+				break
+			}
+			p.mu.Unlock()
+
+			children, now := e.execMessage(op, m)
+
+			p.mu.Lock()
+			for _, cm := range children {
+				p.disp.Push(cm.Target, cm.Msg, id)
+			}
+			if len(children) > 0 {
+				p.cond.Broadcast()
+			}
+			if e.stopped.Load() {
+				p.disp.Done(op, id)
+				p.mu.Unlock()
+				return
+			}
+			if now-acquired >= e.cfg.Quantum {
+				// Re-scheduling decision point: swap if more urgent work
+				// waits, otherwise start a fresh quantum.
+				if p.disp.ShouldYield(op) {
+					p.disp.Done(op, id)
+					p.cond.Broadcast()
+					break
+				}
+				acquired = now
+			}
+		}
+	}
+}

@@ -393,7 +393,7 @@ func (c *Cluster) completeExecution(w *worker) {
 	if c.trace != nil {
 		c.trace.Add(metrics.ScheduleEvent{
 			Start: now - cost, Cost: cost,
-			Job: op.Job.Spec.Name, Stage: op.Stage, Op: op.Name, P: m.P,
+			Job: op.Job.Spec.Name, Stage: op.Stage, Op: op.Name, P: m.P, Msg: m.ID,
 		})
 	}
 
