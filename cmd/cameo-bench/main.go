@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,20 +24,51 @@ import (
 
 func main() {
 	var (
-		fig  = flag.String("fig", "", "figure to regenerate (number or slug, e.g. 7 or single-tenant)")
-		all  = flag.Bool("all", false, "regenerate every figure")
-		list = flag.Bool("list", false, "list available figures")
-		seed = flag.Uint64("seed", 1, "workload seed (fixed seed = identical rows)")
-		plot = flag.Bool("plot", false, "also render each table's last numeric column as ASCII bars")
-		rt   = flag.Bool("rt", false, "benchmark the real-time engine: dispatcher x worker-count scaling sweep")
-		reps = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt)")
+		fig        = flag.String("fig", "", "figure to regenerate (number or slug, e.g. 7 or single-tenant)")
+		all        = flag.Bool("all", false, "regenerate every figure")
+		list       = flag.Bool("list", false, "list available figures")
+		seed       = flag.Uint64("seed", 1, "workload seed (fixed seed = identical rows)")
+		plot       = flag.Bool("plot", false, "also render each table's last numeric column as ASCII bars")
+		rt         = flag.Bool("rt", false, "benchmark the real-time engine: dispatcher x worker-count scaling sweep")
+		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt)")
+		jsonOut    = flag.String("json", "", "write machine-readable -rt results to this file (e.g. BENCH_rt.json)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	plotTables = *plot
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cameo-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final state so retained memory is accurate
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cameo-bench:", err)
+			}
+		}()
+	}
+
 	switch {
 	case *rt:
-		runRealtimeSweep(*seed, *reps)
+		runRealtimeSweep(*seed, *reps, *jsonOut)
 	case *list:
 		fmt.Println("available figures:")
 		for _, e := range experiments.Registry() {

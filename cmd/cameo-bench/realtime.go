@@ -7,6 +7,7 @@ package main
 // the ROADMAP's dispatcher-scaling baseline records.
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
@@ -63,9 +64,19 @@ func rtEvents(j rtJob, seed uint64, src, w int) []cameo.Event {
 	return events
 }
 
-// rtRun executes the whole workload once and returns executed messages
-// and elapsed wall time.
-func rtRun(mode cameo.DispatchMode, workers int, seed uint64) (int64, time.Duration) {
+// rtResult is one measured cell of the scaling sweep.
+type rtResult struct {
+	msgs   int64
+	dur    time.Duration
+	allocs float64 // heap allocations per executed message
+	p50    time.Duration
+	p99    time.Duration
+}
+
+// rtRun executes the whole workload once and returns executed messages,
+// elapsed wall time, allocations per message, and output latency
+// percentiles of the first latency-sensitive job.
+func rtRun(mode cameo.DispatchMode, workers int, seed uint64) rtResult {
 	eng := cameo.NewEngine(cameo.EngineConfig{Workers: workers, Dispatch: mode})
 	jobs := rtJobs()
 	for _, j := range jobs {
@@ -77,6 +88,8 @@ func rtRun(mode cameo.DispatchMode, workers int, seed uint64) (int64, time.Durat
 	eng.Start()
 	defer eng.Stop()
 
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	done := make(chan error, len(jobs))
 	for _, j := range jobs {
@@ -109,34 +122,89 @@ func rtRun(mode cameo.DispatchMode, workers int, seed uint64) (int64, time.Durat
 		fmt.Fprintln(os.Stderr, "engine did not drain")
 		os.Exit(1)
 	}
-	return eng.Executed(), time.Since(start)
+	dur := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	res := rtResult{msgs: eng.Executed(), dur: dur}
+	if res.msgs > 0 {
+		res.allocs = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.msgs)
+	}
+	if st, err := eng.Stats("ls0"); err == nil {
+		res.p50, res.p99 = st.P50, st.P99
+	}
+	return res
 }
 
-func runRealtimeSweep(seed uint64, reps int) {
+// rtCell is the machine-readable form of one sweep cell (-json).
+type rtCell struct {
+	Dispatcher   string  `json:"dispatcher"`
+	Workers      int     `json:"workers"`
+	MsgPerSec    float64 `json:"msg_per_sec"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	AllocsPerMsg float64 `json:"allocs_per_msg"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+}
+
+// rtReport is the top-level -json document, the repo's perf-trajectory
+// record (CI uploads one per run so numbers stay comparable across PRs).
+type rtReport struct {
+	Workload   string   `json:"workload"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Seed       uint64   `json:"seed"`
+	Reps       int      `json:"reps"`
+	Cells      []rtCell `json:"cells"`
+}
+
+func runRealtimeSweep(seed uint64, reps int, jsonPath string) {
 	if reps < 1 {
 		reps = 1
 	}
 	fmt.Printf("real-time dispatcher scaling, multitenant workload (GOMAXPROCS=%d, best of %d)\n\n",
 		runtime.GOMAXPROCS(0), reps)
-	fmt.Printf("%-12s %8s %14s %12s\n", "dispatcher", "workers", "msg/s", "elapsed")
+	fmt.Printf("%-12s %8s %14s %12s %12s %10s %10s\n",
+		"dispatcher", "workers", "msg/s", "elapsed", "allocs/msg", "p50", "p99")
+	report := rtReport{Workload: "multitenant", GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: seed, Reps: reps}
 	base := make(map[int]float64) // single-lock msg/s per worker count
 	for _, mode := range []cameo.DispatchMode{cameo.DispatchSingleLock, cameo.DispatchSharded} {
 		for _, workers := range []int{1, 2, 4, 8} {
-			var best float64
-			var bestDur time.Duration
+			var best rtResult
+			var bestRate float64
 			for r := 0; r < reps; r++ {
-				msgs, dur := rtRun(mode, workers, seed+uint64(r))
-				if rate := float64(msgs) / dur.Seconds(); rate > best {
-					best, bestDur = rate, dur
+				res := rtRun(mode, workers, seed+uint64(r))
+				if rate := float64(res.msgs) / res.dur.Seconds(); rate > bestRate {
+					bestRate, best = rate, res
 				}
 			}
 			note := ""
 			if mode == cameo.DispatchSingleLock {
-				base[workers] = best
+				base[workers] = bestRate
 			} else if b := base[workers]; b > 0 {
-				note = fmt.Sprintf("  (%.2fx single-lock)", best/b)
+				note = fmt.Sprintf("  (%.2fx single-lock)", bestRate/b)
 			}
-			fmt.Printf("%-12v %8d %14.0f %12v%s\n", mode, workers, best, bestDur.Round(time.Millisecond), note)
+			fmt.Printf("%-12v %8d %14.0f %12v %12.2f %10v %10v%s\n",
+				mode, workers, bestRate, best.dur.Round(time.Millisecond), best.allocs,
+				best.p50.Round(time.Millisecond), best.p99.Round(time.Millisecond), note)
+			report.Cells = append(report.Cells, rtCell{
+				Dispatcher:   fmt.Sprint(mode),
+				Workers:      workers,
+				MsgPerSec:    bestRate,
+				ElapsedMS:    float64(best.dur.Microseconds()) / 1000,
+				AllocsPerMsg: best.allocs,
+				P50MS:        float64(best.p50.Microseconds()) / 1000,
+				P99MS:        float64(best.p99.Microseconds()) / 1000,
+			})
 		}
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-bench: writing json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(machine-readable results written to %s)\n", jsonPath)
 	}
 }

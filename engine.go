@@ -14,16 +14,16 @@ type DispatchMode = runtime.DispatchMode
 
 // Dispatch modes for EngineConfig.Dispatch.
 const (
-	// DispatchAuto picks DispatchSharded for the Cameo scheduler and
-	// DispatchSingleLock for the baseline schedulers.
+	// DispatchAuto picks DispatchSharded.
 	DispatchAuto = runtime.DispatchAuto
-	// DispatchSharded schedules through per-worker deadline heaps with a
-	// global overflow lane and priority-aware work stealing, so ingest and
-	// workers scale with the worker count instead of contending on one
-	// engine-wide lock.
+	// DispatchSharded schedules through sharded per-worker structures —
+	// deadline heaps with a global overflow lane and priority-aware work
+	// stealing for the Cameo scheduler, concurrent realizations of the
+	// baseline disciplines otherwise — so ingest and workers scale with
+	// the worker count instead of contending on one engine-wide lock.
 	DispatchSharded = runtime.DispatchSharded
 	// DispatchSingleLock serializes all scheduling through one engine-wide
-	// mutex — the reference implementation the sharded path is
+	// mutex — the reference implementation the sharded paths are
 	// cross-checked against.
 	DispatchSingleLock = runtime.DispatchSingleLock
 )
@@ -41,8 +41,7 @@ type EngineConfig struct {
 	// holds an operator before checking whether more urgent work waits.
 	Quantum time.Duration
 	// Dispatch selects the scheduling concurrency strategy (default
-	// DispatchAuto). The sharded dispatcher requires SchedulerCameo;
-	// baseline schedulers always run single-lock.
+	// DispatchAuto). Every scheduler kind has a sharded realization.
 	Dispatch DispatchMode
 }
 

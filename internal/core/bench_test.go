@@ -8,26 +8,35 @@ import (
 )
 
 // benchDispatch measures the steady-state per-message push+pop cost of a
-// dispatcher across 256 operators.
-func benchDispatch(b *testing.B, d Dispatcher[int]) {
+// dispatcher across 256 operators. Messages come from a pool, as in the
+// real-time engine, so the loop exercises the zero-allocation hot path.
+func benchDispatch(b *testing.B, d Dispatcher[*testOp]) {
 	b.Helper()
-	const ops = 256
+	const nops = 256
+	ops := make([]*testOp, nops)
+	for i := range ops {
+		ops[i] = &testOp{}
+	}
+	pool := NewMessagePool(1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m := &Message{ID: int64(i), P: vtime.Time(i), T: vtime.Time(i),
-			PC: PriorityContext{PriLocal: vtime.Time(i % 97), PriGlobal: vtime.Time(i % 31)}}
-		d.Push(i%ops, m, -1)
-		if i%ops == ops-1 {
+		m := pool.Get(0)
+		m.ID, m.P, m.T = int64(i), vtime.Time(i), vtime.Time(i)
+		m.PC = PriorityContext{PriLocal: vtime.Time(i % 97), PriGlobal: vtime.Time(i % 31)}
+		d.Push(ops[i%nops], m, -1)
+		if i%nops == nops-1 {
 			for {
 				op, ok := d.NextOp(0)
 				if !ok {
 					break
 				}
 				for {
-					if _, ok := d.PopMsg(op); !ok {
+					m, ok := d.PopMsg(op)
+					if !ok {
 						break
 					}
+					pool.Put(0, m)
 				}
 				d.Done(op, 0)
 			}
@@ -35,9 +44,9 @@ func benchDispatch(b *testing.B, d Dispatcher[int]) {
 	}
 }
 
-func BenchmarkCameoDispatcher(b *testing.B)   { benchDispatch(b, NewCameoDispatcher[int]()) }
-func BenchmarkOrleansDispatcher(b *testing.B) { benchDispatch(b, NewOrleansDispatcher[int](4)) }
-func BenchmarkFIFODispatcher(b *testing.B)    { benchDispatch(b, NewFIFODispatcher[int]()) }
+func BenchmarkCameoDispatcher(b *testing.B)   { benchDispatch(b, NewCameoDispatcher[*testOp]()) }
+func BenchmarkOrleansDispatcher(b *testing.B) { benchDispatch(b, NewOrleansDispatcher[*testOp](4)) }
+func BenchmarkFIFODispatcher(b *testing.B)    { benchDispatch(b, NewFIFODispatcher[*testOp]()) }
 
 // BenchmarkLLFConversion measures one full context conversion (TRANSFORM +
 // PROGRESSMAP + deadline derivation) — the paper's priority-generation cost.

@@ -8,19 +8,21 @@ import "github.com/cameo-stream/cameo/internal/queue"
 // each operator's head message. The structure is stateless in the paper's
 // sense — it holds only pending messages and their priorities, no per-job
 // bookkeeping — so it scales with message volume, not job count.
-type CameoDispatcher[O comparable] struct {
-	ops      map[O]*MsgHeap
-	waiting  *queue.IndexedHeap[O] // operators not currently acquired
-	acquired map[O]bool
-	pending  int
+//
+// Both levels are intrusive: an operator's message heap is its
+// SchedState.Q and its position in the waiting heap is its SchedState.Pos,
+// so the steady-state push/pop cycle performs no map lookups and no
+// allocations (message heaps and the waiting heap retain their capacity
+// across drain/refill cycles).
+type CameoDispatcher[O Handle] struct {
+	waiting *queue.IndexedHeap[O] // operators not currently acquired
+	pending int
 }
 
 // NewCameoDispatcher returns an empty Cameo dispatcher.
-func NewCameoDispatcher[O comparable]() *CameoDispatcher[O] {
+func NewCameoDispatcher[O Handle]() *CameoDispatcher[O] {
 	return &CameoDispatcher[O]{
-		ops:      make(map[O]*MsgHeap),
-		waiting:  queue.NewIndexedHeap[O](),
-		acquired: make(map[O]bool),
+		waiting: queue.NewSlotHeap(func(op O) *int32 { return &op.Sched().Pos }),
 	}
 }
 
@@ -30,15 +32,11 @@ func (d *CameoDispatcher[O]) Name() string { return "cameo" }
 // Push implements Dispatcher. If the target operator is waiting and the new
 // message becomes its head, the operator is re-keyed in the global heap.
 func (d *CameoDispatcher[O]) Push(op O, m *Message, producer int) {
-	q := d.ops[op]
-	if q == nil {
-		q = &MsgHeap{}
-		d.ops[op] = q
-	}
-	q.Push(m)
+	st := op.Sched()
+	st.Q.Push(m)
 	d.pending++
-	if !d.acquired[op] {
-		d.waiting.PushOrUpdate(op, GlobalPri(q.Peek()))
+	if !st.Acquired {
+		d.waiting.PushOrUpdate(op, GlobalPri(st.Q.Peek()))
 	}
 }
 
@@ -50,42 +48,38 @@ func (d *CameoDispatcher[O]) NextOp(worker int) (O, bool) {
 		var zero O
 		return zero, false
 	}
-	d.acquired[op] = true
+	op.Sched().Acquired = true
 	return op, true
 }
 
 // PopMsg implements Dispatcher.
 func (d *CameoDispatcher[O]) PopMsg(op O) (*Message, bool) {
-	q := d.ops[op]
-	if q == nil || q.Len() == 0 {
+	st := op.Sched()
+	if st.Q.Len() == 0 {
 		return nil, false
 	}
-	m := q.Pop()
+	m := st.Q.Pop()
 	d.pending--
 	return m, true
 }
 
 // PeekMsg implements Dispatcher.
 func (d *CameoDispatcher[O]) PeekMsg(op O) (*Message, bool) {
-	q := d.ops[op]
-	if q == nil || q.Len() == 0 {
+	st := op.Sched()
+	if st.Q.Len() == 0 {
 		return nil, false
 	}
-	return q.Peek(), true
+	return st.Q.Peek(), true
 }
 
 // Done implements Dispatcher.
 func (d *CameoDispatcher[O]) Done(op O, worker int) {
-	delete(d.acquired, op)
-	q := d.ops[op]
-	if q == nil {
+	st := op.Sched()
+	st.Acquired = false
+	if st.Q.Len() == 0 {
 		return
 	}
-	if q.Len() == 0 {
-		delete(d.ops, op)
-		return
-	}
-	d.waiting.PushOrUpdate(op, GlobalPri(q.Peek()))
+	d.waiting.PushOrUpdate(op, GlobalPri(st.Q.Peek()))
 }
 
 // ShouldYield implements Dispatcher: the paper's quantum swap check — while
@@ -96,20 +90,15 @@ func (d *CameoDispatcher[O]) ShouldYield(op O) bool {
 	if !ok {
 		return false
 	}
-	q := d.ops[op]
-	if q == nil || q.Len() == 0 {
+	st := op.Sched()
+	if st.Q.Len() == 0 {
 		return true
 	}
-	return next.Less(GlobalPri(q.Peek()))
+	return next.Less(GlobalPri(st.Q.Peek()))
 }
 
 // QueueLen implements Dispatcher.
-func (d *CameoDispatcher[O]) QueueLen(op O) int {
-	if q := d.ops[op]; q != nil {
-		return q.Len()
-	}
-	return 0
-}
+func (d *CameoDispatcher[O]) QueueLen(op O) int { return op.Sched().Q.Len() }
 
 // Pending implements Dispatcher.
 func (d *CameoDispatcher[O]) Pending() int { return d.pending }

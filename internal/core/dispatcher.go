@@ -6,10 +6,14 @@ import (
 
 // Dispatcher is the run-queue abstraction shared by the Cameo scheduler and
 // the two baselines, generic over the operator handle type O (engines use
-// their operator pointers). Messages carry their priorities in their PC.
-// Dispatchers are plain data structures — the simulator drives them
-// single-threaded, the real-time engine wraps them in a mutex — so
-// determinism is preserved where it matters.
+// their operator pointers). Handles carry their scheduling state
+// *intrusively* (the Handle constraint): per-operator message queues, run
+// flags, and heap positions live on the operator itself, so dispatchers
+// never consult a map — or allocate — on the per-message path. Messages
+// carry their priorities in their PC. Dispatchers are plain data
+// structures — the simulator drives them single-threaded, the real-time
+// engine wraps them in a mutex — so determinism is preserved where it
+// matters.
 //
 // The worker protocol is:
 //
@@ -25,7 +29,7 @@ import (
 // Between NextOp and Done the operator is "acquired": it is absent from the
 // run queue (an operator executes on at most one worker at a time — the
 // actor-model guarantee Cameo relies on for per-event synchronization).
-type Dispatcher[O comparable] interface {
+type Dispatcher[O Handle] interface {
 	// Name identifies the dispatcher in reports ("cameo", "orleans", "fifo").
 	Name() string
 	// Push enqueues m for operator op. producer is the worker that

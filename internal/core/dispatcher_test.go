@@ -11,17 +11,40 @@ func msg(id int64, local, global vtime.Time) *Message {
 	return &Message{ID: id, PC: PriorityContext{PriLocal: local, PriGlobal: global}}
 }
 
+// testOp is the minimal intrusive operator handle for dispatcher tests.
+type testOp struct {
+	name  string
+	sched SchedState
+}
+
+func (o *testOp) Sched() *SchedState { return &o.sched }
+
+// testOps returns a name→handle factory so tests keep reading like the
+// string-handle originals while satisfying the Handle constraint.
+func testOps() func(name string) *testOp {
+	m := map[string]*testOp{}
+	return func(name string) *testOp {
+		if op, ok := m[name]; ok {
+			return op
+		}
+		op := &testOp{name: name}
+		m[name] = op
+		return op
+	}
+}
+
 func TestCameoOrdersOperatorsByGlobalPriority(t *testing.T) {
-	d := NewCameoDispatcher[string]()
-	d.Push("slow", msg(1, 0, 100), -1)
-	d.Push("urgent", msg(2, 0, 10), -1)
-	d.Push("mid", msg(3, 0, 50), -1)
+	o := testOps()
+	d := NewCameoDispatcher[*testOp]()
+	d.Push(o("slow"), msg(1, 0, 100), -1)
+	d.Push(o("urgent"), msg(2, 0, 10), -1)
+	d.Push(o("mid"), msg(3, 0, 50), -1)
 
 	want := []string{"urgent", "mid", "slow"}
 	for _, w := range want {
 		op, ok := d.NextOp(0)
-		if !ok || op != w {
-			t.Fatalf("NextOp = %q, want %q", op, w)
+		if !ok || op.name != w {
+			t.Fatalf("NextOp = %q, want %q", op.name, w)
 		}
 		if m, ok := d.PopMsg(op); !ok || m == nil {
 			t.Fatal("PopMsg failed")
@@ -34,10 +57,11 @@ func TestCameoOrdersOperatorsByGlobalPriority(t *testing.T) {
 }
 
 func TestCameoLocalPriorityWithinOperator(t *testing.T) {
-	d := NewCameoDispatcher[string]()
-	d.Push("op", msg(1, 30, 5), -1)
-	d.Push("op", msg(2, 10, 5), -1)
-	d.Push("op", msg(3, 20, 5), -1)
+	o := testOps()
+	d := NewCameoDispatcher[*testOp]()
+	d.Push(o("op"), msg(1, 30, 5), -1)
+	d.Push(o("op"), msg(2, 10, 5), -1)
+	d.Push(o("op"), msg(3, 20, 5), -1)
 	op, _ := d.NextOp(0)
 	var got []int64
 	for {
@@ -57,32 +81,34 @@ func TestCameoLocalPriorityWithinOperator(t *testing.T) {
 }
 
 func TestCameoPushRekeysWaitingOperator(t *testing.T) {
-	d := NewCameoDispatcher[string]()
-	d.Push("a", msg(1, 0, 100), -1)
-	d.Push("b", msg(2, 0, 50), -1)
+	o := testOps()
+	d := NewCameoDispatcher[*testOp]()
+	d.Push(o("a"), msg(1, 0, 100), -1)
+	d.Push(o("b"), msg(2, 0, 50), -1)
 	// A more urgent message lands on "a": its head priority (by PriLocal)
 	// changes, and the global heap must re-key it ahead of "b".
-	d.Push("a", msg(3, -1, 5), -1)
-	if op, _ := d.NextOp(0); op != "a" {
-		t.Fatalf("NextOp = %q, want a after re-key", op)
+	d.Push(o("a"), msg(3, -1, 5), -1)
+	if op, _ := d.NextOp(0); op.name != "a" {
+		t.Fatalf("NextOp = %q, want a after re-key", op.name)
 	}
 }
 
 func TestCameoShouldYield(t *testing.T) {
-	d := NewCameoDispatcher[string]()
-	d.Push("mine", msg(1, 0, 50), -1)
-	d.Push("mine", msg(2, 1, 60), -1)
+	o := testOps()
+	d := NewCameoDispatcher[*testOp]()
+	d.Push(o("mine"), msg(1, 0, 50), -1)
+	d.Push(o("mine"), msg(2, 1, 60), -1)
 	op, _ := d.NextOp(0)
 	d.PopMsg(op) // executing msg 1; next local msg has global pri 60
 
 	if d.ShouldYield(op) {
 		t.Fatal("yield with empty waiting set")
 	}
-	d.Push("other", msg(3, 0, 100), -1) // less urgent than our 60
+	d.Push(o("other"), msg(3, 0, 100), -1) // less urgent than our 60
 	if d.ShouldYield(op) {
 		t.Fatal("yielded to a less urgent operator")
 	}
-	d.Push("urgent", msg(4, 0, 10), -1) // more urgent than our 60
+	d.Push(o("urgent"), msg(4, 0, 10), -1) // more urgent than our 60
 	if !d.ShouldYield(op) {
 		t.Fatal("did not yield to a more urgent operator")
 	}
@@ -94,9 +120,10 @@ func TestCameoShouldYield(t *testing.T) {
 }
 
 func TestCameoDoneRequeuesRemainder(t *testing.T) {
-	d := NewCameoDispatcher[string]()
-	d.Push("op", msg(1, 0, 10), -1)
-	d.Push("op", msg(2, 1, 20), -1)
+	o := testOps()
+	d := NewCameoDispatcher[*testOp]()
+	d.Push(o("op"), msg(1, 0, 10), -1)
+	d.Push(o("op"), msg(2, 1, 20), -1)
 	op, _ := d.NextOp(0)
 	d.PopMsg(op)
 	d.Done(op, 0) // one message left: must requeue
@@ -104,46 +131,48 @@ func TestCameoDoneRequeuesRemainder(t *testing.T) {
 		t.Fatalf("Pending = %d, want 1", d.Pending())
 	}
 	op2, ok := d.NextOp(0)
-	if !ok || op2 != "op" {
-		t.Fatalf("requeued NextOp = %q/%v", op2, ok)
+	if !ok || op2.name != "op" {
+		t.Fatalf("requeued NextOp = %q/%v", op2.name, ok)
 	}
 	m, _ := d.PopMsg(op2)
 	if m.ID != 2 {
 		t.Fatalf("remaining msg = %d", m.ID)
 	}
 	d.Done(op2, 0)
-	if d.Pending() != 0 || d.QueueLen("op") != 0 {
+	if d.Pending() != 0 || d.QueueLen(o("op")) != 0 {
 		t.Fatal("dispatcher not empty after drain")
 	}
 }
 
 func TestCameoAcquiredOpNotRescheduledOnPush(t *testing.T) {
-	d := NewCameoDispatcher[string]()
-	d.Push("op", msg(1, 0, 10), -1)
+	o := testOps()
+	d := NewCameoDispatcher[*testOp]()
+	d.Push(o("op"), msg(1, 0, 10), -1)
 	op, _ := d.NextOp(0)
 	// Message arrives while acquired: must NOT re-enter the waiting heap
 	// (the operator is running on a worker — actor single-threading).
-	d.Push("op", msg(2, 1, 1), 0)
+	d.Push(o("op"), msg(2, 1, 1), 0)
 	if _, ok := d.NextOp(1); ok {
 		t.Fatal("acquired operator handed to a second worker")
 	}
 	d.Done(op, 0)
-	if op2, ok := d.NextOp(1); !ok || op2 != "op" {
+	if op2, ok := d.NextOp(1); !ok || op2.name != "op" {
 		t.Fatal("operator lost after Done")
 	}
 }
 
 func TestCameoPeekMsg(t *testing.T) {
-	d := NewCameoDispatcher[string]()
-	if _, ok := d.PeekMsg("nope"); ok {
+	o := testOps()
+	d := NewCameoDispatcher[*testOp]()
+	if _, ok := d.PeekMsg(o("nope")); ok {
 		t.Fatal("PeekMsg on unknown op")
 	}
-	d.Push("op", msg(7, 3, 30), -1)
-	m, ok := d.PeekMsg("op")
+	d.Push(o("op"), msg(7, 3, 30), -1)
+	m, ok := d.PeekMsg(o("op"))
 	if !ok || m.ID != 7 {
 		t.Fatalf("PeekMsg = %v/%v", m, ok)
 	}
-	if d.QueueLen("op") != 1 {
+	if d.QueueLen(o("op")) != 1 {
 		t.Fatal("Peek consumed the message")
 	}
 }
@@ -151,33 +180,36 @@ func TestCameoPeekMsg(t *testing.T) {
 func TestCameoInfinityTieBreaksByID(t *testing.T) {
 	// Untokened messages all carry PriGlobal = Infinity; arrival order (ID)
 	// must break the tie deterministically.
-	d := NewCameoDispatcher[string]()
-	d.Push("b", msg(2, 0, vtime.Infinity), -1)
-	d.Push("a", msg(1, 0, vtime.Infinity), -1)
-	if op, _ := d.NextOp(0); op != "a" {
-		t.Fatalf("tie-break NextOp = %q, want a (lower ID)", op)
+	o := testOps()
+	d := NewCameoDispatcher[*testOp]()
+	d.Push(o("b"), msg(2, 0, vtime.Infinity), -1)
+	d.Push(o("a"), msg(1, 0, vtime.Infinity), -1)
+	if op, _ := d.NextOp(0); op.name != "a" {
+		t.Fatalf("tie-break NextOp = %q, want a (lower ID)", op.name)
 	}
 }
 
 func TestOrleansLocalityPreference(t *testing.T) {
-	d := NewOrleansDispatcher[string](2)
-	d.Push("external", msg(1, 0, 0), -1) // global list
-	d.Push("local0", msg(2, 0, 0), 0)    // worker 0's local list
+	o := testOps()
+	d := NewOrleansDispatcher[*testOp](2)
+	d.Push(o("external"), msg(1, 0, 0), -1) // global list
+	d.Push(o("local0"), msg(2, 0, 0), 0)    // worker 0's local list
 	// Worker 0 prefers its local activation over the earlier global one.
-	if op, _ := d.NextOp(0); op != "local0" {
-		t.Fatalf("worker 0 NextOp = %q, want local0", op)
+	if op, _ := d.NextOp(0); op.name != "local0" {
+		t.Fatalf("worker 0 NextOp = %q, want local0", op.name)
 	}
 	// Worker 1 has no local work: takes the global one.
-	if op, _ := d.NextOp(1); op != "external" {
-		t.Fatalf("worker 1 NextOp = %q, want external", op)
+	if op, _ := d.NextOp(1); op.name != "external" {
+		t.Fatalf("worker 1 NextOp = %q, want external", op.name)
 	}
 }
 
 func TestOrleansFIFOWithinOperator(t *testing.T) {
-	d := NewOrleansDispatcher[string](1)
+	o := testOps()
+	d := NewOrleansDispatcher[*testOp](1)
 	// Priorities are ignored: strict arrival order.
-	d.Push("op", msg(1, 99, 99), -1)
-	d.Push("op", msg(2, 1, 1), -1)
+	d.Push(o("op"), msg(1, 99, 99), -1)
+	d.Push(o("op"), msg(2, 1, 1), -1)
 	op, _ := d.NextOp(0)
 	m1, _ := d.PopMsg(op)
 	m2, _ := d.PopMsg(op)
@@ -187,72 +219,76 @@ func TestOrleansFIFOWithinOperator(t *testing.T) {
 }
 
 func TestOrleansDoneKeepsLocality(t *testing.T) {
-	d := NewOrleansDispatcher[string](2)
-	d.Push("op", msg(1, 0, 0), -1)
-	d.Push("op", msg(2, 0, 0), -1)
+	o := testOps()
+	d := NewOrleansDispatcher[*testOp](2)
+	d.Push(o("op"), msg(1, 0, 0), -1)
+	d.Push(o("op"), msg(2, 0, 0), -1)
 	op, _ := d.NextOp(1)
 	d.PopMsg(op)
 	d.Done(op, 1) // remaining message: requeued on worker 1's local list
-	d.Push("other", msg(3, 0, 0), -1)
+	d.Push(o("other"), msg(3, 0, 0), -1)
 	// Worker 1 resumes its local activation before the global "other".
-	if got, _ := d.NextOp(1); got != "op" {
-		t.Fatalf("worker 1 NextOp = %q, want op (local)", got)
+	if got, _ := d.NextOp(1); got.name != "op" {
+		t.Fatalf("worker 1 NextOp = %q, want op (local)", got.name)
 	}
 }
 
 func TestOrleansShouldYield(t *testing.T) {
-	d := NewOrleansDispatcher[string](1)
-	d.Push("a", msg(1, 0, 0), -1)
-	d.Push("a", msg(2, 0, 0), -1)
+	o := testOps()
+	d := NewOrleansDispatcher[*testOp](1)
+	d.Push(o("a"), msg(1, 0, 0), -1)
+	d.Push(o("a"), msg(2, 0, 0), -1)
 	op, _ := d.NextOp(0)
 	if d.ShouldYield(op) {
 		t.Fatal("yield with empty bag")
 	}
-	d.Push("b", msg(3, 0, 0), -1)
+	d.Push(o("b"), msg(3, 0, 0), -1)
 	if !d.ShouldYield(op) {
 		t.Fatal("no yield with another runnable activation")
 	}
 }
 
 func TestFIFOGlobalOrder(t *testing.T) {
-	d := NewFIFODispatcher[string]()
-	d.Push("a", msg(1, 0, 999), -1)
-	d.Push("b", msg(2, 0, 1), -1)
-	d.Push("a", msg(3, 0, 0), -1) // a already scheduled: no duplicate entry
-	if op, _ := d.NextOp(0); op != "a" {
+	o := testOps()
+	d := NewFIFODispatcher[*testOp]()
+	d.Push(o("a"), msg(1, 0, 999), -1)
+	d.Push(o("b"), msg(2, 0, 1), -1)
+	d.Push(o("a"), msg(3, 0, 0), -1) // a already scheduled: no duplicate entry
+	if op, _ := d.NextOp(0); op.name != "a" {
 		t.Fatal("FIFO order broken")
 	}
-	if op, _ := d.NextOp(0); op != "b" {
+	if op, _ := d.NextOp(0); op.name != "b" {
 		t.Fatal("FIFO order broken")
 	}
 }
 
 func TestFIFODoneRequeuesAtBack(t *testing.T) {
-	d := NewFIFODispatcher[string]()
-	d.Push("a", msg(1, 0, 0), -1)
-	d.Push("a", msg(2, 0, 0), -1)
-	d.Push("b", msg(3, 0, 0), -1)
+	o := testOps()
+	d := NewFIFODispatcher[*testOp]()
+	d.Push(o("a"), msg(1, 0, 0), -1)
+	d.Push(o("a"), msg(2, 0, 0), -1)
+	d.Push(o("b"), msg(3, 0, 0), -1)
 	op, _ := d.NextOp(0) // a
 	d.PopMsg(op)
 	d.Done(op, 0) // a has one message left: goes behind b
-	if op2, _ := d.NextOp(0); op2 != "b" {
-		t.Fatalf("NextOp = %q, want b", op2)
+	if op2, _ := d.NextOp(0); op2.name != "b" {
+		t.Fatalf("NextOp = %q, want b", op2.name)
 	}
-	d.PopMsg("b")
-	d.Done("b", 0)
-	if op3, _ := d.NextOp(0); op3 != "a" {
-		t.Fatalf("NextOp = %q, want a again", op3)
+	d.PopMsg(o("b"))
+	d.Done(o("b"), 0)
+	if op3, _ := d.NextOp(0); op3.name != "a" {
+		t.Fatalf("NextOp = %q, want a again", op3.name)
 	}
 }
 
 func TestDispatcherNames(t *testing.T) {
-	if NewCameoDispatcher[int]().Name() != "cameo" {
+	if NewCameoDispatcher[*testOp]().Name() != "cameo" {
 		t.Error("cameo name")
 	}
-	if NewOrleansDispatcher[int](1).Name() != "orleans" {
+	if NewOrleansDispatcher[*testOp](1).Name() != "orleans" {
 		t.Error("orleans name")
 	}
-	if NewFIFODispatcher[int]().Name() != "fifo" {
+	if NewFIFODispatcher[*testOp]().Name() != "fifo" {
 		t.Error("fifo name")
 	}
 }
@@ -266,15 +302,16 @@ func TestCameoPropertySchedulingInvariant(t *testing.T) {
 		Local  int16
 		Global int16
 	}) bool {
-		d := NewCameoDispatcher[uint8]()
-		heads := map[uint8][]*Message{}
+		d := NewCameoDispatcher[*testOp]()
+		ops := make([]*testOp, 8)
+		for i := range ops {
+			ops[i] = &testOp{name: string(rune('a' + i))}
+		}
 		var id int64
 		for _, p := range pushes {
 			id++
 			m := msg(id, vtime.Time(p.Local), vtime.Time(p.Global))
-			op := p.Op % 8
-			d.Push(op, m, -1)
-			heads[op] = append(heads[op], m)
+			d.Push(ops[p.Op%8], m, -1)
 		}
 		total := int(id)
 		drained := 0
@@ -289,8 +326,8 @@ func TestCameoPropertySchedulingInvariant(t *testing.T) {
 				return false
 			}
 			myPri := GlobalPri(m)
-			for other := uint8(0); other < 8; other++ {
-				if other == op {
+			for _, other := range ops {
+				if other == op || other.Sched().Acquired {
 					continue
 				}
 				if om, ok := d.PeekMsg(other); ok && d.QueueLen(other) > 0 {

@@ -30,7 +30,7 @@ func (k SchedulerKind) String() string {
 
 // NewDispatcher constructs the dispatcher for kind; workers is the node's
 // worker-pool size (used by the Orleans bag's per-worker locality lists).
-func NewDispatcher[O comparable](kind SchedulerKind, workers int) Dispatcher[O] {
+func NewDispatcher[O Handle](kind SchedulerKind, workers int) Dispatcher[O] {
 	switch kind {
 	case OrleansScheduler:
 		return NewOrleansDispatcher[O](workers)

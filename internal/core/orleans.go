@@ -7,22 +7,18 @@ import "github.com/cameo-stream/cameo/internal/queue"
 // global run queue implemented as a ConcurrentBag, so workers prefer
 // activations they themselves made runnable (thread-local, LIFO) before
 // taking global or stolen work; each activation processes its messages in
-// FIFO order.
-type OrleansDispatcher[O comparable] struct {
-	bag       *queue.Bag[O]
-	ops       map[O]*queue.Ring[*Message]
-	scheduled map[O]bool // in the bag or acquired by a worker
-	pending   int
+// FIFO order. Per-operator queues and the "scheduled" flag are intrusive
+// (SchedState.FIFO / SchedState.OnQueue), so the per-message path is
+// map-free and allocation-free once rings have grown.
+type OrleansDispatcher[O Handle] struct {
+	bag     *queue.Bag[O]
+	pending int
 }
 
 // NewOrleansDispatcher returns an Orleans-style dispatcher for the given
 // worker count (the bag keeps one local list per worker).
-func NewOrleansDispatcher[O comparable](workers int) *OrleansDispatcher[O] {
-	return &OrleansDispatcher[O]{
-		bag:       queue.NewBag[O](workers),
-		ops:       make(map[O]*queue.Ring[*Message]),
-		scheduled: make(map[O]bool),
-	}
+func NewOrleansDispatcher[O Handle](workers int) *OrleansDispatcher[O] {
+	return &OrleansDispatcher[O]{bag: queue.NewBag[O](workers)}
 }
 
 // Name implements Dispatcher.
@@ -32,15 +28,11 @@ func (d *OrleansDispatcher[O]) Name() string { return "orleans" }
 // the producing worker's local list (or the global list for external
 // arrivals) — the ConcurrentBag locality preference the paper describes.
 func (d *OrleansDispatcher[O]) Push(op O, m *Message, producer int) {
-	q := d.ops[op]
-	if q == nil {
-		q = &queue.Ring[*Message]{}
-		d.ops[op] = q
-	}
-	q.PushBack(m)
+	st := op.Sched()
+	st.FIFO.PushBack(m)
 	d.pending++
-	if !d.scheduled[op] {
-		d.scheduled[op] = true
+	if !st.OnQueue {
+		st.OnQueue = true
 		if producer >= 0 {
 			d.bag.Add(producer, op)
 		} else {
@@ -56,11 +48,7 @@ func (d *OrleansDispatcher[O]) NextOp(worker int) (O, bool) {
 
 // PopMsg implements Dispatcher: activations process messages FIFO.
 func (d *OrleansDispatcher[O]) PopMsg(op O) (*Message, bool) {
-	q := d.ops[op]
-	if q == nil {
-		return nil, false
-	}
-	m, ok := q.PopFront()
+	m, ok := op.Sched().FIFO.PopFront()
 	if ok {
 		d.pending--
 	}
@@ -69,21 +57,16 @@ func (d *OrleansDispatcher[O]) PopMsg(op O) (*Message, bool) {
 
 // PeekMsg implements Dispatcher.
 func (d *OrleansDispatcher[O]) PeekMsg(op O) (*Message, bool) {
-	q := d.ops[op]
-	if q == nil {
-		return nil, false
-	}
-	return q.PeekFront()
+	return op.Sched().FIFO.PeekFront()
 }
 
 // Done implements Dispatcher: a drained operator leaves the run queue; one
 // with remaining messages re-enters on the finishing worker's local list
 // (it just ran there — Orleans keeps it local).
 func (d *OrleansDispatcher[O]) Done(op O, worker int) {
-	q := d.ops[op]
-	if q == nil || q.Len() == 0 {
-		delete(d.scheduled, op)
-		delete(d.ops, op)
+	st := op.Sched()
+	if st.FIFO.Len() == 0 {
+		st.OnQueue = false
 		return
 	}
 	d.bag.Add(worker, op)
@@ -95,32 +78,23 @@ func (d *OrleansDispatcher[O]) Done(op O, worker int) {
 func (d *OrleansDispatcher[O]) ShouldYield(op O) bool { return d.bag.Len() > 0 }
 
 // QueueLen implements Dispatcher.
-func (d *OrleansDispatcher[O]) QueueLen(op O) int {
-	if q := d.ops[op]; q != nil {
-		return q.Len()
-	}
-	return 0
-}
+func (d *OrleansDispatcher[O]) QueueLen(op O) int { return op.Sched().FIFO.Len() }
 
 // Pending implements Dispatcher.
 func (d *OrleansDispatcher[O]) Pending() int { return d.pending }
 
 // FIFODispatcher is the paper's custom FIFO baseline (§6): "we insert
 // operators into the global run queue and extract them in FIFO order",
-// with each operator processing its messages in FIFO order.
-type FIFODispatcher[O comparable] struct {
-	runq      queue.Ring[O]
-	ops       map[O]*queue.Ring[*Message]
-	scheduled map[O]bool
-	pending   int
+// with each operator processing its messages in FIFO order. State is
+// intrusive like the other dispatchers'.
+type FIFODispatcher[O Handle] struct {
+	runq    queue.Ring[O]
+	pending int
 }
 
 // NewFIFODispatcher returns an empty FIFO dispatcher.
-func NewFIFODispatcher[O comparable]() *FIFODispatcher[O] {
-	return &FIFODispatcher[O]{
-		ops:       make(map[O]*queue.Ring[*Message]),
-		scheduled: make(map[O]bool),
-	}
+func NewFIFODispatcher[O Handle]() *FIFODispatcher[O] {
+	return &FIFODispatcher[O]{}
 }
 
 // Name implements Dispatcher.
@@ -128,15 +102,11 @@ func (d *FIFODispatcher[O]) Name() string { return "fifo" }
 
 // Push implements Dispatcher.
 func (d *FIFODispatcher[O]) Push(op O, m *Message, producer int) {
-	q := d.ops[op]
-	if q == nil {
-		q = &queue.Ring[*Message]{}
-		d.ops[op] = q
-	}
-	q.PushBack(m)
+	st := op.Sched()
+	st.FIFO.PushBack(m)
 	d.pending++
-	if !d.scheduled[op] {
-		d.scheduled[op] = true
+	if !st.OnQueue {
+		st.OnQueue = true
 		d.runq.PushBack(op)
 	}
 }
@@ -148,11 +118,7 @@ func (d *FIFODispatcher[O]) NextOp(worker int) (O, bool) {
 
 // PopMsg implements Dispatcher.
 func (d *FIFODispatcher[O]) PopMsg(op O) (*Message, bool) {
-	q := d.ops[op]
-	if q == nil {
-		return nil, false
-	}
-	m, ok := q.PopFront()
+	m, ok := op.Sched().FIFO.PopFront()
 	if ok {
 		d.pending--
 	}
@@ -161,19 +127,14 @@ func (d *FIFODispatcher[O]) PopMsg(op O) (*Message, bool) {
 
 // PeekMsg implements Dispatcher.
 func (d *FIFODispatcher[O]) PeekMsg(op O) (*Message, bool) {
-	q := d.ops[op]
-	if q == nil {
-		return nil, false
-	}
-	return q.PeekFront()
+	return op.Sched().FIFO.PeekFront()
 }
 
 // Done implements Dispatcher.
 func (d *FIFODispatcher[O]) Done(op O, worker int) {
-	q := d.ops[op]
-	if q == nil || q.Len() == 0 {
-		delete(d.scheduled, op)
-		delete(d.ops, op)
+	st := op.Sched()
+	if st.FIFO.Len() == 0 {
+		st.OnQueue = false
 		return
 	}
 	d.runq.PushBack(op)
@@ -184,12 +145,7 @@ func (d *FIFODispatcher[O]) Done(op O, worker int) {
 func (d *FIFODispatcher[O]) ShouldYield(op O) bool { return d.runq.Len() > 0 }
 
 // QueueLen implements Dispatcher.
-func (d *FIFODispatcher[O]) QueueLen(op O) int {
-	if q := d.ops[op]; q != nil {
-		return q.Len()
-	}
-	return 0
-}
+func (d *FIFODispatcher[O]) QueueLen(op O) int { return op.Sched().FIFO.Len() }
 
 // Pending implements Dispatcher.
 func (d *FIFODispatcher[O]) Pending() int { return d.pending }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync"
+)
+
+// PoisonedID is stamped into a Message's ID the moment it is released to a
+// MessagePool, so any use-after-release — a dispatcher or handler touching
+// a recycled message — is observable (IDs the engine assigns are always
+// positive). Get clears it again.
+const PoisonedID int64 = -1 << 62
+
+// msgListCap bounds each worker-local free list. Beyond it, surplus
+// messages overflow into the shared sync.Pool — which is also where
+// external producers (ingest goroutines) allocate from, so the workers'
+// surplus circulates back to the sources in steady state.
+const msgListCap = 512
+
+type msgFreeList struct {
+	items []*Message
+	_     [40]byte // keep per-worker lists off each other's cache lines
+}
+
+// MessagePool recycles core.Message structs on the execution hot path:
+// one free list per worker (lock-free — each list is touched only by its
+// owning worker goroutine) with a shared sync.Pool backstop for external
+// producers and overflow.
+//
+// Ownership rules (the engine's recycling contract):
+//
+//   - a message is released exactly once, by the worker that finished
+//     executing it, after every derived child has been built — child
+//     priority contexts copy the parent's PC during context conversion,
+//     so nothing references a parent once its execution completes;
+//   - a released message must not be touched again; Put poisons the ID
+//     (PoisonedID) and drops the payload reference so violations surface
+//     in tests instead of corrupting scheduling silently.
+//
+// The zero MessagePool is not usable; call NewMessagePool. A nil
+// *MessagePool is a valid "pooling off" pool: Get falls back to plain
+// allocation and Put discards — which is how the deterministic simulator
+// (whose messages outlive execution inside the event heap) runs the same
+// dataflow code without recycling.
+type MessagePool struct {
+	locals []msgFreeList
+	shared sync.Pool
+}
+
+// NewMessagePool returns a pool with one local free list per worker.
+func NewMessagePool(workers int) *MessagePool {
+	if workers < 0 {
+		workers = 0
+	}
+	return &MessagePool{locals: make([]msgFreeList, workers)}
+}
+
+// Get returns a zeroed message. worker is the calling worker's index, or
+// negative for external producers (sources, ingest goroutines), which draw
+// from the shared backstop.
+func (p *MessagePool) Get(worker int) *Message {
+	if p == nil {
+		return &Message{}
+	}
+	if worker >= 0 && worker < len(p.locals) {
+		l := &p.locals[worker]
+		if n := len(l.items); n > 0 {
+			m := l.items[n-1]
+			l.items[n-1] = nil
+			l.items = l.items[:n-1]
+			*m = Message{}
+			return m
+		}
+	}
+	if m, _ := p.shared.Get().(*Message); m != nil {
+		*m = Message{}
+		return m
+	}
+	return &Message{}
+}
+
+// Put releases m for reuse. worker follows the same convention as Get.
+// The message is poisoned (ID, payload) before it becomes reachable again.
+func (p *MessagePool) Put(worker int, m *Message) {
+	if p == nil || m == nil {
+		return
+	}
+	m.ID = PoisonedID
+	m.Payload = nil
+	if worker >= 0 && worker < len(p.locals) {
+		l := &p.locals[worker]
+		if len(l.items) < msgListCap {
+			l.items = append(l.items, m)
+			return
+		}
+	}
+	p.shared.Put(m)
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"github.com/cameo-stream/cameo/internal/queue"
+)
+
+// SchedState is the intrusive per-operator scheduling state. It lives
+// *on* the operator handle (engines embed one per operator instance), so
+// dispatchers find an operator's message queue, run-queue membership, and
+// heap position by dereferencing the handle instead of re-discovering them
+// through map[O] lookups on every push and pop. That removes the last
+// per-message map traffic — and its allocation churn — from the hot path,
+// which is what lets the paper's "scheduler overhead scales with message
+// volume, not job count" claim hold at allocation granularity too.
+//
+// Exactly one dispatcher uses an operator's state at a time (an operator
+// belongs to one engine, and an engine instantiates one dispatch path);
+// fields are guarded by whatever synchronizes that dispatcher — the
+// engine-wide mutex on the single-lock path, the operator's home state
+// shard on the sharded paths, nothing in the sequential simulator.
+//
+// The zero value is ready for every dispatcher except the sharded Cameo
+// path, which requires Lane to be initialized to its "no lane" sentinel
+// (the engine does this when a job is added).
+type SchedState struct {
+	// Q holds pending messages in (PriLocal, ID) order — used by the Cameo
+	// dispatchers (priority-scheduled disciplines).
+	Q MsgHeap
+	// FIFO holds pending messages in arrival order — used by the Orleans
+	// and FIFO baseline disciplines.
+	FIFO queue.Ring[*Message]
+	// Acquired marks the operator as held by a worker (absent from the run
+	// queue under the actor guarantee).
+	Acquired bool
+	// OnQueue is the baselines' "scheduled" flag: the operator is in the
+	// run queue or acquired. (The Cameo dispatchers track the same fact
+	// with Pos/Lane instead, since they need the position anyway.)
+	OnQueue bool
+	// Pos is the operator's intrusive position in an indexed run-queue
+	// heap, encoded index+1 with 0 = absent (see queue.NewSlotHeap).
+	Pos int32
+	// Lane is the run-queue lane currently holding the operator on the
+	// sharded Cameo path, or that path's laneNone sentinel.
+	Lane int32
+}
+
+// Handle is the constraint on dispatcher operator handles: a comparable
+// value exposing its intrusive scheduling state. Engines use their
+// operator pointers; tests and microbenchmarks use small structs embedding
+// a SchedState.
+type Handle interface {
+	comparable
+	Sched() *SchedState
+}

@@ -21,6 +21,11 @@ type Batch struct {
 	Keys []int64
 	// Vals holds each tuple's numeric value (nil when tuples carry no value).
 	Vals []float64
+
+	// pooled marks a batch drawn from a BatchPool (engine-owned, recycled
+	// when its consumer finishes). Externally created batches are never
+	// recycled.
+	pooled bool
 }
 
 // NewBatch returns an empty batch with the given capacity.
@@ -69,24 +74,32 @@ func keyHash(k int64) uint64 {
 // always has n entries; empty partitions are nil.
 func (b *Batch) Partition(n int) []*Batch {
 	out := make([]*Batch, n)
-	if n == 1 || b == nil {
-		out[0] = b
-		return out
+	partitionInto(b, out, NewBatch)
+	return out
+}
+
+// partitionInto is the one partitioning rule both forms share: Partition
+// allocates fresh output, Env.partition reuses scratch and pooled batches.
+// parts (len n, all nil) receives the result; alloc supplies destination
+// batches. split reports whether fresh partitions were created — when
+// false, parts[0] IS b (single partition or unkeyed batch) and ownership
+// of b moves to that partition's consumer.
+func partitionInto(b *Batch, parts []*Batch, alloc func(capacity int) *Batch) (split bool) {
+	if len(parts) == 1 || b == nil || b.Keys == nil {
+		parts[0] = b
+		return false
 	}
-	if b.Keys == nil {
-		out[0] = b
-		return out
-	}
+	n := len(parts)
 	for i := range b.Times {
 		p := int(keyHash(b.Keys[i]) % uint64(n))
-		if out[p] == nil {
-			out[p] = NewBatch(len(b.Times)/n + 1)
+		if parts[p] == nil {
+			parts[p] = alloc(len(b.Times)/n + 1)
 		}
 		var v float64
 		if b.Vals != nil {
 			v = b.Vals[i]
 		}
-		out[p].Append(b.Times[i], b.Keys[i], v)
+		parts[p].Append(b.Times[i], b.Keys[i], v)
 	}
-	return out
+	return true
 }

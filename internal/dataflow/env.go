@@ -1,0 +1,171 @@
+package dataflow
+
+import (
+	"sync"
+
+	"github.com/cameo-stream/cameo/internal/core"
+)
+
+// Env is the per-worker execution environment of the hot path: the policy
+// and ID allocator, the message/batch pools, and the reusable scratch
+// buffers Invoke/Finish/SourceMessages emit into. One Env belongs to
+// exactly one goroutine at a time — the real-time engine keeps one per
+// worker plus a small pool for ingest goroutines; the sequential simulator
+// keeps a single Env — so nothing in it is synchronized.
+//
+// The scratch buffers make the steady-state execute path allocation-free:
+// the outcome of one execution is fully consumed (children pushed, outputs
+// recorded) before the owning goroutine executes its next message, so the
+// buffers can be truncated and refilled instead of reallocated.
+type Env struct {
+	// Policy generates priority contexts; NextID allocates message IDs
+	// (strictly increasing per engine).
+	Policy core.Policy
+	NextID func() int64
+	// Worker is the owning worker's index, or -1 for external producers
+	// (ingest goroutines, the simulator).
+	Worker int
+	// Msgs recycles message structs; nil disables message pooling (the
+	// simulator, whose messages outlive execution in the event heap).
+	Msgs *core.MessagePool
+	// Batches recycles engine-created tuple batches; nil disables batch
+	// pooling.
+	Batches *BatchPool
+
+	ctx    Context
+	out    ExecOutcome
+	parts  []*Batch
+	source []ChildMessage
+	allocB func(capacity int) *Batch // newBatch bound once, not per call
+}
+
+// NewEnv returns an execution environment with pooling disabled (Msgs and
+// Batches nil). Engines that pool set the fields after construction.
+func NewEnv(policy core.Policy, nextID func() int64, worker int) *Env {
+	e := &Env{Policy: policy, NextID: nextID, Worker: worker}
+	e.allocB = e.newBatch
+	return e
+}
+
+// newMessage draws a zeroed message from the pool (or the heap when
+// pooling is off).
+func (e *Env) newMessage() *core.Message {
+	return e.Msgs.Get(e.Worker)
+}
+
+// FreeMessage releases an executed message back to the pool. Callers must
+// respect the pool's ownership rules (see core.MessagePool).
+func (e *Env) FreeMessage(m *core.Message) {
+	e.Msgs.Put(e.Worker, m)
+}
+
+// newBatch draws a reset batch from the batch pool, or allocates one when
+// pooling is off.
+func (e *Env) newBatch(capacity int) *Batch {
+	if e.Batches == nil {
+		return NewBatch(capacity)
+	}
+	return e.Batches.Get(e.Worker, capacity)
+}
+
+// FreeBatch releases an engine-owned batch. Externally owned batches
+// (anything not drawn from the pool) are ignored, so callers may free
+// unconditionally.
+func (e *Env) FreeBatch(b *Batch) {
+	if e.Batches != nil {
+		e.Batches.Put(e.Worker, b)
+	}
+}
+
+// partition splits b across n partitions into the env's part scratch,
+// drawing destination batches from the batch pool — the zero-allocation
+// form of Batch.Partition (both share partitionInto, so the partitioning
+// rule cannot diverge). See partitionInto for the split/ownership
+// contract.
+func (e *Env) partition(b *Batch, n int) (parts []*Batch, split bool) {
+	if cap(e.parts) < n {
+		e.parts = make([]*Batch, n)
+	}
+	parts = e.parts[:n]
+	for i := range parts {
+		parts[i] = nil
+	}
+	return parts, partitionInto(b, parts, e.allocB)
+}
+
+// batchListCap bounds each worker-local batch free list; overflow goes to
+// the shared sync.Pool, where external producers allocate from.
+const batchListCap = 256
+
+type batchFreeList struct {
+	items []*Batch
+	_     [40]byte // keep per-worker lists off each other's cache lines
+}
+
+// BatchPool recycles engine-created tuple batches (partitions, window
+// results): one lock-free free list per worker plus a shared sync.Pool
+// backstop for external producers and overflow.
+//
+// Ownership is tracked on the batch itself: Get marks a batch pooled, Put
+// accepts only pooled batches and unmarks them (making a double free a
+// no-op instead of a corruption), and externally created batches — ingested
+// by callers, built with NewBatch — are never recycled.
+type BatchPool struct {
+	locals []batchFreeList
+	shared sync.Pool
+}
+
+// NewBatchPool returns a pool with one local free list per worker.
+func NewBatchPool(workers int) *BatchPool {
+	if workers < 0 {
+		workers = 0
+	}
+	return &BatchPool{locals: make([]batchFreeList, workers)}
+}
+
+// Get returns an empty pooled batch; worker is the caller's worker index
+// or negative for external producers. capacity is a hint for fresh
+// allocations only — recycled batches keep their grown capacity.
+func (p *BatchPool) Get(worker, capacity int) *Batch {
+	if p == nil {
+		return NewBatch(capacity)
+	}
+	var b *Batch
+	if worker >= 0 && worker < len(p.locals) {
+		l := &p.locals[worker]
+		if n := len(l.items); n > 0 {
+			b = l.items[n-1]
+			l.items[n-1] = nil
+			l.items = l.items[:n-1]
+		}
+	}
+	if b == nil {
+		b, _ = p.shared.Get().(*Batch)
+	}
+	if b == nil {
+		b = NewBatch(capacity)
+	} else {
+		b.Times = b.Times[:0]
+		b.Keys = b.Keys[:0]
+		b.Vals = b.Vals[:0]
+	}
+	b.pooled = true
+	return b
+}
+
+// Put releases b for reuse if it came from a pool; external and
+// already-released batches are ignored.
+func (p *BatchPool) Put(worker int, b *Batch) {
+	if p == nil || b == nil || !b.pooled {
+		return
+	}
+	b.pooled = false
+	if worker >= 0 && worker < len(p.locals) {
+		l := &p.locals[worker]
+		if len(l.items) < batchListCap {
+			l.items = append(l.items, b)
+			return
+		}
+	}
+	p.shared.Put(b)
+}

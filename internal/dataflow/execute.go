@@ -19,7 +19,9 @@ type SinkOutput struct {
 	Tuples int
 }
 
-// ExecOutcome is everything one operator invocation produced.
+// ExecOutcome is everything one operator invocation produced. The engines'
+// outcomes are backed by per-worker Env scratch: valid until the same Env
+// executes its next message, which is after the caller has consumed them.
 type ExecOutcome struct {
 	Children []ChildMessage
 	Outputs  []SinkOutput
@@ -28,8 +30,11 @@ type ExecOutcome struct {
 // Invoke runs the operator's handler for one message — the "triggered if it
 // emits" half of an execution. The simulator calls it at the message's
 // completion instant; the real-time engine wraps it in wall-clock timing.
-func Invoke(op *Operator, m *core.Message, now vtime.Time) []Emission {
-	return op.Handler.OnMessage(&Context{Op: op, Now: now}, m)
+// The handler context is the env's reusable one (handlers must not retain
+// it across invocations).
+func Invoke(op *Operator, m *core.Message, now vtime.Time, env *Env) []Emission {
+	env.ctx = Context{Op: op, Now: now, env: env}
+	return op.Handler.OnMessage(&env.ctx, m)
 }
 
 // Finish performs the post-invocation bookkeeping both engines share, in
@@ -42,9 +47,19 @@ func Invoke(op *Operator, m *core.Message, now vtime.Time) []Emission {
 //     policy's context conversion (BUILDCXTATOPERATOR) per child, or into
 //     sink outputs at the last stage.
 //
-// nextID allocates message IDs (strictly increasing per engine).
+// Children and outputs are emitted into env's reusable outcome buffers,
+// and child messages are drawn from env's message pool, so the steady
+// state allocates nothing.
+//
+// Finish also settles batch ownership: an emission batch that was split
+// across downstream partitions (or recorded at the sink) is released to
+// the batch pool, one that was forwarded whole becomes the child's payload
+// and is released by *its* executor, and the incoming message's payload is
+// released unless an emission forwarded it downstream. Handlers therefore
+// must not retain a payload or emitted batch beyond the invocation that
+// saw it — copy what must survive.
 func Finish(op *Operator, m *core.Message, emissions []Emission, cost vtime.Duration,
-	policy core.Policy, nextID func() int64) ExecOutcome {
+	env *Env) *ExecOutcome {
 
 	op.Profile.Cost.Observe(cost)
 	var upstream *Operator
@@ -53,26 +68,51 @@ func Finish(op *Operator, m *core.Message, emissions []Emission, cost vtime.Dura
 	}
 	op.Job.DeliverReply(upstream, op, op.Profile.ReplyContext())
 
-	var out ExecOutcome
+	out := &env.out
+	out.Children = out.Children[:0]
+	out.Outputs = out.Outputs[:0]
+	payload, _ := m.Payload.(*Batch)
+	payloadRetained := false
+
 	for _, e := range emissions {
 		if op.IsSink() {
 			if e.Batch.Len() > 0 {
 				out.Outputs = append(out.Outputs, SinkOutput{P: e.P, T: e.T, Tuples: e.Batch.Len()})
 			}
+			if e.Batch != payload {
+				env.FreeBatch(e.Batch)
+			}
 			continue
 		}
-		for _, d := range op.Job.RouteEmission(op, e) {
-			child := &core.Message{
-				ID:      nextID(),
-				P:       d.P,
-				T:       d.T,
-				Payload: d.Batch,
-				Channel: d.Channel,
-				Port:    d.Port,
-			}
-			policy.OnHop(&m.PC, child, op.Job.TargetInfo(op, d.Target))
-			out.Children = append(out.Children, ChildMessage{Target: d.Target, Msg: child})
+		// Fan the emission out to the next stage, partitioning by key, with
+		// a delivery to every instance (empty partitions carry the progress
+		// downstream frontiers need — the watermark-heartbeat role). This
+		// inlines Job.RouteEmission's semantics into env scratch; the
+		// drift-prone pieces (partition rule, source ports) are shared.
+		targets := op.Job.Stages[op.Stage+1]
+		parts, split := env.partition(e.Batch, len(targets))
+		for i, target := range targets {
+			child := env.newMessage()
+			child.ID = env.NextID()
+			child.P, child.T = e.P, e.T
+			child.Payload = parts[i]
+			child.Channel = op.Index
+			env.Policy.OnHop(&m.PC, child, op.Job.TargetInfo(op, target))
+			out.Children = append(out.Children, ChildMessage{Target: target, Msg: child})
 		}
+		switch {
+		case split && e.Batch != payload:
+			// The emitted batch was copied into fresh partitions and is no
+			// longer referenced.
+			env.FreeBatch(e.Batch)
+		case !split && e.Batch == payload && e.Batch != nil:
+			// The payload was forwarded whole as a child's payload; its new
+			// owner releases it.
+			payloadRetained = true
+		}
+	}
+	if payload != nil && !payloadRetained {
+		env.FreeBatch(payload)
 	}
 	return out
 }
@@ -80,28 +120,33 @@ func Finish(op *Operator, m *core.Message, emissions []Emission, cost vtime.Dura
 // Execute is Invoke followed by Finish — the single-step form the
 // simulator uses, where cost is modelled rather than measured.
 func Execute(op *Operator, m *core.Message, now vtime.Time, cost vtime.Duration,
-	policy core.Policy, nextID func() int64) ExecOutcome {
-	return Finish(op, m, Invoke(op, m, now), cost, policy, nextID)
+	env *Env) *ExecOutcome {
+	return Finish(op, m, Invoke(op, m, now, env), cost, env)
 }
 
 // SourceMessages converts one source batch emission into routed, fully
-// prioritized messages for stage 0 (BUILDCXTATSOURCE per message).
-func SourceMessages(j *Job, src int, b *Batch, p, t vtime.Time,
-	policy core.Policy, nextID func() int64) []ChildMessage {
-
-	deliveries := j.RouteSourceBatch(src, b, p, t)
-	out := make([]ChildMessage, 0, len(deliveries))
-	for _, d := range deliveries {
-		m := &core.Message{
-			ID:      nextID(),
-			P:       d.P,
-			T:       d.T,
-			Payload: d.Batch,
-			Channel: d.Channel,
-			Port:    d.Port,
-		}
-		policy.OnSource(m, j.TargetInfo(nil, d.Target))
-		out = append(out, ChildMessage{Target: d.Target, Msg: m})
+// prioritized messages for stage 0 (BUILDCXTATSOURCE per message). The
+// returned slice is env scratch, valid until the env's next use; the
+// caller-owned batch b is never recycled (its partitions are pool-owned
+// copies, except when forwarded whole to a single/unkeyed target).
+func SourceMessages(j *Job, src int, b *Batch, p, t vtime.Time, env *Env) []ChildMessage {
+	if src < 0 || src >= j.Spec.Sources {
+		panic("dataflow: source out of range for job " + j.Spec.Name)
 	}
+	port := j.sourcePort(src)
+	targets := j.Stages[0]
+	parts, _ := env.partition(b, len(targets))
+	out := env.source[:0]
+	for i, target := range targets {
+		m := env.newMessage()
+		m.ID = env.NextID()
+		m.P, m.T = p, t
+		m.Payload = parts[i]
+		m.Channel = src
+		m.Port = port
+		env.Policy.OnSource(m, j.TargetInfo(nil, target))
+		out = append(out, ChildMessage{Target: target, Msg: m})
+	}
+	env.source = out
 	return out
 }

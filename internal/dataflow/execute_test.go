@@ -32,14 +32,13 @@ func exampleJob(t *testing.T) *Job {
 
 func TestSourceMessagesArePrioritized(t *testing.T) {
 	j := exampleJob(t)
-	pol := &core.DeadlinePolicy{Kind: core.KindLLF}
 	var id int64
-	nextID := func() int64 { id++; return id }
+	env := NewEnv(&core.DeadlinePolicy{Kind: core.KindLLF}, func() int64 { id++; return id }, -1)
 
 	b := NewBatch(2)
 	b.Append(10, 1, 1)
 	b.Append(20, 2, 1)
-	msgs := SourceMessages(j, 1, b, 20, 25, pol, nextID)
+	msgs := SourceMessages(j, 1, b, 20, 25, env)
 	if len(msgs) != 2 { // one delivery per stage-0 instance
 		t.Fatalf("messages = %d, want 2", len(msgs))
 	}
@@ -68,15 +67,14 @@ func TestSourceMessagesArePrioritized(t *testing.T) {
 
 func TestExecuteRoutesAndProfiles(t *testing.T) {
 	j := exampleJob(t)
-	pol := &core.DeadlinePolicy{Kind: core.KindLLF}
 	var id int64
-	nextID := func() int64 { id++; return id }
+	env := NewEnv(&core.DeadlinePolicy{Kind: core.KindLLF}, func() int64 { id++; return id }, -1)
 
 	op := j.Stages[0][0]
 	b := NewBatch(1)
 	b.Append(5, 1, 1)
 	m := &core.Message{ID: 1, P: 5, T: 6, Channel: 0, Payload: b}
-	out := Execute(op, m, 100, 42, pol, nextID)
+	out := Execute(op, m, 100, 42, env)
 
 	if len(out.Outputs) != 0 {
 		t.Fatalf("non-sink produced outputs: %+v", out.Outputs)
@@ -103,16 +101,15 @@ func TestExecuteRoutesAndProfiles(t *testing.T) {
 
 func TestExecuteSinkRecordsOutputs(t *testing.T) {
 	j := exampleJob(t)
-	pol := &core.DeadlinePolicy{Kind: core.KindLLF}
 	var id int64
-	nextID := func() int64 { id++; return id }
+	env := NewEnv(&core.DeadlinePolicy{Kind: core.KindLLF}, func() int64 { id++; return id }, -1)
 
 	sink := j.Stages[1][0]
 	b := NewBatch(2)
 	b.Append(7, 1, 1)
 	b.Append(8, 2, 1)
 	m := &core.Message{ID: 9, P: 8, T: 9, Channel: 1, Payload: b}
-	out := Execute(sink, m, 50, 10, pol, nextID)
+	out := Execute(sink, m, 50, 10, env)
 
 	if len(out.Children) != 0 {
 		t.Fatal("sink produced children")
@@ -129,16 +126,15 @@ func TestExecuteSinkRecordsOutputs(t *testing.T) {
 
 func TestExecuteCriticalPathAccumulates(t *testing.T) {
 	j := exampleJob(t)
-	pol := &core.DeadlinePolicy{Kind: core.KindLLF}
 	var id int64
-	nextID := func() int64 { id++; return id }
+	env := NewEnv(&core.DeadlinePolicy{Kind: core.KindLLF}, func() int64 { id++; return id }, -1)
 
 	sink := j.Stages[1][0]
 	op0 := j.Stages[0][0]
 	// Sink executes (cost 30): op0 learns {Cm:30, Cpath:0} on the ack.
-	Execute(sink, &core.Message{ID: 1, P: 1, T: 1, Channel: 0, Payload: nil}, 10, 30, pol, nextID)
+	Execute(sink, &core.Message{ID: 1, P: 1, T: 1, Channel: 0, Payload: nil}, 10, 30, env)
 	// op0 executes (cost 20): sources learn {Cm:20, Cpath:30}.
-	Execute(op0, &core.Message{ID: 2, P: 1, T: 1, Channel: 0, Payload: nil}, 20, 20, pol, nextID)
+	Execute(op0, &core.Message{ID: 2, P: 1, T: 1, Channel: 0, Payload: nil}, 20, 20, env)
 
 	rc, ok := j.SourceTracker.Reply(op0.Name)
 	if !ok || rc.Cm != 20 || rc.Cpath != 30 {

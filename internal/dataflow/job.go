@@ -25,11 +25,17 @@ type Operator struct {
 	// Mapper is the PROGRESSMAP for streams into this operator.
 	Mapper progress.Mapper
 
-	spec *StageSpec
+	spec  *StageSpec
+	sched core.SchedState
 }
 
 // Spec returns the stage spec this operator instantiates.
 func (o *Operator) Spec() *StageSpec { return o.spec }
+
+// Sched exposes the operator's intrusive scheduling state, satisfying
+// core.Handle — dispatchers store per-operator queues, flags, and heap
+// positions here instead of in maps keyed by operator.
+func (o *Operator) Sched() *core.SchedState { return &o.sched }
 
 // IsSink reports whether the operator belongs to the job's last stage.
 func (o *Operator) IsSink() bool { return o.Stage == len(o.Job.Spec.Stages)-1 }
@@ -154,6 +160,12 @@ type Delivery struct {
 // it carries the stream progress they need to advance their frontier —
 // the punctuation/heartbeat role of dataflow watermarks. Returns nil when
 // `from` is the sink stage (the engine records an output instead).
+//
+// This is the allocating reference form of the fan-out; Finish inlines
+// the same semantics into env scratch for the engines' hot path. The
+// parts that could drift — the partitioning rule and the source-port
+// derivation — are shared (partitionInto, Job.sourcePort); keep the
+// remaining loop shape in lockstep with Finish when changing either.
 func (j *Job) RouteEmission(from *Operator, e Emission) []Delivery {
 	next := from.Stage + 1
 	if next >= len(j.Stages) {
@@ -174,15 +186,23 @@ func (j *Job) RouteEmission(from *Operator, e Emission) []Delivery {
 	return out
 }
 
+// sourcePort derives the logical input port of a source channel (shared
+// by RouteSourceBatch and SourceMessages so the mapping cannot diverge).
+func (j *Job) sourcePort(src int) int {
+	return src / (j.Spec.Sources / j.Spec.SourcePorts)
+}
+
 // RouteSourceBatch fans one source batch (from source channel src, logical
 // progress p observed at physical time t) out to stage 0, partitioned by
 // key. Every stage-0 instance receives a delivery so frontiers advance
-// uniformly. The source's port is derived from its channel index.
+// uniformly. The source's port is derived from its channel index. Like
+// RouteEmission, this is the allocating reference form of the fan-out
+// SourceMessages inlines for the hot path.
 func (j *Job) RouteSourceBatch(src int, b *Batch, p, t vtime.Time) []Delivery {
 	if src < 0 || src >= j.Spec.Sources {
 		panic(fmt.Sprintf("dataflow: source %d out of range for job %q", src, j.Spec.Name))
 	}
-	port := src / (j.Spec.Sources / j.Spec.SourcePorts)
+	port := j.sourcePort(src)
 	targets := j.Stages[0]
 	parts := b.Partition(len(targets))
 	out := make([]Delivery, 0, len(targets))

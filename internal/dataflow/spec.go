@@ -36,12 +36,28 @@ type Emission struct {
 	P, T  vtime.Time
 }
 
-// Context is passed to handler invocations.
+// Context is passed to handler invocations. The engines reuse one Context
+// per worker; handlers must not retain it (or anything reached through it)
+// past the invocation.
 type Context struct {
 	// Op is the operator instance being invoked.
 	Op *Operator
 	// Now is the current engine time.
 	Now vtime.Time
+
+	env *Env
+}
+
+// NewBatch returns an empty batch for the handler to emit, drawn from the
+// engine's batch pool when one is attached (zero-allocation steady state)
+// and heap-allocated otherwise — so handler code is pooling-agnostic. The
+// batch is engine-owned: emit it or discard it within this invocation;
+// never store it in handler state.
+func (c *Context) NewBatch(capacity int) *Batch {
+	if c.env == nil {
+		return NewBatch(capacity)
+	}
+	return c.env.newBatch(capacity)
 }
 
 // Handler is the user-defined function a stage executes — the paper's

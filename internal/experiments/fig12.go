@@ -15,24 +15,39 @@ import (
 // (300–350 tenants, one message per second each).
 const fig12Tenants = 320
 
+// tenantOp is the minimal intrusive operator handle of the no-op
+// microbenchmark (the real engines use *dataflow.Operator).
+type tenantOp struct{ sched core.SchedState }
+
+func (o *tenantOp) Sched() *core.SchedState { return &o.sched }
+
+func tenantOps() []*tenantOp {
+	ops := make([]*tenantOp, fig12Tenants)
+	for i := range ops {
+		ops[i] = &tenantOp{}
+	}
+	return ops
+}
+
 // measureDispatch pushes and drains msgs messages across fig12Tenants
 // operators through the given dispatcher, running the policy's context
 // conversion per message when policy is non-nil, and returns the measured
 // wall time per message.
-func measureDispatch(d core.Dispatcher[int], policy core.Policy, msgs int) time.Duration {
+func measureDispatch(d core.Dispatcher[*tenantOp], policy core.Policy, msgs int) time.Duration {
 	ti := core.TargetInfo{
 		Slide:   vtime.Second,
 		Mapper:  progress.IdentityMapper{},
 		Cost:    500 * vtime.Microsecond,
 		Latency: vtime.Second,
 	}
+	ops := tenantOps()
 	start := time.Now()
 	for i := 0; i < msgs; i++ {
 		m := &core.Message{ID: int64(i), P: vtime.Time(i), T: vtime.Time(i)}
 		if policy != nil {
 			policy.OnSource(m, ti)
 		}
-		d.Push(i%fig12Tenants, m, -1)
+		d.Push(ops[i%fig12Tenants], m, -1)
 		// Drain in batches to keep queues short, as the paper's no-op
 		// workload does (tenants saturate throughput, queues stay shallow).
 		if i%fig12Tenants == fig12Tenants-1 {
@@ -106,13 +121,13 @@ func Fig12() *Report {
 
 	// Warm-up pass absorbs allocator growth and code-path JIT effects so
 	// the measured passes compare steady states.
-	measureDispatch(core.NewFIFODispatcher[int](), nil, msgs/4)
-	measureDispatch(core.NewCameoDispatcher[int](), core.ArrivalPolicy{}, msgs/4)
-	measureDispatch(core.NewCameoDispatcher[int](), &core.DeadlinePolicy{Kind: core.KindLLF}, msgs/4)
+	measureDispatch(core.NewFIFODispatcher[*tenantOp](), nil, msgs/4)
+	measureDispatch(core.NewCameoDispatcher[*tenantOp](), core.ArrivalPolicy{}, msgs/4)
+	measureDispatch(core.NewCameoDispatcher[*tenantOp](), &core.DeadlinePolicy{Kind: core.KindLLF}, msgs/4)
 
-	fifo := measureDispatch(core.NewFIFODispatcher[int](), nil, msgs)
-	cameoNoGen := measureDispatch(core.NewCameoDispatcher[int](), core.ArrivalPolicy{}, msgs)
-	cameoFull := measureDispatch(core.NewCameoDispatcher[int](), &core.DeadlinePolicy{Kind: core.KindLLF}, msgs)
+	fifo := measureDispatch(core.NewFIFODispatcher[*tenantOp](), nil, msgs)
+	cameoNoGen := measureDispatch(core.NewCameoDispatcher[*tenantOp](), core.ArrivalPolicy{}, msgs)
+	cameoFull := measureDispatch(core.NewCameoDispatcher[*tenantOp](), &core.DeadlinePolicy{Kind: core.KindLLF}, msgs)
 
 	tl := r.Table("left: per-message dispatch cost", "scheme", "ns/msg", "vs FIFO")
 	tl.AddRow("fifo", fifo.Nanoseconds(), "1.00x")

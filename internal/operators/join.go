@@ -50,6 +50,27 @@ type windowJoin struct {
 	wins     map[vtime.Time]*joinWindow
 	emitted  vtime.Time
 	late     int64
+
+	winFree []*joinWindow
+	scratch emitScratch
+	keys    []int64
+}
+
+// getWindow draws a cleared window from the free list.
+func (w *windowJoin) getWindow() *joinWindow {
+	if n := len(w.winFree); n > 0 {
+		win := w.winFree[n-1]
+		w.winFree[n-1] = nil
+		w.winFree = w.winFree[:n-1]
+		win.maxT = 0
+		clear(win.sides[0])
+		clear(win.sides[1])
+		return win
+	}
+	win := &joinWindow{}
+	win.sides[0] = make(map[int64]float64)
+	win.sides[1] = make(map[int64]float64)
+	return win
 }
 
 // LateTuples reports dropped late tuples.
@@ -70,9 +91,7 @@ func (w *windowJoin) OnMessage(ctx *dataflow.Context, m *core.Message) []dataflo
 			}
 			win := w.wins[end]
 			if win == nil {
-				win = &joinWindow{}
-				win.sides[0] = make(map[int64]float64)
-				win.sides[1] = make(map[int64]float64)
+				win = w.getWindow()
 				w.wins[end] = win
 			}
 			var key int64
@@ -99,40 +118,36 @@ func (w *windowJoin) OnMessage(ctx *dataflow.Context, m *core.Message) []dataflo
 		return nil
 	}
 
-	var ends []vtime.Time
-	for end := range w.wins {
-		if end <= boundary {
-			ends = append(ends, end)
-		}
-	}
-	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
-
-	out := make([]dataflow.Emission, 0, len(ends)+1)
+	ends := closedEnds(&w.scratch, w.wins, boundary)
+	out := w.scratch.out[:0]
 	for _, end := range ends {
 		win := w.wins[end]
 		delete(w.wins, end)
-		b := w.result(end, win)
+		b := w.result(ctx, end, win)
 		out = append(out, dataflow.Emission{Batch: b, P: end, T: win.maxT})
+		w.winFree = append(w.winFree, win)
 	}
 	if len(ends) == 0 || ends[len(ends)-1] < boundary {
 		out = append(out, dataflow.Emission{Batch: nil, P: boundary, T: m.T})
 	}
 	w.emitted = boundary
+	w.scratch.out = out
 	return out
 }
 
-func (w *windowJoin) result(end vtime.Time, win *joinWindow) *dataflow.Batch {
-	keys := make([]int64, 0, len(win.sides[0]))
+func (w *windowJoin) result(ctx *dataflow.Context, end vtime.Time, win *joinWindow) *dataflow.Batch {
+	keys := w.keys[:0]
 	for k := range win.sides[0] {
 		if _, ok := win.sides[1][k]; ok {
 			keys = append(keys, k)
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.keys = keys
 	if len(keys) == 0 {
 		return nil // no matches: progress-only emission
 	}
-	b := dataflow.NewBatch(len(keys))
+	b := ctx.NewBatch(len(keys))
 	for _, k := range keys {
 		// Stamped just inside the window; see windowAgg.result.
 		b.Append(end-1, k, w.spec.Combine(win.sides[0][k], win.sides[1][k]))

@@ -1,0 +1,74 @@
+package operators
+
+import (
+	"sort"
+
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// emitScratch holds the emit-cycle buffers every windowed operator reuses
+// across invocations: the sorted list of closed window ends and the
+// emission slice handed back to the engine. Reuse is safe because handler
+// instances are single-threaded (the actor guarantee) and the engine fully
+// consumes an invocation's emissions before the next invocation — the same
+// contract that lets the engine recycle batches (see dataflow.Context).
+type emitScratch struct {
+	ends []vtime.Time
+	out  []dataflow.Emission
+}
+
+// closedEnds collects the ends <= boundary from wins into the reusable
+// ends buffer, ascending.
+func closedEnds[W any](s *emitScratch, wins map[vtime.Time]W, boundary vtime.Time) []vtime.Time {
+	ends := s.ends[:0]
+	for end := range wins {
+		if end <= boundary {
+			ends = append(ends, end)
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	s.ends = ends
+	return ends
+}
+
+// aggPool recycles per-window aggregation state (aggWindow + acc) through
+// per-instance free lists, so windows opening and closing in steady state
+// stop allocating. Shared by the windowed aggregate and top-k operators.
+type aggPool struct {
+	winFree []*aggWindow
+	accFree []*acc
+}
+
+// getWindow draws a cleared window from the free list.
+func (p *aggPool) getWindow() *aggWindow {
+	if n := len(p.winFree); n > 0 {
+		win := p.winFree[n-1]
+		p.winFree[n-1] = nil
+		p.winFree = p.winFree[:n-1]
+		win.maxT = 0
+		return win
+	}
+	return &aggWindow{accs: make(map[int64]*acc)}
+}
+
+// getAcc draws a zeroed accumulator from the free list.
+func (p *aggPool) getAcc() *acc {
+	if n := len(p.accFree); n > 0 {
+		a := p.accFree[n-1]
+		p.accFree[n-1] = nil
+		p.accFree = p.accFree[:n-1]
+		*a = acc{}
+		return a
+	}
+	return &acc{}
+}
+
+// putWindow recycles an emitted window and its accumulators.
+func (p *aggPool) putWindow(win *aggWindow) {
+	for k, a := range win.accs {
+		p.accFree = append(p.accFree, a)
+		delete(win.accs, k)
+	}
+	p.winFree = append(p.winFree, win)
+}

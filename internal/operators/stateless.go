@@ -6,17 +6,25 @@ import (
 	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
+// The stateless handlers keep a one-element emission buffer per handler
+// instance (safe: instances are single-threaded and the engine consumes
+// emissions before the next invocation) and draw output batches from the
+// engine's pool via ctx.NewBatch, so they ride the zero-allocation hot
+// path like the windowed operators.
+
 // Map returns a handler factory for a stateless per-tuple transform.
 // Progress-only (nil-batch) messages pass through so downstream frontiers
 // keep advancing.
 func Map(f func(t vtime.Time, key int64, val float64) (int64, float64)) func(int) dataflow.Handler {
 	return func(int) dataflow.Handler {
+		var emit [1]dataflow.Emission
 		return dataflow.HandlerFunc(func(ctx *dataflow.Context, m *core.Message) []dataflow.Emission {
 			b, _ := m.Payload.(*dataflow.Batch)
 			if b == nil {
-				return []dataflow.Emission{{Batch: nil, P: m.P, T: m.T}}
+				emit[0] = dataflow.Emission{Batch: nil, P: m.P, T: m.T}
+				return emit[:]
 			}
-			out := dataflow.NewBatch(b.Len())
+			out := ctx.NewBatch(b.Len())
 			for i, t := range b.Times {
 				var key int64
 				if b.Keys != nil {
@@ -29,7 +37,8 @@ func Map(f func(t vtime.Time, key int64, val float64) (int64, float64)) func(int
 				k2, v2 := f(t, key, val)
 				out.Append(t, k2, v2)
 			}
-			return []dataflow.Emission{{Batch: out, P: m.P, T: m.T}}
+			emit[0] = dataflow.Emission{Batch: out, P: m.P, T: m.T}
+			return emit[:]
 		})
 	}
 }
@@ -37,12 +46,14 @@ func Map(f func(t vtime.Time, key int64, val float64) (int64, float64)) func(int
 // Filter returns a handler factory keeping only tuples satisfying pred.
 func Filter(pred func(t vtime.Time, key int64, val float64) bool) func(int) dataflow.Handler {
 	return func(int) dataflow.Handler {
+		var emit [1]dataflow.Emission
 		return dataflow.HandlerFunc(func(ctx *dataflow.Context, m *core.Message) []dataflow.Emission {
 			b, _ := m.Payload.(*dataflow.Batch)
 			if b == nil {
-				return []dataflow.Emission{{Batch: nil, P: m.P, T: m.T}}
+				emit[0] = dataflow.Emission{Batch: nil, P: m.P, T: m.T}
+				return emit[:]
 			}
-			out := dataflow.NewBatch(b.Len())
+			out := ctx.NewBatch(b.Len())
 			for i, t := range b.Times {
 				var key int64
 				if b.Keys != nil {
@@ -56,19 +67,23 @@ func Filter(pred func(t vtime.Time, key int64, val float64) bool) func(int) data
 					out.Append(t, key, val)
 				}
 			}
-			return []dataflow.Emission{{Batch: out, P: m.P, T: m.T}}
+			emit[0] = dataflow.Emission{Batch: out, P: m.P, T: m.T}
+			return emit[:]
 		})
 	}
 }
 
 // Passthrough returns a handler factory forwarding messages unchanged —
 // a regular operator that adds a hop (and a profiled cost) to the critical
-// path.
+// path. The payload batch is forwarded whole; the engine transfers its
+// ownership downstream.
 func Passthrough() func(int) dataflow.Handler {
 	return func(int) dataflow.Handler {
+		var emit [1]dataflow.Emission
 		return dataflow.HandlerFunc(func(ctx *dataflow.Context, m *core.Message) []dataflow.Emission {
 			b, _ := m.Payload.(*dataflow.Batch)
-			return []dataflow.Emission{{Batch: b, P: m.P, T: m.T}}
+			emit[0] = dataflow.Emission{Batch: b, P: m.P, T: m.T}
+			return emit[:]
 		})
 	}
 }
@@ -89,12 +104,14 @@ func NoOp() func(int) dataflow.Handler {
 // per-window.
 func Emit() func(int) dataflow.Handler {
 	return func(int) dataflow.Handler {
+		var emit [1]dataflow.Emission
 		return dataflow.HandlerFunc(func(ctx *dataflow.Context, m *core.Message) []dataflow.Emission {
 			b, _ := m.Payload.(*dataflow.Batch)
 			if b.Len() == 0 {
 				return nil
 			}
-			return []dataflow.Emission{{Batch: b, P: m.P, T: m.T}}
+			emit[0] = dataflow.Emission{Batch: b, P: m.P, T: m.T}
+			return emit[:]
 		})
 	}
 }

@@ -40,6 +40,15 @@ type topK struct {
 	wins     map[vtime.Time]*aggWindow
 	emitted  vtime.Time
 	late     int64
+
+	pool    aggPool
+	scratch emitScratch
+	ranked  []topkEntry // result ranking buffer, reused per emit
+}
+
+type topkEntry struct {
+	key int64
+	sum float64
 }
 
 // LateTuples reports dropped late tuples.
@@ -56,7 +65,7 @@ func (w *topK) OnMessage(ctx *dataflow.Context, m *core.Message) []dataflow.Emis
 			}
 			win := w.wins[end]
 			if win == nil {
-				win = &aggWindow{accs: make(map[int64]*acc)}
+				win = w.pool.getWindow()
 				w.wins[end] = win
 			}
 			var key int64
@@ -69,7 +78,7 @@ func (w *topK) OnMessage(ctx *dataflow.Context, m *core.Message) []dataflow.Emis
 			}
 			a := win.accs[key]
 			if a == nil {
-				a = &acc{}
+				a = w.pool.getAcc()
 				win.accs[key] = a
 			}
 			a.add(val)
@@ -88,35 +97,26 @@ func (w *topK) OnMessage(ctx *dataflow.Context, m *core.Message) []dataflow.Emis
 		return nil
 	}
 
-	var ends []vtime.Time
-	for end := range w.wins {
-		if end <= boundary {
-			ends = append(ends, end)
-		}
-	}
-	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
-
-	out := make([]dataflow.Emission, 0, len(ends)+1)
+	ends := closedEnds(&w.scratch, w.wins, boundary)
+	out := w.scratch.out[:0]
 	for _, end := range ends {
 		win := w.wins[end]
 		delete(w.wins, end)
-		out = append(out, dataflow.Emission{Batch: w.result(end, win), P: end, T: win.maxT})
+		out = append(out, dataflow.Emission{Batch: w.result(ctx, end, win), P: end, T: win.maxT})
+		w.pool.putWindow(win)
 	}
 	if len(ends) == 0 || ends[len(ends)-1] < boundary {
 		out = append(out, dataflow.Emission{Batch: nil, P: boundary, T: m.T})
 	}
 	w.emitted = boundary
+	w.scratch.out = out
 	return out
 }
 
-func (w *topK) result(end vtime.Time, win *aggWindow) *dataflow.Batch {
-	type kv struct {
-		key int64
-		sum float64
-	}
-	all := make([]kv, 0, len(win.accs))
+func (w *topK) result(ctx *dataflow.Context, end vtime.Time, win *aggWindow) *dataflow.Batch {
+	all := w.ranked[:0]
 	for k, a := range win.accs {
-		all = append(all, kv{k, a.sum})
+		all = append(all, topkEntry{k, a.sum})
 	}
 	// Descending by sum; key ascending breaks ties deterministically.
 	sort.Slice(all, func(i, j int) bool {
@@ -125,11 +125,12 @@ func (w *topK) result(end vtime.Time, win *aggWindow) *dataflow.Batch {
 		}
 		return all[i].key < all[j].key
 	})
+	w.ranked = all
 	n := w.spec.K
 	if n > len(all) {
 		n = len(all)
 	}
-	b := dataflow.NewBatch(n)
+	b := ctx.NewBatch(n)
 	for _, e := range all[:n] {
 		b.Append(end-1, e.key, e.sum) // stamped just inside the window
 	}
@@ -171,6 +172,22 @@ type distinctCount struct {
 	wins     map[vtime.Time]*distinctWindow
 	emitted  vtime.Time
 	late     int64
+
+	winFree []*distinctWindow
+	scratch emitScratch
+}
+
+// getWindow draws a cleared window from the free list.
+func (w *distinctCount) getWindow() *distinctWindow {
+	if n := len(w.winFree); n > 0 {
+		win := w.winFree[n-1]
+		w.winFree[n-1] = nil
+		w.winFree = w.winFree[:n-1]
+		win.maxT = 0
+		clear(win.keys)
+		return win
+	}
+	return &distinctWindow{keys: make(map[int64]struct{})}
 }
 
 // LateTuples reports dropped late tuples.
@@ -187,7 +204,7 @@ func (w *distinctCount) OnMessage(ctx *dataflow.Context, m *core.Message) []data
 			}
 			win := w.wins[end]
 			if win == nil {
-				win = &distinctWindow{keys: make(map[int64]struct{})}
+				win = w.getWindow()
 				w.wins[end] = win
 			}
 			var key int64
@@ -210,25 +227,20 @@ func (w *distinctCount) OnMessage(ctx *dataflow.Context, m *core.Message) []data
 		return nil
 	}
 
-	var ends []vtime.Time
-	for end := range w.wins {
-		if end <= boundary {
-			ends = append(ends, end)
-		}
-	}
-	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
-
-	out := make([]dataflow.Emission, 0, len(ends)+1)
+	ends := closedEnds(&w.scratch, w.wins, boundary)
+	out := w.scratch.out[:0]
 	for _, end := range ends {
 		win := w.wins[end]
 		delete(w.wins, end)
-		b := dataflow.NewBatch(1)
+		b := ctx.NewBatch(1)
 		b.Append(end-1, 0, float64(len(win.keys)))
 		out = append(out, dataflow.Emission{Batch: b, P: end, T: win.maxT})
+		w.winFree = append(w.winFree, win)
 	}
 	if len(ends) == 0 || ends[len(ends)-1] < boundary {
 		out = append(out, dataflow.Emission{Batch: nil, P: boundary, T: m.T})
 	}
 	w.emitted = boundary
+	w.scratch.out = out
 	return out
 }

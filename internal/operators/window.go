@@ -134,6 +134,12 @@ type windowAgg struct {
 	wins     map[vtime.Time]*aggWindow // keyed by window end
 	emitted  vtime.Time                // highest window end emitted (0 before first trigger)
 	late     int64
+
+	// Steady-state scratch: window/accumulator free lists (aggPool), the
+	// emit-cycle buffers (emitScratch), and the result key-sort buffer.
+	pool    aggPool
+	scratch emitScratch
+	keys    []int64
 }
 
 // LateTuples reports tuples that arrived after their window was emitted
@@ -169,12 +175,12 @@ func (w *windowAgg) OnMessage(ctx *dataflow.Context, m *core.Message) []dataflow
 				fresh = true
 				win := w.wins[end]
 				if win == nil {
-					win = &aggWindow{accs: make(map[int64]*acc)}
+					win = w.pool.getWindow()
 					w.wins[end] = win
 				}
 				a := win.accs[key]
 				if a == nil {
-					a = &acc{}
+					a = w.pool.getAcc()
 					win.accs[key] = a
 				}
 				a.add(val)
@@ -196,42 +202,39 @@ func (w *windowAgg) OnMessage(ctx *dataflow.Context, m *core.Message) []dataflow
 	if boundary <= w.emitted {
 		return nil
 	}
-	return w.emitThrough(boundary, m.T)
+	return w.emitThrough(ctx, boundary, m.T)
 }
 
 // emitThrough emits every stored window with end <= boundary in end order,
 // plus one trailing progress-only emission at the boundary itself so
 // downstream frontiers advance even when this partition had no data
-// (the punctuation role of watermark heartbeats).
-func (w *windowAgg) emitThrough(boundary vtime.Time, t vtime.Time) []dataflow.Emission {
-	var ends []vtime.Time
-	for end := range w.wins {
-		if end <= boundary {
-			ends = append(ends, end)
-		}
-	}
-	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
-
-	out := make([]dataflow.Emission, 0, len(ends)+1)
+// (the punctuation role of watermark heartbeats). The returned slice and
+// the emitted batches are engine-owned scratch/pool memory.
+func (w *windowAgg) emitThrough(ctx *dataflow.Context, boundary vtime.Time, t vtime.Time) []dataflow.Emission {
+	ends := closedEnds(&w.scratch, w.wins, boundary)
+	out := w.scratch.out[:0]
 	for _, end := range ends {
 		win := w.wins[end]
 		delete(w.wins, end)
-		out = append(out, dataflow.Emission{Batch: w.result(end, win), P: end, T: win.maxT})
+		out = append(out, dataflow.Emission{Batch: w.result(ctx, end, win), P: end, T: win.maxT})
+		w.pool.putWindow(win)
 	}
 	if len(ends) == 0 || ends[len(ends)-1] < boundary {
 		out = append(out, dataflow.Emission{Batch: nil, P: boundary, T: t})
 	}
 	w.emitted = boundary
+	w.scratch.out = out
 	return out
 }
 
-func (w *windowAgg) result(end vtime.Time, win *aggWindow) *dataflow.Batch {
-	keys := make([]int64, 0, len(win.accs))
+func (w *windowAgg) result(ctx *dataflow.Context, end vtime.Time, win *aggWindow) *dataflow.Batch {
+	keys := w.keys[:0]
 	for k := range win.accs {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	b := dataflow.NewBatch(len(keys))
+	w.keys = keys
+	b := ctx.NewBatch(len(keys))
 	for _, k := range keys {
 		// Result tuples are stamped just inside the window (end-1) so a
 		// downstream windowed stage with the same boundaries aggregates

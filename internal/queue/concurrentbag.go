@@ -1,5 +1,10 @@
 package queue
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // Bag models the run-queue semantics of .NET's ConcurrentBag<T>, which the
 // default Orleans scheduler uses for its global message queue (paper §6:
 // "ConcurrentBag optimizes processing throughput by prioritizing processing
@@ -67,4 +72,108 @@ func (b *Bag[T]) Take(w int) (v T, ok bool) {
 		}
 	}
 	return v, false
+}
+
+type bagLane[T any] struct {
+	mu sync.Mutex
+	r  Ring[T]
+	_  [40]byte // keep lane locks on separate cache lines
+}
+
+// ConcurrentBag is the thread-safe realization of Bag's run-queue
+// semantics, used by the real-time engine's sharded Orleans baseline:
+// per-worker local lists and a shared global FIFO, each behind its own
+// narrow mutex, so producers and consumers contend per lane instead of on
+// one engine-wide lock.
+//
+// The take order is the Bag's exactly: own list LIFO (freshest first, best
+// locality), then the global FIFO, then round-robin stealing from the
+// *front* (oldest end) of other workers' lists. Every operation locks at
+// most one lane at a time, so callers may hold coarser locks around calls
+// without ordering hazards.
+type ConcurrentBag[T any] struct {
+	locals []bagLane[T]
+	global bagLane[T]
+	// lens mirrors each local lane's length and glen the global's, so Take
+	// can skip empty victims without touching their locks.
+	lens []atomic.Int64
+	glen atomic.Int64
+	size atomic.Int64
+}
+
+// NewConcurrentBag returns a bag for the given number of workers.
+func NewConcurrentBag[T any](workers int) *ConcurrentBag[T] {
+	if workers <= 0 {
+		panic("queue: ConcurrentBag needs at least one worker")
+	}
+	return &ConcurrentBag[T]{
+		locals: make([]bagLane[T], workers),
+		lens:   make([]atomic.Int64, workers),
+	}
+}
+
+// Len reports the total queued items across all lanes (a racy snapshot).
+func (b *ConcurrentBag[T]) Len() int { return int(b.size.Load()) }
+
+// Add pushes v onto worker w's local list; w < 0 routes to the global FIFO
+// (external arrivals).
+func (b *ConcurrentBag[T]) Add(w int, v T) {
+	if w < 0 {
+		b.global.mu.Lock()
+		b.global.r.PushBack(v)
+		b.glen.Store(int64(b.global.r.Len()))
+		b.global.mu.Unlock()
+		b.size.Add(1)
+		return
+	}
+	l := &b.locals[w]
+	l.mu.Lock()
+	l.r.PushBack(v)
+	b.lens[w].Store(int64(l.r.Len()))
+	l.mu.Unlock()
+	b.size.Add(1)
+}
+
+// Take returns the next item for worker w: local LIFO first, then the
+// global FIFO, then round-robin stealing from other workers' list fronts.
+// ok is false when every lane is empty.
+func (b *ConcurrentBag[T]) Take(w int) (v T, ok bool) {
+	if b.lens[w].Load() > 0 {
+		l := &b.locals[w]
+		l.mu.Lock()
+		v, ok = l.r.PopBack() // LIFO: freshest local item
+		b.lens[w].Store(int64(l.r.Len()))
+		l.mu.Unlock()
+		if ok {
+			b.size.Add(-1)
+			return v, true
+		}
+	}
+	if b.glen.Load() > 0 {
+		b.global.mu.Lock()
+		v, ok = b.global.r.PopFront()
+		b.glen.Store(int64(b.global.r.Len()))
+		b.global.mu.Unlock()
+		if ok {
+			b.size.Add(-1)
+			return v, true
+		}
+	}
+	for i := 1; i < len(b.locals); i++ {
+		victim := (w + i) % len(b.locals)
+		if b.lens[victim].Load() == 0 {
+			continue
+		}
+		l := &b.locals[victim]
+		l.mu.Lock()
+		v, ok = l.r.PopFront() // steal oldest
+		b.lens[victim].Store(int64(l.r.Len()))
+		l.mu.Unlock()
+		if ok {
+			b.size.Add(-1)
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
 }

@@ -30,15 +30,69 @@ type heapEntry[T comparable] struct {
 // IndexedHeap is a binary min-heap over unique values with O(log n)
 // update-key and remove. The Cameo scheduler re-keys an operator whenever
 // its head message changes, which is exactly the update-key operation.
-// The zero value is not usable; call NewIndexedHeap.
+// The zero value is not usable; call NewIndexedHeap or NewSlotHeap.
+//
+// Position tracking comes in two flavors. NewIndexedHeap tracks positions
+// in an internal map — works for any comparable value, but every push,
+// pop, and sift pays a map operation and the map itself churns memory.
+// NewSlotHeap tracks positions *intrusively*: the caller supplies an
+// accessor returning a per-value *int32 slot, and the heap stores the
+// value's index there (encoded index+1, 0 = absent), making membership
+// and update-key lookups a pointer dereference with zero allocation.
 type IndexedHeap[T comparable] struct {
 	entries []heapEntry[T]
-	pos     map[T]int
+	pos     map[T]int      // nil in slot mode
+	slot    func(T) *int32 // nil in map mode
 }
 
-// NewIndexedHeap returns an empty heap.
+// NewIndexedHeap returns an empty heap with map-based position tracking.
 func NewIndexedHeap[T comparable]() *IndexedHeap[T] {
 	return &IndexedHeap[T]{pos: make(map[T]int)}
+}
+
+// NewSlotHeap returns an empty heap that stores each value's position in
+// the *int32 slot the accessor returns (index+1; 0 means absent), so the
+// slot's zero value is "not in the heap".
+//
+// The slot is the value's identity across every heap sharing the accessor:
+// a value may be in at most ONE such heap at a time (Contains verifies the
+// entry at the recorded index to tolerate a stale slot, but concurrent
+// membership in two slot heaps corrupts both). That is exactly the
+// scheduling invariant — an operator waits on at most one run queue.
+func NewSlotHeap[T comparable](slot func(T) *int32) *IndexedHeap[T] {
+	return &IndexedHeap[T]{slot: slot}
+}
+
+// setPos records v's position i.
+func (h *IndexedHeap[T]) setPos(v T, i int) {
+	if h.slot != nil {
+		*h.slot(v) = int32(i + 1)
+		return
+	}
+	h.pos[v] = i
+}
+
+// getPos returns v's recorded position, verifying it in slot mode (a slot
+// may be stale when v sits in a sibling lane of a sharded heap).
+func (h *IndexedHeap[T]) getPos(v T) (int, bool) {
+	if h.slot != nil {
+		i := int(*h.slot(v)) - 1
+		if i < 0 || i >= len(h.entries) || h.entries[i].value != v {
+			return 0, false
+		}
+		return i, true
+	}
+	i, ok := h.pos[v]
+	return i, ok
+}
+
+// delPos clears v's recorded position.
+func (h *IndexedHeap[T]) delPos(v T) {
+	if h.slot != nil {
+		*h.slot(v) = 0
+		return
+	}
+	delete(h.pos, v)
 }
 
 // Len reports the number of items.
@@ -46,7 +100,7 @@ func (h *IndexedHeap[T]) Len() int { return len(h.entries) }
 
 // Contains reports whether v is in the heap.
 func (h *IndexedHeap[T]) Contains(v T) bool {
-	_, ok := h.pos[v]
+	_, ok := h.getPos(v)
 	return ok
 }
 
@@ -54,18 +108,18 @@ func (h *IndexedHeap[T]) Contains(v T) bool {
 // callers must use Update for re-keying; a silent double insert would
 // corrupt scheduling order.
 func (h *IndexedHeap[T]) Push(v T, p Pri) {
-	if _, ok := h.pos[v]; ok {
+	if _, ok := h.getPos(v); ok {
 		panic("queue: Push of value already in heap")
 	}
 	h.entries = append(h.entries, heapEntry[T]{value: v, pri: p})
 	i := len(h.entries) - 1
-	h.pos[v] = i
+	h.setPos(v, i)
 	h.up(i)
 }
 
 // Update re-keys v to priority p. It panics if v is absent.
 func (h *IndexedHeap[T]) Update(v T, p Pri) {
-	i, ok := h.pos[v]
+	i, ok := h.getPos(v)
 	if !ok {
 		panic("queue: Update of value not in heap")
 	}
@@ -108,7 +162,7 @@ func (h *IndexedHeap[T]) PopMin() (v T, p Pri, ok bool) {
 
 // Remove deletes v if present and reports whether it was.
 func (h *IndexedHeap[T]) Remove(v T) bool {
-	i, ok := h.pos[v]
+	i, ok := h.getPos(v)
 	if !ok {
 		return false
 	}
@@ -118,7 +172,7 @@ func (h *IndexedHeap[T]) Remove(v T) bool {
 
 // PriOf returns v's current priority; ok is false when absent.
 func (h *IndexedHeap[T]) PriOf(v T) (Pri, bool) {
-	i, ok := h.pos[v]
+	i, ok := h.getPos(v)
 	if !ok {
 		return Pri{}, false
 	}
@@ -127,11 +181,13 @@ func (h *IndexedHeap[T]) PriOf(v T) (Pri, bool) {
 
 func (h *IndexedHeap[T]) removeAt(i int) {
 	last := len(h.entries) - 1
-	delete(h.pos, h.entries[i].value)
+	h.delPos(h.entries[i].value)
 	if i != last {
 		h.entries[i] = h.entries[last]
-		h.pos[h.entries[i].value] = i
+		h.setPos(h.entries[i].value, i)
 	}
+	var zero heapEntry[T]
+	h.entries[last] = zero // release the reference for GC
 	h.entries = h.entries[:last]
 	if i < len(h.entries) {
 		h.up(i)
@@ -171,6 +227,6 @@ func (h *IndexedHeap[T]) down(i int) {
 
 func (h *IndexedHeap[T]) swap(i, j int) {
 	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
-	h.pos[h.entries[i].value] = i
-	h.pos[h.entries[j].value] = j
+	h.setPos(h.entries[i].value, i)
+	h.setPos(h.entries[j].value, j)
 }

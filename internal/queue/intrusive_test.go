@@ -1,0 +1,177 @@
+package queue
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// slotItem is a minimal intrusive heap participant.
+type slotItem struct {
+	id  int
+	pos int32
+}
+
+func slotOf(v *slotItem) *int32 { return &v.pos }
+
+func TestSlotHeapMatchesMapHeap(t *testing.T) {
+	// Drive a slot heap and a map heap through the same randomized
+	// push/update/pop/remove sequence; every observable must agree.
+	rng := rand.New(rand.NewSource(7))
+	items := make([]*slotItem, 64)
+	for i := range items {
+		items[i] = &slotItem{id: i}
+	}
+	sh := NewSlotHeap(slotOf)
+	mh := NewIndexedHeap[*slotItem]()
+	for step := 0; step < 5000; step++ {
+		it := items[rng.Intn(len(items))]
+		switch op := rng.Intn(10); {
+		case op < 4: // push-or-update
+			p := Pri{Key: int64(rng.Intn(50)), Tie: int64(step)}
+			sh.PushOrUpdate(it, p)
+			mh.PushOrUpdate(it, p)
+		case op < 6: // pop min
+			sv, sp, sok := sh.PopMin()
+			mv, mp, mok := mh.PopMin()
+			if sok != mok || sv != mv || sp != mp {
+				t.Fatalf("step %d: PopMin diverged: slot=(%v,%v,%v) map=(%v,%v,%v)",
+					step, sv, sp, sok, mv, mp, mok)
+			}
+		case op < 8: // remove
+			if sh.Remove(it) != mh.Remove(it) {
+				t.Fatalf("step %d: Remove diverged for %d", step, it.id)
+			}
+		default: // membership and priority queries
+			if sh.Contains(it) != mh.Contains(it) {
+				t.Fatalf("step %d: Contains diverged for %d", step, it.id)
+			}
+			sp, sok := sh.PriOf(it)
+			mp, mok := mh.PriOf(it)
+			if sok != mok || sp != mp {
+				t.Fatalf("step %d: PriOf diverged for %d", step, it.id)
+			}
+		}
+		if sh.Len() != mh.Len() {
+			t.Fatalf("step %d: Len diverged: slot=%d map=%d", step, sh.Len(), mh.Len())
+		}
+	}
+}
+
+func TestSlotHeapStaleSlotIsAbsent(t *testing.T) {
+	// A slot left over from membership in a *different* heap must read as
+	// absent (the sharded run queue depends on this when an operator moves
+	// between lanes).
+	a := NewSlotHeap(slotOf)
+	b := NewSlotHeap(slotOf)
+	x, y := &slotItem{id: 1}, &slotItem{id: 2}
+	a.Push(x, Pri{Key: 1})
+	a.Push(y, Pri{Key: 2})
+	a.Remove(x)
+	// Forge a stale slot: x's pos now points at an index occupied by y.
+	x.pos = y.pos
+	if b.Contains(x) || a.Contains(x) {
+		t.Fatal("stale slot read as present")
+	}
+	if !a.Contains(y) {
+		t.Fatal("true member read as absent")
+	}
+}
+
+func TestConcurrentBagMatchesBag(t *testing.T) {
+	// The concurrent bag must reproduce the sequential Bag's take order
+	// exactly when driven single-threaded.
+	const workers = 3
+	seq := NewBag[int](workers)
+	con := NewConcurrentBag[int](workers)
+	rng := rand.New(rand.NewSource(3))
+	n := 0
+	for step := 0; step < 4000; step++ {
+		if rng.Intn(2) == 0 {
+			w := rng.Intn(workers+1) - 1 // -1 = external
+			if w < 0 {
+				seq.AddGlobal(step)
+			} else {
+				seq.Add(w, step)
+			}
+			con.Add(w, step)
+			n++
+		} else {
+			w := rng.Intn(workers)
+			sv, sok := seq.Take(w)
+			cv, cok := con.Take(w)
+			if sok != cok || sv != cv {
+				t.Fatalf("step %d: Take(%d) diverged: seq=(%d,%v) con=(%d,%v)",
+					step, w, sv, sok, cv, cok)
+			}
+			if sok {
+				n--
+			}
+		}
+		if seq.Len() != n || con.Len() != n {
+			t.Fatalf("step %d: lengths diverged: seq=%d con=%d want %d",
+				step, seq.Len(), con.Len(), n)
+		}
+	}
+}
+
+// TestConcurrentBagConservation hammers the bag from many goroutines; under
+// -race it checks the locking, and the final census checks that no item is
+// lost or duplicated.
+func TestConcurrentBagConservation(t *testing.T) {
+	const (
+		workers = 4
+		pushers = 8
+		items   = 2000
+	)
+	b := NewConcurrentBag[int](workers)
+	var taken sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				id := g*items + i
+				b.Add(id%(workers+1)-1, id) // spread across lanes incl. global
+			}
+		}(g)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			misses := 0
+			for misses < 1000 {
+				v, ok := b.Take(w)
+				if !ok {
+					misses++
+					continue
+				}
+				misses = 0
+				if _, dup := taken.LoadOrStore(v, true); dup {
+					t.Errorf("item %d taken twice", v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for {
+		v, ok := b.Take(0)
+		if !ok {
+			break
+		}
+		if _, dup := taken.LoadOrStore(v, true); dup {
+			t.Fatalf("item %d taken twice", v)
+		}
+	}
+	total := 0
+	taken.Range(func(any, any) bool { total++; return true })
+	if total != pushers*items {
+		t.Fatalf("took %d items, pushed %d", total, pushers*items)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after drain", b.Len())
+	}
+}

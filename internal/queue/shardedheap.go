@@ -40,17 +40,36 @@ type ShardedHeap[T comparable] struct {
 
 // NewShardedHeap returns a heap with the given number of worker shards.
 func NewShardedHeap[T comparable](shards int) *ShardedHeap[T] {
+	return newShardedHeap[T](shards, nil)
+}
+
+// NewSlotShardedHeap returns a sharded heap whose lanes track positions
+// intrusively through the given slot accessor (see NewSlotHeap). Because a
+// value lives in at most one lane at a time — the caller's lane-membership
+// invariant — one slot serves all lanes. Slot reads and writes happen only
+// under the owning lane's lock; callers must ensure a value's *additions*
+// to lanes are externally serialized (removals may race freely), so the
+// slot is never written under two different lane locks at once.
+func NewSlotShardedHeap[T comparable](shards int, slot func(T) *int32) *ShardedHeap[T] {
+	return newShardedHeap(shards, slot)
+}
+
+func newShardedHeap[T comparable](shards int, slot func(T) *int32) *ShardedHeap[T] {
 	if shards <= 0 {
 		panic("queue: ShardedHeap needs at least one shard")
+	}
+	mk := NewIndexedHeap[T]
+	if slot != nil {
+		mk = func() *IndexedHeap[T] { return NewSlotHeap(slot) }
 	}
 	s := &ShardedHeap[T]{
 		shards: make([]shardLane[T], shards),
 		lens:   make([]atomic.Int64, shards),
 	}
 	for i := range s.shards {
-		s.shards[i].h = NewIndexedHeap[T]()
+		s.shards[i].h = mk()
 	}
-	s.global.h = NewIndexedHeap[T]()
+	s.global.h = mk()
 	return s
 }
 

@@ -1,0 +1,81 @@
+package runtime_test
+
+// Engine-level allocation-regression harness (the CI alloc gate runs
+// these): testing.AllocsPerRun over a full ingest→schedule→execute→drain
+// window cycle, with GC pinned off so sync.Pool backstops are not cleared
+// mid-measurement. The budget asserts the zero-allocation hot-path work
+// stays done: before message/batch pooling and intrusive scheduling state
+// the same cycle cost several allocations *per message*; pooled, the whole
+// multi-message cycle is budgeted at a handful (window-map churn in the
+// aggregation handlers — amortized, not per-message).
+
+import (
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/runtime"
+	"github.com/cameo-stream/cameo/internal/testkit"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// maxAllocsPerWindowCycle budgets one window cycle: 4 source ingests →
+// 16 stage-0 messages + 5 derived messages, executed and drained. The
+// steady state measures ~13 allocations (map-bucket churn as windows
+// rotate through aggregation state, plus amortized metrics growth); 24
+// leaves headroom for allocator jitter while still failing loudly if
+// per-message allocation returns (which would cost 100+ per cycle).
+const maxAllocsPerWindowCycle = 24.0
+
+func TestAllocsEngineSteadyState(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSharded, runtime.DispatchSingleLock} {
+		t.Run(mode.String(), func(t *testing.T) {
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			const sources, warm, runs = 4, 60, 80
+			win := 10 * vtime.Millisecond
+			e := runtime.New(runtime.Config{Workers: 1, Dispatch: mode})
+			if _, err := e.AddJob(testkit.AggSpec("j", sources, 4, win, 100*vtime.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+			e.Start()
+			defer e.Stop()
+
+			// Pre-render every batch so the measured cycle is pure engine
+			// work, then run enough warm-up windows to grow pools, heaps,
+			// rings, and the handlers' window state to steady state.
+			wl := testkit.Workload{Seed: 9, Sources: sources, Windows: warm + runs + 2, Tuples: 4, Keys: 16, Win: win}
+			batches := make([][]*dataflow.Batch, wl.Windows+1)
+			for w := 1; w <= wl.Windows; w++ {
+				batches[w] = make([]*dataflow.Batch, sources)
+				for src := 0; src < sources; src++ {
+					batches[w][src] = wl.Batch(src, w)
+				}
+			}
+			w := 0
+			cycle := func() {
+				w++
+				for src := 0; src < sources; src++ {
+					if err := e.Ingest("j", src, batches[w][src], wl.Progress(w)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !e.Drain(10 * time.Second) {
+					t.Fatal("engine did not drain")
+				}
+			}
+			for i := 0; i < warm; i++ {
+				cycle()
+			}
+			allocs := testing.AllocsPerRun(runs, cycle)
+			t.Logf("%v: %.2f allocs per window cycle (~21 messages)", mode, allocs)
+			if allocs > maxAllocsPerWindowCycle {
+				t.Errorf("%v: steady-state window cycle allocates %.1f times, budget %.0f — the zero-allocation hot path has regressed",
+					mode, allocs, maxAllocsPerWindowCycle)
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/cameo-stream/cameo/internal/core"
 	"github.com/cameo-stream/cameo/internal/metrics"
 	"github.com/cameo-stream/cameo/internal/runtime"
 	"github.com/cameo-stream/cameo/internal/sim"
@@ -72,10 +73,15 @@ func simOrder(t *testing.T) []execKey {
 }
 
 func runtimeOrder(t *testing.T, mode runtime.DispatchMode) []execKey {
+	return runtimeOrderSched(t, core.CameoScheduler, mode)
+}
+
+func runtimeOrderSched(t *testing.T, kind core.SchedulerKind, mode runtime.DispatchMode) []execKey {
 	t.Helper()
 	wl := equivWorkload()
 	e := runtime.New(runtime.Config{
 		Workers:    1,
+		Scheduler:  kind,
 		Policy:     testkit.ProgressPolicy{},
 		Quantum:    vtime.Hour,
 		Dispatch:   mode,
@@ -126,4 +132,22 @@ func TestRuntimeEquivalenceAcrossRuns(t *testing.T) {
 	a := runtimeOrder(t, runtime.DispatchSharded)
 	b := runtimeOrder(t, runtime.DispatchSharded)
 	diffOrders(t, "sharded run-to-run", a, b)
+}
+
+// TestBaselineShardedEquivalence pins the sharded realizations of the
+// Orleans and FIFO baseline disciplines against their single-lock
+// reference implementations: at one worker (full enqueue before start,
+// effectively infinite quantum) the concurrent structures must reproduce
+// the sequential dispatchers' execution order message for message.
+func TestBaselineShardedEquivalence(t *testing.T) {
+	for _, kind := range []core.SchedulerKind{core.OrleansScheduler, core.FIFOScheduler} {
+		t.Run(kind.String(), func(t *testing.T) {
+			single := runtimeOrderSched(t, kind, runtime.DispatchSingleLock)
+			if len(single) == 0 {
+				t.Fatal("single-lock baseline executed nothing")
+			}
+			sharded := runtimeOrderSched(t, kind, runtime.DispatchSharded)
+			diffOrders(t, kind.String()+" sharded vs single-lock", single, sharded)
+		})
+	}
 }

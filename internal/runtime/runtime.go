@@ -9,15 +9,23 @@
 // costs are measured (not modelled) and feed the same profiling machinery
 // the policies consume.
 //
-// Two dispatch paths implement the worker protocol:
+// Two dispatch strategies implement the worker protocol:
 //
 //   - DispatchSingleLock wraps the sequential core.Dispatcher in one
 //     engine-wide mutex — simple, supports every SchedulerKind, and is the
-//     reference the sharded path is cross-checked against.
-//   - DispatchSharded (the default for the Cameo scheduler) shards the run
-//     queue per worker with a global overflow lane and priority-aware work
-//     stealing, so Ingest and the workers contend only on narrow per-shard
-//     locks. See sharded.go.
+//     reference the sharded paths are cross-checked against.
+//   - DispatchSharded (the default) shards operator state per worker so
+//     Ingest and the workers contend only on narrow per-shard locks. The
+//     Cameo scheduler gets per-worker deadline heaps with a global
+//     overflow lane and priority-aware stealing (sharded.go); the Orleans
+//     and FIFO baselines get concurrent realizations of their own run
+//     queues over the same sharded state (shardedbaseline.go).
+//
+// The steady-state message path is allocation-free: messages and
+// engine-created batches recycle through pools, execution emits into
+// per-worker scratch buffers (dataflow.Env), and scheduling state lives
+// intrusively on the operators — see TESTING.md's zero-allocation
+// section and the Allocs tests that gate it.
 package runtime
 
 import (
@@ -36,14 +44,18 @@ import (
 type DispatchMode int
 
 const (
-	// DispatchAuto picks DispatchSharded for the Cameo scheduler and
-	// DispatchSingleLock for the baseline schedulers.
+	// DispatchAuto picks DispatchSharded.
 	DispatchAuto DispatchMode = iota
-	// DispatchSharded uses per-worker deadline heaps with a global overflow
-	// lane and priority-aware work stealing. Requires the Cameo scheduler.
+	// DispatchSharded shards the run queue per worker. For the Cameo
+	// scheduler that means per-worker deadline heaps with a global overflow
+	// lane and priority-aware work stealing; the Orleans and FIFO baselines
+	// get concurrent realizations of their own disciplines (ConcurrentBag /
+	// global FIFO) over the same sharded operator state, so baseline
+	// comparisons can run at high worker counts too.
 	DispatchSharded
 	// DispatchSingleLock serializes all scheduling through one engine-wide
-	// mutex around the sequential dispatcher — the pre-sharding behaviour.
+	// mutex around the sequential dispatcher — the pre-sharding behaviour
+	// and the reference the sharded paths are cross-checked against.
 	DispatchSingleLock
 )
 
@@ -72,8 +84,6 @@ type Config struct {
 	// Quantum is the re-scheduling grain (default 1 ms).
 	Quantum vtime.Duration
 	// Dispatch selects the concurrency strategy (default DispatchAuto).
-	// The sharded path implements Cameo's deadline ordering only; asking
-	// for it with a baseline scheduler falls back to the single lock.
 	Dispatch DispatchMode
 	// TraceLimit, when positive, records up to this many executions in a
 	// schedule trace (mirrors sim.Config.TraceLimit), exposed via Trace.
@@ -96,9 +106,6 @@ func (c *Config) fill() {
 	}
 	if c.Dispatch == DispatchAuto {
 		c.Dispatch = DispatchSharded
-	}
-	if c.Dispatch == DispatchSharded && c.Scheduler != core.CameoScheduler {
-		c.Dispatch = DispatchSingleLock
 	}
 }
 
@@ -127,6 +134,15 @@ type Engine struct {
 	// idle test — the consistency the engine-wide mutex used to provide.
 	outstanding atomic.Int64
 	wg          sync.WaitGroup
+
+	// msgs and batches recycle the hot path's two per-message allocations;
+	// envs holds each worker's execution environment (policy binding plus
+	// reusable outcome/partition scratch), and ingestEnvs lends equivalent
+	// environments to concurrent Ingest callers.
+	msgs       *core.MessagePool
+	batches    *dataflow.BatchPool
+	envs       []*dataflow.Env
+	ingestEnvs sync.Pool
 }
 
 // dispatchPath is the concurrency strategy behind an Engine; exactly one
@@ -155,12 +171,32 @@ func New(cfg Config) *Engine {
 	if cfg.TraceLimit > 0 {
 		e.trace = metrics.NewScheduleTrace(cfg.TraceLimit)
 	}
+	e.msgs = core.NewMessagePool(cfg.Workers)
+	e.batches = dataflow.NewBatchPool(cfg.Workers)
+	e.envs = make([]*dataflow.Env, cfg.Workers)
+	for i := range e.envs {
+		e.envs[i] = e.newEnv(i)
+	}
+	e.ingestEnvs.New = func() any { return e.newEnv(-1) }
 	if cfg.Dispatch == DispatchSharded {
-		e.path = newShardedPath(e, cfg.Workers)
+		if cfg.Scheduler == core.CameoScheduler {
+			e.path = newShardedPath(e, cfg.Workers)
+		} else {
+			e.path = newShardedBaselinePath(e, cfg)
+		}
 	} else {
 		e.path = newSingleLockPath(e, cfg)
 	}
 	return e
+}
+
+// newEnv builds one execution environment bound to this engine's policy,
+// ID counter, and pools. worker -1 marks external (ingest) environments.
+func (e *Engine) newEnv(worker int) *dataflow.Env {
+	env := dataflow.NewEnv(e.cfg.Policy, e.nextID, worker)
+	env.Msgs = e.msgs
+	env.Batches = e.batches
+	return env
 }
 
 // Dispatch reports the dispatch mode the engine resolved to.
@@ -201,6 +237,12 @@ func (e *Engine) AddJob(spec dataflow.JobSpec) (*dataflow.Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The sharded Cameo path keeps an operator's run-queue lane in its
+	// intrusive scheduling state; "no lane" is a non-zero sentinel, so it
+	// must be stamped before the operator can be scheduled.
+	for _, op := range job.Operators() {
+		op.Sched().Lane = laneNone
+	}
 	e.jobs[spec.Name] = job
 	e.rec.DeclareJob(spec.Name, spec.Latency)
 	return job, nil
@@ -240,14 +282,19 @@ func (e *Engine) Ingest(job string, src int, b *dataflow.Batch, p vtime.Time) er
 		return fmt.Errorf("runtime: unknown job %q", job)
 	}
 	now := e.clock.Now()
+	env := e.ingestEnvs.Get().(*dataflow.Env)
 	t0 := time.Now()
-	msgs := dataflow.SourceMessages(j, src, b, p, now, e.cfg.Policy, e.nextID)
+	msgs := dataflow.SourceMessages(j, src, b, p, now, env)
 	e.overhead.AddPriGen(vtime.FromStd(time.Since(t0)))
 	for _, cm := range msgs {
 		cm.Msg.Enqueued = now
 	}
 	e.outstanding.Add(int64(len(msgs)))
+	// ingest consumes msgs synchronously (every message is pushed into the
+	// dispatcher before it returns), so the env's scratch can go straight
+	// back to the pool.
 	e.path.ingest(msgs)
+	e.ingestEnvs.Put(env)
 	return nil
 }
 
@@ -276,23 +323,30 @@ func (e *Engine) nextID() int64 { return e.msgID.Add(1) }
 
 // safeInvoke runs the operator handler, converting a handler panic into a
 // dropped message instead of a dead worker.
-func (e *Engine) safeInvoke(op *dataflow.Operator, m *core.Message, now vtime.Time) (emissions []dataflow.Emission, panicked bool) {
+func (e *Engine) safeInvoke(op *dataflow.Operator, m *core.Message, now vtime.Time, env *dataflow.Env) (emissions []dataflow.Emission, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
 		}
 	}()
-	return dataflow.Invoke(op, m, now), false
+	return dataflow.Invoke(op, m, now, env), false
 }
 
 // execMessage runs one message end to end — invoke, profile, route, record
 // — and returns the derived child messages (stamped Enqueued) plus the
 // completion instant. Both worker loops call it with no scheduling locks
 // held; everything it touches is either owned by the executing worker (the
-// operator, under the actor guarantee) or internally synchronized.
-func (e *Engine) execMessage(op *dataflow.Operator, m *core.Message) ([]dataflow.ChildMessage, vtime.Time) {
+// operator under the actor guarantee, the env by construction) or
+// internally synchronized.
+//
+// The executed message is recycled here — after every child has copied
+// what it needs from the parent's priority context and the trace has read
+// its identity — per the pool's "released by the finishing worker" rule.
+// The returned children are env scratch: the caller must push them before
+// executing its next message through the same env.
+func (e *Engine) execMessage(op *dataflow.Operator, m *core.Message, env *dataflow.Env) ([]dataflow.ChildMessage, vtime.Time) {
 	start := e.clock.Now()
-	emissions, panicked := e.safeInvoke(op, m, start)
+	emissions, panicked := e.safeInvoke(op, m, start, env)
 	cost := e.clock.Now() - start
 	if cost <= 0 {
 		cost = 1
@@ -305,7 +359,7 @@ func (e *Engine) execMessage(op *dataflow.Operator, m *core.Message) ([]dataflow
 		emissions = nil
 	}
 	t0 := time.Now()
-	outcome := dataflow.Finish(op, m, emissions, cost, e.cfg.Policy, e.nextID)
+	outcome := dataflow.Finish(op, m, emissions, cost, env)
 	prigen := vtime.FromStd(time.Since(t0))
 	now := e.clock.Now()
 
@@ -326,6 +380,7 @@ func (e *Engine) execMessage(op *dataflow.Operator, m *core.Message) ([]dataflow
 	for _, cm := range outcome.Children {
 		cm.Msg.Enqueued = now
 	}
+	env.FreeMessage(m)
 	// One atomic op both registers the children and retires the parent,
 	// so the outstanding count can never dip to zero while derived work
 	// exists. The children are counted before the caller pushes them —

@@ -29,8 +29,8 @@ func TestEngineEndToEnd(t *testing.T) {
 			t.Run(kind.String()+"/"+mode.String(), func(t *testing.T) {
 				defer testkit.LeakCheck(t)()
 				e := New(Config{Workers: 2, Scheduler: kind, Dispatch: mode})
-				if kind != core.CameoScheduler && e.Dispatch() != DispatchSingleLock {
-					t.Fatal("baseline scheduler did not fall back to single lock")
+				if e.Dispatch() != mode {
+					t.Fatalf("engine resolved to %v, want %v (all schedulers have a sharded path)", e.Dispatch(), mode)
 				}
 				if _, err := e.AddJob(lsSpec("j")); err != nil {
 					t.Fatal(err)

@@ -9,16 +9,87 @@ import (
 	"github.com/cameo-stream/cameo/internal/queue"
 )
 
-// shardedPath is the concurrent dispatch strategy: a deadline-ordered
-// realization of the ConcurrentBag shape (per-worker local lanes, a shared
-// overflow lane, stealing) built from two lock domains —
+// laneNone marks an operator that is not on any run-queue lane (idle with
+// no messages, or acquired by a worker). It is stamped into every
+// operator's intrusive scheduling state when its job is added.
+const laneNone = -2
+
+// stateShard is one lock of the operator-state lock domain. The state it
+// guards — message heap, acquired flag, lane — lives intrusively on the
+// operators themselves (core.SchedState); the shard owns the operators
+// whose name hashes to it.
+type stateShard struct {
+	mu sync.Mutex
+	_  [40]byte // keep shard locks on separate cache lines
+}
+
+// homeIdx returns the state shard owning the named operator. The inline
+// FNV-1a hash of the stable operator name (rather than pointer identity)
+// keeps placement deterministic across runs — which the equivalence tests
+// rely on — and allocation-free, since it sits on every push and pop.
+func homeIdx(name string, shards int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint32(name[i])) * 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// parker coordinates worker sleep/wake for the sharded dispatch paths:
+// one buffered wake channel and a parked flag per worker, plus the stop
+// channel that unblocks everyone at shutdown.
+type parker struct {
+	parked []atomic.Bool
+	wake   []chan struct{}
+	stopCh chan struct{}
+}
+
+func newParker(workers int) parker {
+	k := parker{
+		parked: make([]atomic.Bool, workers),
+		wake:   make([]chan struct{}, workers),
+		stopCh: make(chan struct{}),
+	}
+	for i := range k.wake {
+		k.wake[i] = make(chan struct{}, 1)
+	}
+	return k
+}
+
+// signal wakes the lane's worker plus any parked worker — parked thieves
+// must learn about work on other lanes, and a wake is one non-blocking
+// channel send.
+func (k *parker) signal(lane int) {
+	if lane >= 0 && lane < len(k.wake) {
+		k.wakeWorker(lane)
+	}
+	for w := range k.parked {
+		if w != lane && k.parked[w].Load() {
+			k.wakeWorker(w)
+		}
+	}
+}
+
+func (k *parker) wakeWorker(w int) {
+	select {
+	case k.wake[w] <- struct{}{}:
+	default:
+	}
+}
+
+// shardedPath is the concurrent dispatch strategy of the Cameo scheduler:
+// a deadline-ordered realization of the ConcurrentBag shape (per-worker
+// local lanes, a shared overflow lane, stealing) built from two lock
+// domains —
 //
 //   - state shards: each operator's message heap and scheduling state live
-//     in a fixed home shard (hash of the operator name), guarded by that
-//     shard's mutex;
+//     intrusively on the operator (core.SchedState) and are guarded by a
+//     fixed home shard lock (hash of the operator name);
 //   - run-queue lanes: a queue.ShardedHeap of *runnable* operators keyed by
 //     the deadline (PriGlobal) of their head message — one lane per worker
-//     plus the global overflow lane, each with its own lock.
+//     plus the global overflow lane, each with its own lock. Lane heaps
+//     track operator positions intrusively too (SchedState.Pos), so the
+//     whole scheduling cycle performs no map operations.
 //
 // The lock hierarchy is strict: a state-shard lock may be held while taking
 // one run-queue lane lock, never the reverse, and never two locks of the
@@ -39,7 +110,7 @@ import (
 // operator runnable on the worker's own lane (locality), external arrivals
 // spread round-robin across lanes, overflowing to the global lane when the
 // chosen lane is running long. An operator's run-queue entry may therefore
-// sit on any lane while its messages stay in its home shard; the actor
+// sit on any lane while its state stays in its home shard; the actor
 // guarantee (one worker per operator) is enforced by the acquired flag
 // under the home-shard lock, which every acquisition and release passes
 // through — that lock is also the happens-before edge carrying operator
@@ -52,60 +123,23 @@ type shardedPath struct {
 	pending atomic.Int64
 	rr      atomic.Int64 // round-robin cursor for external arrivals
 
-	parked []atomic.Bool
-	wake   []chan struct{}
-	stopCh chan struct{}
-}
-
-// laneNone marks an operator that is not on any run-queue lane (idle with
-// no messages, or acquired by a worker).
-const laneNone = -2
-
-type stateShard struct {
-	mu  sync.Mutex
-	ops map[*dataflow.Operator]*opState
-	_   [40]byte // keep shard locks on separate cache lines
-}
-
-type opState struct {
-	q        core.MsgHeap
-	acquired bool
-	lane     int // run-queue lane holding this operator, or laneNone
+	parker
 }
 
 func newShardedPath(e *Engine, workers int) *shardedPath {
-	p := &shardedPath{
+	return &shardedPath{
 		e:       e,
 		workers: workers,
-		runq:    queue.NewShardedHeap[*dataflow.Operator](workers),
-		states:  make([]stateShard, workers),
-		parked:  make([]atomic.Bool, workers),
-		wake:    make([]chan struct{}, workers),
-		stopCh:  make(chan struct{}),
+		runq: queue.NewSlotShardedHeap(workers,
+			func(op *dataflow.Operator) *int32 { return &op.Sched().Pos }),
+		states: make([]stateShard, workers),
+		parker: newParker(workers),
 	}
-	for i := range p.states {
-		p.states[i].ops = make(map[*dataflow.Operator]*opState)
-	}
-	for i := range p.wake {
-		p.wake[i] = make(chan struct{}, 1)
-	}
-	return p
 }
 
-// home returns the state shard owning op. The inline FNV-1a hash of the
-// stable operator name (rather than pointer identity) keeps placement
-// deterministic across runs — which the equivalence tests rely on — and
-// allocation-free, since home sits on every push and pop.
+// home returns the state shard owning op.
 func (p *shardedPath) home(op *dataflow.Operator) *stateShard {
-	return &p.states[p.homeIdx(op)]
-}
-
-func (p *shardedPath) homeIdx(op *dataflow.Operator) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(op.Name); i++ {
-		h = (h ^ uint32(op.Name[i])) * 16777619
-	}
-	return int(h % uint32(p.workers))
+	return &p.states[homeIdx(op.Name, p.workers)]
 }
 
 func (p *shardedPath) pendingCount() int { return int(p.pending.Load()) }
@@ -136,33 +170,29 @@ func (p *shardedPath) laneFor(producer int) int {
 func (p *shardedPath) push(op *dataflow.Operator, m *core.Message, producer int) {
 	hs := p.home(op)
 	hs.mu.Lock()
-	st := hs.ops[op]
-	if st == nil {
-		st = &opState{lane: laneNone}
-		hs.ops[op] = st
-	}
-	oldHead := st.q.Peek()
-	st.q.Push(m)
+	st := op.Sched()
+	oldHead := st.Q.Peek()
+	st.Q.Push(m)
 	p.pending.Add(1)
-	if st.acquired {
+	if st.Acquired {
 		// The holding worker re-checks the heap before releasing, so the
 		// new message cannot be stranded; no signal needed.
 		hs.mu.Unlock()
 		return
 	}
-	if st.lane != laneNone {
+	if st.Lane != laneNone {
 		// Already runnable on some lane; re-key it if the head changed.
 		// A missed update (the operator was popped between our lock and
 		// the lane's) is benign: the popping worker sees the new message.
-		if head := st.q.Peek(); head != oldHead {
-			p.runq.Update(st.lane, op, core.GlobalPri(head))
+		if head := st.Q.Peek(); head != oldHead {
+			p.runq.Update(int(st.Lane), op, core.GlobalPri(head))
 		}
 		hs.mu.Unlock()
 		return
 	}
 	lane := p.laneFor(producer)
-	st.lane = lane
-	p.runq.Push(lane, op, core.GlobalPri(st.q.Peek()))
+	st.Lane = int32(lane)
+	p.runq.Push(lane, op, core.GlobalPri(st.Q.Peek()))
 	hs.mu.Unlock()
 	p.signal(lane)
 }
@@ -184,7 +214,7 @@ func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
 		hs := &p.states[shard]
 		locked := false
 		for _, cm := range msgs {
-			if p.homeIdx(cm.Target) != shard {
+			if homeIdx(cm.Target.Name, p.workers) != shard {
 				continue
 			}
 			if !locked {
@@ -193,24 +223,20 @@ func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
 			}
 			done++
 			op := cm.Target
-			st := hs.ops[op]
-			if st == nil {
-				st = &opState{lane: laneNone}
-				hs.ops[op] = st
-			}
-			oldHead := st.q.Peek()
-			st.q.Push(cm.Msg)
+			st := op.Sched()
+			oldHead := st.Q.Peek()
+			st.Q.Push(cm.Msg)
 			p.pending.Add(1)
 			switch {
-			case st.acquired:
-			case st.lane != laneNone:
-				if head := st.q.Peek(); head != oldHead {
-					p.runq.Update(st.lane, op, core.GlobalPri(head))
+			case st.Acquired:
+			case st.Lane != laneNone:
+				if head := st.Q.Peek(); head != oldHead {
+					p.runq.Update(int(st.Lane), op, core.GlobalPri(head))
 				}
 			default:
 				lane := p.laneFor(-1)
-				st.lane = lane
-				p.runq.Push(lane, op, core.GlobalPri(st.q.Peek()))
+				st.Lane = int32(lane)
+				p.runq.Push(lane, op, core.GlobalPri(st.Q.Peek()))
 				signalMask |= 1 << uint(lane+1) // +1 folds GlobalLane(-1) to bit 0
 			}
 		}
@@ -224,27 +250,6 @@ func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
 				p.signal(lane)
 			}
 		}
-	}
-}
-
-// signal wakes the lane's worker plus any parked worker — parked thieves
-// must learn about work on other lanes, and a wake is one non-blocking
-// channel send.
-func (p *shardedPath) signal(lane int) {
-	if lane >= 0 {
-		p.wakeWorker(lane)
-	}
-	for w := 0; w < p.workers; w++ {
-		if w != lane && p.parked[w].Load() {
-			p.wakeWorker(w)
-		}
-	}
-}
-
-func (p *shardedPath) wakeWorker(w int) {
-	select {
-	case p.wake[w] <- struct{}{}:
-	default:
 	}
 }
 
@@ -266,9 +271,9 @@ func (p *shardedPath) acquire(w int) (*dataflow.Operator, bool) {
 		if ok {
 			hs := p.home(op)
 			hs.mu.Lock()
-			st := hs.ops[op]
-			st.acquired = true
-			st.lane = laneNone
+			st := op.Sched()
+			st.Acquired = true
+			st.Lane = laneNone
 			hs.mu.Unlock()
 			return op, true
 		}
@@ -295,30 +300,30 @@ func (p *shardedPath) popMsg(op *dataflow.Operator) (*core.Message, bool) {
 	hs := p.home(op)
 	hs.mu.Lock()
 	defer hs.mu.Unlock()
-	st := hs.ops[op]
-	if st == nil || st.q.Len() == 0 {
+	st := op.Sched()
+	if st.Q.Len() == 0 {
 		return nil, false
 	}
-	m := st.q.Pop()
+	m := st.Q.Pop()
 	p.pending.Add(-1)
 	return m, true
 }
 
 // release returns an acquired operator to the scheduler: requeued on the
 // worker's own lane if messages remain (either freshly arrived or left by
-// a yield), dropped from the shard map when drained.
+// a yield), idle otherwise (its intrusive state simply rests on the
+// operator — there is no map entry to clean up).
 func (p *shardedPath) release(op *dataflow.Operator, w int) {
 	hs := p.home(op)
 	hs.mu.Lock()
-	st := hs.ops[op]
-	st.acquired = false
-	if st.q.Len() == 0 {
-		delete(hs.ops, op)
+	st := op.Sched()
+	st.Acquired = false
+	if st.Q.Len() == 0 {
 		hs.mu.Unlock()
 		return
 	}
-	st.lane = w
-	p.runq.Push(w, op, core.GlobalPri(st.q.Peek()))
+	st.Lane = int32(w)
+	p.runq.Push(w, op, core.GlobalPri(st.Q.Peek()))
 	hs.mu.Unlock()
 	p.signal(w)
 }
@@ -332,12 +337,12 @@ func (p *shardedPath) release(op *dataflow.Operator, w int) {
 func (p *shardedPath) shouldYield(op *dataflow.Operator, w int) bool {
 	hs := p.home(op)
 	hs.mu.Lock()
-	st := hs.ops[op]
-	if st == nil || st.q.Len() == 0 {
+	st := op.Sched()
+	if st.Q.Len() == 0 {
 		hs.mu.Unlock()
 		return true
 	}
-	mine := core.GlobalPri(st.q.Peek())
+	mine := core.GlobalPri(st.Q.Peek())
 	hs.mu.Unlock()
 	if _, lp, ok := p.runq.PeekLane(w); ok && lp.Less(mine) {
 		return true
@@ -353,6 +358,7 @@ func (p *shardedPath) shouldYield(op *dataflow.Operator, w int) bool {
 // worker is the scheduling loop of one pool thread on the sharded path.
 func (p *shardedPath) worker(w int) {
 	e := p.e
+	env := e.envs[w]
 	defer e.wg.Done()
 	for {
 		op, ok := p.acquire(w)
@@ -366,7 +372,7 @@ func (p *shardedPath) worker(w int) {
 				p.release(op, w)
 				break
 			}
-			children, now := e.execMessage(op, m)
+			children, now := e.execMessage(op, m, env)
 			for _, cm := range children {
 				p.push(cm.Target, cm.Msg, w)
 			}

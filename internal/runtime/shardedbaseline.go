@@ -1,0 +1,236 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/queue"
+)
+
+// opRunQueue is the run-queue discipline behind shardedBaselinePath: it
+// orders *runnable operators* (message queues stay in the state shards).
+// producer < 0 marks external arrivals.
+type opRunQueue interface {
+	Add(producer int, op *dataflow.Operator)
+	Take(worker int) (*dataflow.Operator, bool)
+	Len() int
+}
+
+// bagRunQueue realizes the Orleans discipline concurrently: a
+// queue.ConcurrentBag preserving the sequential Bag's exact take order
+// (own list LIFO, global FIFO, steal oldest).
+type bagRunQueue struct {
+	bag *queue.ConcurrentBag[*dataflow.Operator]
+}
+
+func (q bagRunQueue) Add(producer int, op *dataflow.Operator) { q.bag.Add(producer, op) }
+func (q bagRunQueue) Take(w int) (*dataflow.Operator, bool)   { return q.bag.Take(w) }
+func (q bagRunQueue) Len() int                                { return q.bag.Len() }
+
+// fifoRunQueue realizes the FIFO baseline concurrently: one mutex-guarded
+// global ring, preserving the sequential baseline's exact operator order.
+// The lock is narrow — taken once per operator acquisition/release, not
+// per message — so message-level work still scales through the state
+// shards.
+type fifoRunQueue struct {
+	mu sync.Mutex
+	r  queue.Ring[*dataflow.Operator]
+	n  atomic.Int64
+}
+
+func (q *fifoRunQueue) Add(producer int, op *dataflow.Operator) {
+	q.mu.Lock()
+	q.r.PushBack(op)
+	q.n.Store(int64(q.r.Len()))
+	q.mu.Unlock()
+}
+
+func (q *fifoRunQueue) Take(w int) (*dataflow.Operator, bool) {
+	q.mu.Lock()
+	op, ok := q.r.PopFront()
+	q.n.Store(int64(q.r.Len()))
+	q.mu.Unlock()
+	return op, ok
+}
+
+func (q *fifoRunQueue) Len() int { return int(q.n.Load()) }
+
+// shardedBaselinePath is the concurrent dispatch strategy of the Orleans
+// and FIFO baseline schedulers — the sharded counterpart the baselines
+// were missing, so baseline-vs-Cameo comparisons can run at high worker
+// counts instead of bottlenecking on the engine-wide single lock.
+//
+// It reuses the Cameo sharded path's two-domain structure: per-operator
+// FIFO message rings live intrusively on the operators (SchedState.FIFO,
+// guarded by hash-addressed state shard locks), while the run queue of
+// runnable operators is the discipline-specific opRunQueue. The OnQueue
+// flag has exactly the sequential dispatchers' "scheduled" meaning — set
+// while the operator is in the run queue or held by a worker — and is
+// flipped only under the operator's home shard lock, which makes the
+// single-run-queue-membership invariant (and the actor guarantee) hold.
+// Lock hierarchy: state shard → run-queue lane, never the reverse, never
+// two of a kind.
+//
+// At one worker both realizations take operators and messages in exactly
+// the sequential baselines' order, which the equivalence tests pin.
+type shardedBaselinePath struct {
+	e       *Engine
+	workers int
+	name    string
+	runq    opRunQueue
+	states  []stateShard
+	pending atomic.Int64
+
+	parker
+}
+
+func newShardedBaselinePath(e *Engine, cfg Config) *shardedBaselinePath {
+	p := &shardedBaselinePath{
+		e:       e,
+		workers: cfg.Workers,
+		states:  make([]stateShard, cfg.Workers),
+		parker:  newParker(cfg.Workers),
+	}
+	if cfg.Scheduler == core.OrleansScheduler {
+		p.name = "orleans"
+		p.runq = bagRunQueue{bag: queue.NewConcurrentBag[*dataflow.Operator](cfg.Workers)}
+	} else {
+		p.name = "fifo"
+		p.runq = &fifoRunQueue{}
+	}
+	return p
+}
+
+func (p *shardedBaselinePath) home(op *dataflow.Operator) *stateShard {
+	return &p.states[homeIdx(op.Name, p.workers)]
+}
+
+func (p *shardedBaselinePath) pendingCount() int { return int(p.pending.Load()) }
+
+// push enqueues one message, scheduling the target operator if it was
+// neither queued nor held.
+func (p *shardedBaselinePath) push(op *dataflow.Operator, m *core.Message, producer int) {
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	st.FIFO.PushBack(m)
+	p.pending.Add(1)
+	schedule := !st.OnQueue
+	if schedule {
+		st.OnQueue = true
+		p.runq.Add(producer, op)
+	}
+	hs.mu.Unlock()
+	if schedule {
+		p.signal(producer)
+	}
+}
+
+// ingest enqueues externally arrived messages (producer -1). Source
+// batches are small (one message per stage-0 instance); per-message pushes
+// keep the baselines simple — their contract is fidelity, not peak ingest.
+func (p *shardedBaselinePath) ingest(msgs []dataflow.ChildMessage) {
+	for _, cm := range msgs {
+		p.push(cm.Target, cm.Msg, -1)
+	}
+}
+
+func (p *shardedBaselinePath) stopAll() {
+	close(p.stopCh)
+}
+
+// acquire returns the next operator for worker w per the baseline's run
+// queue, or ok=false when the engine is stopping. The operator's OnQueue
+// flag stays set while held (the sequential dispatchers' semantics).
+func (p *shardedBaselinePath) acquire(w int) (*dataflow.Operator, bool) {
+	for {
+		if p.e.stopped.Load() {
+			return nil, false
+		}
+		if op, ok := p.runq.Take(w); ok {
+			return op, true
+		}
+		// Park: declare intent, then re-check (same protocol as the Cameo
+		// sharded path).
+		p.parked[w].Store(true)
+		if p.runq.Len() > 0 || p.e.stopped.Load() {
+			p.parked[w].Store(false)
+			continue
+		}
+		select {
+		case <-p.wake[w]:
+		case <-p.stopCh:
+		}
+		p.parked[w].Store(false)
+	}
+}
+
+// popMsg removes the next message of a held operator in FIFO order.
+func (p *shardedBaselinePath) popMsg(op *dataflow.Operator) (*core.Message, bool) {
+	hs := p.home(op)
+	hs.mu.Lock()
+	m, ok := op.Sched().FIFO.PopFront()
+	if ok {
+		p.pending.Add(-1)
+	}
+	hs.mu.Unlock()
+	return m, ok
+}
+
+// release returns a held operator: drained operators leave the schedule
+// (OnQueue cleared); ones with remaining messages re-enter on the
+// finishing worker's list (Orleans locality) or the back of the global
+// queue (FIFO).
+func (p *shardedBaselinePath) release(op *dataflow.Operator, w int) {
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	if st.FIFO.Len() == 0 {
+		st.OnQueue = false
+		hs.mu.Unlock()
+		return
+	}
+	p.runq.Add(w, op)
+	hs.mu.Unlock()
+	p.signal(w)
+}
+
+// worker is the scheduling loop of one pool thread. The yield rule is the
+// baselines': after a quantum, release whenever any other operator is
+// runnable — plain time-slicing with no notion of urgency.
+func (p *shardedBaselinePath) worker(w int) {
+	e := p.e
+	env := e.envs[w]
+	defer e.wg.Done()
+	for {
+		op, ok := p.acquire(w)
+		if !ok {
+			return
+		}
+		acquired := e.clock.Now()
+		for {
+			m, ok := p.popMsg(op)
+			if !ok {
+				p.release(op, w)
+				break
+			}
+			children, now := e.execMessage(op, m, env)
+			for _, cm := range children {
+				p.push(cm.Target, cm.Msg, w)
+			}
+			if e.stopped.Load() {
+				p.release(op, w)
+				return
+			}
+			if now-acquired >= e.cfg.Quantum {
+				if p.runq.Len() > 0 {
+					p.release(op, w)
+					break
+				}
+				acquired = now
+			}
+		}
+	}
+}

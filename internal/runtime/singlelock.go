@@ -55,6 +55,7 @@ func (p *singleLockPath) stopAll() {
 // incarnation of the sequential dispatcher protocol.
 func (p *singleLockPath) worker(id int) {
 	e := p.e
+	env := e.envs[id]
 	defer e.wg.Done()
 	p.mu.Lock()
 	for {
@@ -81,7 +82,7 @@ func (p *singleLockPath) worker(id int) {
 			}
 			p.mu.Unlock()
 
-			children, now := e.execMessage(op, m)
+			children, now := e.execMessage(op, m, env)
 
 			p.mu.Lock()
 			for _, cm := range children {

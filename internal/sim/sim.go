@@ -157,6 +157,10 @@ type Cluster struct {
 	placement map[*dataflow.Operator]*node
 	placeNext int
 	jobs      []*jobEntry
+	// env is the execution environment shared by every (sequential)
+	// execution step. Pooling stays off: simulated messages outlive their
+	// creation inside the event heap, so recycling would corrupt replays.
+	env *dataflow.Env
 
 	rec        *metrics.Recorder
 	thr        map[string]*metrics.Timeline
@@ -183,6 +187,7 @@ func New(cfg Config) *Cluster {
 	if cfg.TraceLimit > 0 {
 		c.trace = metrics.NewScheduleTrace(cfg.TraceLimit)
 	}
+	c.env = dataflow.NewEnv(c.cfg.Policy, c.nextMsgID, -1)
 	for i := 0; i < cfg.Nodes; i++ {
 		n := &node{id: i, disp: newDispatcher(cfg)}
 		for w := 0; w < cfg.WorkersPerNode; w++ {
@@ -294,7 +299,7 @@ func (c *Cluster) scheduleNextSourceEmission(je *jobEntry, src int) {
 
 func (c *Cluster) handleSourceEmission(ev event) {
 	now := c.clock.Now()
-	msgs := dataflow.SourceMessages(ev.job.job, ev.src, ev.batch, ev.p, now, c.cfg.Policy, c.nextMsgID)
+	msgs := dataflow.SourceMessages(ev.job.job, ev.src, ev.batch, ev.p, now, c.env)
 	for _, cm := range msgs {
 		n := c.placement[cm.Target]
 		if c.cfg.NetworkDelay > 0 {
@@ -397,7 +402,7 @@ func (c *Cluster) completeExecution(w *worker) {
 		})
 	}
 
-	outcome := dataflow.Execute(op, m, now, cost, c.cfg.Policy, c.nextMsgID)
+	outcome := dataflow.Execute(op, m, now, cost, c.env)
 	for _, o := range outcome.Outputs {
 		c.rec.Record(metrics.Output{Job: op.Job.Spec.Name, Emitted: now, Ready: o.T, Window: int64(o.P)})
 		c.thr[op.Job.Spec.Name].Add(now, float64(o.Tuples))

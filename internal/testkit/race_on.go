@@ -1,0 +1,8 @@
+//go:build race
+
+package testkit
+
+// RaceEnabled reports whether the race detector is compiled in. Allocation
+// assertions skip under -race: the instrumentation allocates on its own,
+// so testing.AllocsPerRun budgets are meaningless there.
+const RaceEnabled = true
