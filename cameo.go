@@ -23,6 +23,12 @@
 //	eng.Start()
 //	// eng.IngestBatch(...), then eng.Stats("revenue")
 //
+// Queries are first-class runtime objects with a hot lifecycle: Submit
+// also works on the running engine, and Pause, Resume, and Cancel operate
+// per query without stopping the workers — tenants arrive and depart at
+// churn while the survivors' scheduling is untouched (see
+// examples/churn).
+//
 // Two engines execute the same scheduling code: the real-time Engine
 // (goroutine worker pool, wall-clock profiling) and the deterministic
 // Simulation (virtual time, modelled costs) used to regenerate the paper's

@@ -1,0 +1,200 @@
+package main
+
+// The -churn mode: the paper's dynamic-workload scenario (§6.4, Figs.
+// 13–14) on the real-time engine, driven through the public API. Two
+// long-lived jobs stream continuously while ad-hoc jobs arrive, ingest,
+// and depart (submit → ingest → pause-with-backlog → cancel) on the hot
+// engine. It prints survivors' messages/second and churn cycles/second
+// per (dispatcher, workers) cell; -json writes the machine-readable sweep
+// (CI uploads it as BENCH_churn.json next to BENCH_rt.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	cameo "github.com/cameo-stream/cameo"
+)
+
+const churnCycles = 40
+
+func churnQuery(name string) *cameo.Query {
+	return cameo.NewQuery(name).
+		LatencyTarget(100 * time.Millisecond).
+		Sources(2).
+		Aggregate("agg", 2, cameo.Window(10*time.Millisecond), cameo.Sum).
+		AggregateGlobal("total", cameo.Window(10*time.Millisecond), cameo.Sum)
+}
+
+// churnResult is one measured cell of the churn sweep.
+type churnResult struct {
+	msgs int64
+	dur  time.Duration
+	p50  time.Duration
+	p99  time.Duration
+}
+
+// churnRun executes the dynamic workload once: long-lived producers push
+// their full feeds while the churner cycles ad-hoc jobs through the full
+// lifecycle.
+func churnRun(mode cameo.DispatchMode, workers int, seed uint64) churnResult {
+	eng := cameo.NewEngine(cameo.EngineConfig{Workers: workers, Dispatch: mode})
+	longJobs := []rtJob{
+		{name: "ls0", sources: 4, window: 10 * time.Millisecond, tuples: 4, windows: 150},
+		{name: "ls1", sources: 4, window: 10 * time.Millisecond, tuples: 4, windows: 150},
+	}
+	for _, j := range longJobs {
+		if err := eng.Submit(rtQuery(j)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	adhoc := rtJob{sources: 2, window: 10 * time.Millisecond, tuples: 8, windows: 3}
+	start := time.Now()
+	done := make(chan error, len(longJobs)+1)
+	for _, j := range longJobs {
+		go func(j rtJob) {
+			for w := 1; w <= j.windows; w++ {
+				progress := time.Duration(w) * j.window
+				for src := 0; src < j.sources; src++ {
+					if err := eng.IngestBatch(j.name, src, rtEvents(j, seed, src, w), progress); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			for src := 0; src < j.sources; src++ {
+				if err := eng.AdvanceProgress(j.name, src, time.Duration(j.windows+1)*j.window); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(j)
+	}
+	go func() {
+		for c := 0; c < churnCycles; c++ {
+			name := fmt.Sprintf("adhoc%d", c%8) // bounded name set, reused
+			if err := eng.Submit(churnQuery(name)); err != nil {
+				done <- err
+				return
+			}
+			for w := 1; w <= adhoc.windows-1; w++ {
+				progress := time.Duration(w) * adhoc.window
+				for src := 0; src < adhoc.sources; src++ {
+					if err := eng.IngestBatch(name, src, rtEvents(adhoc, seed^uint64(c), src, w), progress); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			// Depart with a parked backlog so cancellation's discard path
+			// is part of the measured cost.
+			if err := eng.Pause(name); err != nil {
+				done <- err
+				return
+			}
+			for src := 0; src < adhoc.sources; src++ {
+				if err := eng.IngestBatch(name, src,
+					rtEvents(adhoc, seed^uint64(c), src, adhoc.windows),
+					time.Duration(adhoc.windows)*adhoc.window); err != nil {
+					done <- err
+					return
+				}
+			}
+			if err := eng.Cancel(name); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < len(longJobs)+1; i++ {
+		if err := <-done; err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !eng.Drain(60 * time.Second) {
+		fmt.Fprintln(os.Stderr, "engine did not drain")
+		os.Exit(1)
+	}
+	res := churnResult{msgs: eng.Executed(), dur: time.Since(start)}
+	if st, err := eng.Stats("ls0"); err == nil {
+		res.p50, res.p99 = st.P50, st.P99
+	}
+	return res
+}
+
+// churnCell is the machine-readable form of one sweep cell (-json).
+type churnCell struct {
+	Dispatcher string  `json:"dispatcher"`
+	Workers    int     `json:"workers"`
+	MsgPerSec  float64 `json:"msg_per_sec"`
+	ChurnPerS  float64 `json:"churn_cycles_per_sec"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+}
+
+type churnReport struct {
+	Workload    string      `json:"workload"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Seed        uint64      `json:"seed"`
+	Reps        int         `json:"reps"`
+	ChurnCycles int         `json:"churn_cycles_per_run"`
+	Cells       []churnCell `json:"cells"`
+}
+
+func runChurnSweep(seed uint64, reps int, jsonPath string) {
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Printf("real-time hot-lifecycle churn, 2 long-lived jobs + %d submit→cancel cycles (GOMAXPROCS=%d, best of %d)\n\n",
+		churnCycles, runtime.GOMAXPROCS(0), reps)
+	fmt.Printf("%-12s %8s %14s %10s %12s %10s %10s\n",
+		"dispatcher", "workers", "msg/s", "churn/s", "elapsed", "p50", "p99")
+	report := churnReport{Workload: "churn", GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed: seed, Reps: reps, ChurnCycles: churnCycles}
+	for _, mode := range []cameo.DispatchMode{cameo.DispatchSingleLock, cameo.DispatchSharded} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			var best churnResult
+			var bestRate float64
+			for r := 0; r < reps; r++ {
+				res := churnRun(mode, workers, seed+uint64(r))
+				if rate := float64(res.msgs) / res.dur.Seconds(); rate > bestRate {
+					bestRate, best = rate, res
+				}
+			}
+			churnRate := float64(churnCycles) / best.dur.Seconds()
+			fmt.Printf("%-12v %8d %14.0f %10.0f %12v %10v %10v\n",
+				mode, workers, bestRate, churnRate, best.dur.Round(time.Millisecond),
+				best.p50.Round(time.Millisecond), best.p99.Round(time.Millisecond))
+			report.Cells = append(report.Cells, churnCell{
+				Dispatcher: fmt.Sprint(mode),
+				Workers:    workers,
+				MsgPerSec:  bestRate,
+				ChurnPerS:  churnRate,
+				ElapsedMS:  float64(best.dur.Microseconds()) / 1000,
+				P50MS:      float64(best.p50.Microseconds()) / 1000,
+				P99MS:      float64(best.p99.Microseconds()) / 1000,
+			})
+		}
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-bench: writing json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(machine-readable results written to %s)\n", jsonPath)
+	}
+}

@@ -30,8 +30,9 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "workload seed (fixed seed = identical rows)")
 		plot       = flag.Bool("plot", false, "also render each table's last numeric column as ASCII bars")
 		rt         = flag.Bool("rt", false, "benchmark the real-time engine: dispatcher x worker-count scaling sweep")
-		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt)")
-		jsonOut    = flag.String("json", "", "write machine-readable -rt results to this file (e.g. BENCH_rt.json)")
+		churn      = flag.Bool("churn", false, "benchmark the real-time engine's hot query lifecycle: long-lived jobs + submit/cancel churn")
+		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn)")
+		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn results to this file (e.g. BENCH_rt.json)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -67,6 +68,8 @@ func main() {
 	}
 
 	switch {
+	case *churn:
+		runChurnSweep(*seed, *reps, *jsonOut)
 	case *rt:
 		runRealtimeSweep(*seed, *reps, *jsonOut)
 	case *list:

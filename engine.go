@@ -47,13 +47,17 @@ type EngineConfig struct {
 
 // Engine is the real-time execution engine: a single-node worker pool
 // scheduling every submitted job's operators out of one shared,
-// deadline-ordered run queue.
+// deadline-ordered run queue. Queries are first-class runtime objects
+// with a hot lifecycle: Submit, Pause, Resume, and Cancel all operate on
+// a live, running engine without stopping the workers or disturbing
+// other queries' scheduling.
 type Engine struct {
 	inner *runtime.Engine
-	jobs  map[string]*dataflow.Job
 }
 
-// NewEngine returns a stopped engine; Submit queries, then Start it.
+// NewEngine returns a stopped engine. Submit queries and Start it in
+// either order — queries may keep arriving (and departing, via Cancel)
+// while the engine runs.
 func NewEngine(cfg EngineConfig) *Engine {
 	return &Engine{
 		inner: runtime.New(runtime.Config{
@@ -63,24 +67,44 @@ func NewEngine(cfg EngineConfig) *Engine {
 			Quantum:   vtime.FromStd(cfg.Quantum),
 			Dispatch:  cfg.Dispatch,
 		}),
-		jobs: make(map[string]*dataflow.Job),
 	}
 }
 
-// Submit validates and instantiates a query on the engine. All queries
-// must be submitted before Start.
+// Submit validates and instantiates a query on the engine — before Start
+// or while it is running. A live submit registers the query's operators
+// with the running scheduler without rebuilding any state; the query is
+// immediately ready for IngestBatch. A cancelled query's name may be
+// reused. Safe for concurrent use.
 func (e *Engine) Submit(q *Query) error {
 	spec, err := q.Spec()
 	if err != nil {
 		return err
 	}
-	job, err := e.inner.AddJob(spec)
-	if err != nil {
-		return err
-	}
-	e.jobs[spec.Name] = job
-	return nil
+	_, err = e.inner.AddJob(spec)
+	return err
 }
+
+// Cancel removes a submitted query from the live engine: its operators
+// are quiesced, their pending messages discarded, and every scheduler
+// link severed, all while other queries keep executing undisturbed.
+// Cancel returns once no worker references the query (a worker
+// mid-message finishes that one message first); the query's accumulated
+// Stats survive until its name is reused, which becomes possible the
+// moment Cancel returns. Cancel must not be called from inside a handler
+// of the query being cancelled — the quiesce would wait on the handler's
+// own in-flight message.
+func (e *Engine) Cancel(job string) error { return e.inner.CancelJob(job) }
+
+// Pause parks a submitted query: its operators stop being scheduled while
+// retaining queued work and window state, and ingest keeps enqueueing.
+// Pausing a paused query is a no-op. Note that the engine-wide Drain
+// counts a paused query's retained messages; use DrainJob for the others
+// or Resume first.
+func (e *Engine) Pause(job string) error { return e.inner.PauseJob(job) }
+
+// Resume reverses Pause: the query's operators re-enter the run queue
+// (retained messages first, in priority order) and execution continues.
+func (e *Engine) Resume(job string) error { return e.inner.ResumeJob(job) }
 
 // Start launches the worker pool.
 func (e *Engine) Start() { e.inner.Start() }
@@ -90,8 +114,17 @@ func (e *Engine) Start() { e.inner.Start() }
 func (e *Engine) Stop() { e.inner.Stop() }
 
 // Drain waits until all queued messages are processed, or the timeout
-// expires; it reports whether the engine fully drained.
+// expires; it reports whether the engine fully drained. A paused query's
+// retained messages count as queued — Resume or Cancel it first, or use
+// DrainJob.
 func (e *Engine) Drain(timeout time.Duration) bool { return e.inner.Drain(timeout) }
+
+// DrainJob waits until one query's messages are fully processed or the
+// timeout expires, unaffected by other queries' backlogs; it reports
+// whether that query drained. The error is non-nil only for unknown jobs.
+func (e *Engine) DrainJob(job string, timeout time.Duration) (bool, error) {
+	return e.inner.DrainJob(job, timeout)
+}
 
 // Event is one tuple offered to a source: its logical time on the engine's
 // clock (see Engine.Now), a grouping key, and a value.

@@ -1,0 +1,119 @@
+// Churn: the hot query lifecycle on a live engine.
+//
+// A long-lived "monitor" query streams continuously while ad-hoc queries
+// come and go — submitted on the running engine, paused and resumed
+// mid-stream, and cancelled with their backlog discarded — without ever
+// stopping the workers or perturbing the monitor. This is the paper's
+// dynamic-workload setting (§6.4): queries arriving and departing at high
+// churn against a scheduler that keeps no per-job state to rebuild.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cameo "github.com/cameo-stream/cameo"
+)
+
+const window = 50 * time.Millisecond
+
+func events(n int, progress time.Duration) []cameo.Event {
+	out := make([]cameo.Event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cameo.Event{
+			Time:  progress - time.Duration(i+1)*time.Millisecond,
+			Key:   int64(i % 8),
+			Value: 1,
+		})
+	}
+	return out
+}
+
+func feed(eng *cameo.Engine, job string, from, to int) {
+	for w := from; w <= to; w++ {
+		progress := time.Duration(w) * window
+		if err := eng.IngestBatch(job, 0, events(16, progress), progress); err != nil {
+			log.Fatalf("ingest %s: %v", job, err)
+		}
+	}
+}
+
+func main() {
+	// The engine starts with a single long-lived tenant...
+	monitor := cameo.NewQuery("monitor").
+		LatencyTarget(250 * time.Millisecond).
+		Aggregate("by-key", 2, cameo.Window(window), cameo.Count).
+		AggregateGlobal("total", cameo.Window(window), cameo.Sum)
+	eng := cameo.NewEngine(cameo.EngineConfig{Workers: 2})
+	if err := eng.Submit(monitor); err != nil {
+		log.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Stop()
+	feed(eng, "monitor", 1, 10)
+
+	// ...and tenants arrive while it runs: Submit on the live engine makes
+	// the query immediately ingestible, no restart anywhere.
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("adhoc-%d", i)
+		adhoc := cameo.NewQuery(name).
+			LatencyTarget(100 * time.Millisecond).
+			AggregateGlobal("sum", cameo.Window(window), cameo.Sum)
+		if err := eng.Submit(adhoc); err != nil {
+			log.Fatal(err)
+		}
+		feed(eng, name, 1, 5)
+		feed(eng, "monitor", 11+5*i, 15+5*i) // the monitor never pauses
+		switch i {
+		case 0:
+			// Tenant 0 departs cleanly: drain just this query, then cancel.
+			if drained, err := eng.DrainJob(name, time.Second); err != nil || !drained {
+				log.Fatalf("drain %s: drained=%v err=%v", name, drained, err)
+			}
+			if err := eng.Cancel(name); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s: drained and cancelled\n", name)
+		case 1:
+			// Tenant 1 is parked with its backlog retained, resumed later.
+			if err := eng.Pause(name); err != nil {
+				log.Fatal(err)
+			}
+			feed(eng, name, 6, 8) // ingest into the paused query: retained
+			fmt.Printf("%s: paused with backlog\n", name)
+		case 2:
+			// Tenant 2 is cancelled mid-stream: its backlog is discarded,
+			// the engine keeps running.
+			if err := eng.Cancel(name); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s: cancelled mid-stream, backlog discarded\n", name)
+		}
+	}
+
+	// Resume the parked tenant; its retained backlog executes now.
+	if err := eng.Resume("adhoc-1"); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.AdvanceProgress("adhoc-1", 0, 9*window); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.AdvanceProgress("monitor", 0, 26*window); err != nil {
+		log.Fatal(err)
+	}
+	if !eng.Drain(5 * time.Second) {
+		log.Fatal("engine did not drain")
+	}
+
+	for _, job := range []string{"monitor", "adhoc-1"} {
+		st, err := eng.Stats(job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s windows=%d p50=%v p99=%v deadlines met=%.1f%%\n",
+			job, st.Outputs, st.P50, st.P99, st.SuccessRate*100)
+	}
+}

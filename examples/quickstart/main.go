@@ -5,6 +5,10 @@
 // from this process; results and deadline statistics are read back after a
 // drain.
 //
+// Here the query is submitted before Start, but that is a convention, not
+// a requirement: queries can be submitted to, paused on, and cancelled
+// from the running engine — see examples/churn for the hot lifecycle.
+//
 //	go run ./examples/quickstart
 package main
 

@@ -31,11 +31,14 @@ func (d *CameoDispatcher[O]) Name() string { return "cameo" }
 
 // Push implements Dispatcher. If the target operator is waiting and the new
 // message becomes its head, the operator is re-keyed in the global heap.
+// Paused operators enqueue without becoming runnable (Reschedule re-keys
+// them on resume); pushes to dead operators are the engine's to drop, not
+// the dispatcher's.
 func (d *CameoDispatcher[O]) Push(op O, m *Message, producer int) {
 	st := op.Sched()
 	st.Q.Push(m)
 	d.pending++
-	if !st.Acquired {
+	if !st.Acquired && st.Phase == OpLive {
 		d.waiting.PushOrUpdate(op, GlobalPri(st.Q.Peek()))
 	}
 }
@@ -72,11 +75,15 @@ func (d *CameoDispatcher[O]) PeekMsg(op O) (*Message, bool) {
 	return st.Q.Peek(), true
 }
 
-// Done implements Dispatcher.
+// Done implements Dispatcher. An operator paused or cancelled while held
+// leaves the schedule here instead of requeueing. The phase is checked
+// BEFORE the queue: engines tear a cancelled job's queues down once the
+// job quiesces, and the phase-first short-circuit is what guarantees no
+// worker touches a dead operator's queue after that point.
 func (d *CameoDispatcher[O]) Done(op O, worker int) {
 	st := op.Sched()
 	st.Acquired = false
-	if st.Q.Len() == 0 {
+	if st.Phase != OpLive || st.Q.Len() == 0 {
 		return
 	}
 	d.waiting.PushOrUpdate(op, GlobalPri(st.Q.Peek()))
@@ -102,3 +109,18 @@ func (d *CameoDispatcher[O]) QueueLen(op O) int { return op.Sched().Q.Len() }
 
 // Pending implements Dispatcher.
 func (d *CameoDispatcher[O]) Pending() int { return d.pending }
+
+// Deschedule implements Dispatcher: remove op from the waiting heap.
+func (d *CameoDispatcher[O]) Deschedule(op O) bool {
+	return d.waiting.Remove(op)
+}
+
+// Reschedule implements Dispatcher: a resumed operator with pending
+// messages re-enters the waiting heap keyed by its current head.
+func (d *CameoDispatcher[O]) Reschedule(op O) {
+	st := op.Sched()
+	if st.Phase != OpLive || st.Acquired || st.Q.Len() == 0 {
+		return
+	}
+	d.waiting.PushOrUpdate(op, GlobalPri(st.Q.Peek()))
+}

@@ -52,6 +52,17 @@ type Dispatcher[O Handle] interface {
 	QueueLen(op O) int
 	// Pending reports the total queued messages across operators.
 	Pending() int
+	// Deschedule removes op from the run queue if it is waiting there,
+	// reporting whether it was — the deregistration half of pausing or
+	// cancelling an operator on a live engine. An acquired operator is not
+	// in the run queue; its Done (gated on SchedState.Phase) keeps it out.
+	// Deschedule leaves op's message queue untouched: pause retains it,
+	// cancel drains it through PopMsg so the engine can recycle messages.
+	Deschedule(op O) bool
+	// Reschedule makes op runnable again after a pause: if it is live,
+	// unacquired, off the run queue, and has pending messages, it re-enters
+	// the run queue as if its head message had just arrived.
+	Reschedule(op O)
 }
 
 // MsgHeap orders an operator's pending messages by (PriLocal, ID) — the

@@ -31,7 +31,7 @@ func (d *OrleansDispatcher[O]) Push(op O, m *Message, producer int) {
 	st := op.Sched()
 	st.FIFO.PushBack(m)
 	d.pending++
-	if !st.OnQueue {
+	if !st.OnQueue && st.Phase == OpLive {
 		st.OnQueue = true
 		if producer >= 0 {
 			d.bag.Add(producer, op)
@@ -60,12 +60,15 @@ func (d *OrleansDispatcher[O]) PeekMsg(op O) (*Message, bool) {
 	return op.Sched().FIFO.PeekFront()
 }
 
-// Done implements Dispatcher: a drained operator leaves the run queue; one
-// with remaining messages re-enters on the finishing worker's local list
-// (it just ran there — Orleans keeps it local).
+// Done implements Dispatcher: a drained (or paused/cancelled) operator
+// leaves the run queue; one with remaining messages re-enters on the
+// finishing worker's local list (it just ran there — Orleans keeps it
+// local).
 func (d *OrleansDispatcher[O]) Done(op O, worker int) {
 	st := op.Sched()
-	if st.FIFO.Len() == 0 {
+	// Phase before queue: a dead operator's ring may be torn down once its
+	// job quiesces, so it must not be read past this point.
+	if st.Phase != OpLive || st.FIFO.Len() == 0 {
 		st.OnQueue = false
 		return
 	}
@@ -82,6 +85,29 @@ func (d *OrleansDispatcher[O]) QueueLen(op O) int { return op.Sched().FIFO.Len()
 
 // Pending implements Dispatcher.
 func (d *OrleansDispatcher[O]) Pending() int { return d.pending }
+
+// Deschedule implements Dispatcher. OnQueue set with the bag removal
+// missing means a worker holds op; its Done clears the flag.
+func (d *OrleansDispatcher[O]) Deschedule(op O) bool {
+	st := op.Sched()
+	if !st.OnQueue || !d.bag.Remove(op) {
+		return false
+	}
+	st.OnQueue = false
+	return true
+}
+
+// Reschedule implements Dispatcher: a resumed operator with pending
+// messages re-enters on the global list (resumption is an external event,
+// not worker-local work).
+func (d *OrleansDispatcher[O]) Reschedule(op O) {
+	st := op.Sched()
+	if st.Phase != OpLive || st.OnQueue || st.FIFO.Len() == 0 {
+		return
+	}
+	st.OnQueue = true
+	d.bag.AddGlobal(op)
+}
 
 // FIFODispatcher is the paper's custom FIFO baseline (§6): "we insert
 // operators into the global run queue and extract them in FIFO order",
@@ -105,7 +131,7 @@ func (d *FIFODispatcher[O]) Push(op O, m *Message, producer int) {
 	st := op.Sched()
 	st.FIFO.PushBack(m)
 	d.pending++
-	if !st.OnQueue {
+	if !st.OnQueue && st.Phase == OpLive {
 		st.OnQueue = true
 		d.runq.PushBack(op)
 	}
@@ -130,10 +156,11 @@ func (d *FIFODispatcher[O]) PeekMsg(op O) (*Message, bool) {
 	return op.Sched().FIFO.PeekFront()
 }
 
-// Done implements Dispatcher.
+// Done implements Dispatcher (phase before queue, like the others: a dead
+// operator's ring may be torn down once its job quiesces).
 func (d *FIFODispatcher[O]) Done(op O, worker int) {
 	st := op.Sched()
-	if st.FIFO.Len() == 0 {
+	if st.Phase != OpLive || st.FIFO.Len() == 0 {
 		st.OnQueue = false
 		return
 	}
@@ -149,3 +176,25 @@ func (d *FIFODispatcher[O]) QueueLen(op O) int { return op.Sched().FIFO.Len() }
 
 // Pending implements Dispatcher.
 func (d *FIFODispatcher[O]) Pending() int { return d.pending }
+
+// Deschedule implements Dispatcher (linear: the global FIFO ring tracks no
+// positions, and deregistration is a cancellation-path operation).
+func (d *FIFODispatcher[O]) Deschedule(op O) bool {
+	st := op.Sched()
+	if !st.OnQueue || !queue.RingRemove(&d.runq, op) {
+		return false
+	}
+	st.OnQueue = false
+	return true
+}
+
+// Reschedule implements Dispatcher: a resumed operator with pending
+// messages re-enters at the back of the global queue.
+func (d *FIFODispatcher[O]) Reschedule(op O) {
+	st := op.Sched()
+	if st.Phase != OpLive || st.OnQueue || st.FIFO.Len() == 0 {
+		return
+	}
+	st.OnQueue = true
+	d.runq.PushBack(op)
+}

@@ -23,6 +23,13 @@ import (
 // path, which requires Lane to be initialized to its "no lane" sentinel
 // (the engine does this when a job is added).
 type SchedState struct {
+	// Phase is the operator's lifecycle phase. Dispatchers schedule only
+	// OpLive operators: pushes to an OpPaused operator enqueue without
+	// making it runnable, and an OpDead operator never re-enters a run
+	// queue — the engine drops in-flight pushes to it entirely. The field
+	// is read and written only under whatever synchronizes the dispatcher
+	// (see above), like every other field here.
+	Phase OpPhase
 	// Q holds pending messages in (PriLocal, ID) order — used by the Cameo
 	// dispatchers (priority-scheduled disciplines).
 	Q MsgHeap
@@ -43,6 +50,25 @@ type SchedState struct {
 	// sharded Cameo path, or that path's laneNone sentinel.
 	Lane int32
 }
+
+// OpPhase is the lifecycle phase of an operator's scheduling state — the
+// hook that lets a live engine pause, resume, and cancel individual jobs
+// without rebuilding dispatcher state (the paper's dynamic-workload
+// setting, §6.4).
+type OpPhase int32
+
+const (
+	// OpLive is the schedulable steady state (the zero value).
+	OpLive OpPhase = iota
+	// OpPaused parks the operator: pending messages are retained and new
+	// pushes still enqueue, but the operator is not eligible for NextOp
+	// until it is resumed.
+	OpPaused
+	// OpDead marks a cancelled operator: its queues have been (or are
+	// being) discarded and any in-flight push must be dropped by the
+	// engine instead of enqueued.
+	OpDead
+)
 
 // Handle is the constraint on dispatcher operator handles: a comparable
 // value exposing its intrusive scheduling state. Engines use their

@@ -2,10 +2,12 @@ package dataflow
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/cameo-stream/cameo/internal/core"
 	"github.com/cameo-stream/cameo/internal/profile"
 	"github.com/cameo-stream/cameo/internal/progress"
+	"github.com/cameo-stream/cameo/internal/queue"
 	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
@@ -58,6 +60,15 @@ type Job struct {
 	// SourceTracker accumulates reply contexts flowing from stage-0
 	// operators back to the job's sources (the sources' RC_local).
 	SourceTracker *profile.PathTracker
+	// Outstanding counts this job's messages that exist but have not
+	// finished executing — the per-job half of the real-time engine's
+	// drain accounting, which is what lets Drain and Cancel target one
+	// job out of a churning population. Derived messages never cross
+	// jobs, so the counter is independently consistent under the same
+	// counting rule as the engine-wide one (children are registered in
+	// the same atomic op that retires their parent). The simulator
+	// leaves it zero.
+	Outstanding atomic.Int64
 }
 
 // DefaultEWMAAlpha is the default smoothing factor of operator cost
@@ -95,6 +106,27 @@ func NewJob(spec JobSpec) (*Job, error) {
 		j.Stages[s] = ops
 	}
 	return j, nil
+}
+
+// Teardown releases the memory a departing job's operators accumulated:
+// grown message-heap and ring capacity in the intrusive scheduling state,
+// and the handler (whose window maps and per-instance free lists dominate
+// a long-lived job's footprint). Without it a high-churn engine would
+// retain every departed job's steady-state capacity for as long as
+// anything referenced the job.
+//
+// Call only after the job has quiesced: every operator dead, no worker
+// holding one, and no in-flight message still to be pushed — the real-time
+// engine guarantees this by waiting for Outstanding to reach zero after
+// marking the operators dead. Lifecycle fields (Phase, flags, positions)
+// are left untouched so stragglers keep observing a dead operator.
+func (j *Job) Teardown() {
+	for _, op := range j.Operators() {
+		st := op.Sched()
+		st.Q = core.MsgHeap{}
+		st.FIFO = queue.Ring[*core.Message]{}
+		op.Handler = nil
+	}
 }
 
 // Operators returns all operator instances in stage order.

@@ -73,6 +73,17 @@ func (r *Recorder) DeclareJob(job string, constraint vtime.Duration) {
 	r.jobs[job] = &JobStats{Job: job, Constraint: constraint, Latencies: stats.NewSample(1024)}
 }
 
+// DropJob discards a job's accumulated stats. Engines call it when a
+// cancelled job's name is being reused, so the new job's statistics
+// start fresh — merging outputs across two distinct jobs (worse, across
+// two latency constraints) would corrupt latency and success-rate
+// reporting. Dropping an unknown job is a no-op.
+func (r *Recorder) DropJob(job string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.jobs, job)
+}
+
 // Record adds one output. The job must have been declared.
 func (r *Recorder) Record(o Output) {
 	r.mu.Lock()

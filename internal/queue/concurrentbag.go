@@ -22,14 +22,14 @@ import (
 // This is a sequential model for the deterministic simulator; the real-time
 // engine wraps it in a mutex. Concurrency-safety inside the structure would
 // buy nothing but non-determinism in the experiments.
-type Bag[T any] struct {
+type Bag[T comparable] struct {
 	locals []Ring[T] // per-worker deques; PushBack = local push, steal from front
 	global Ring[T]
 	size   int
 }
 
 // NewBag returns a bag for the given number of workers.
-func NewBag[T any](workers int) *Bag[T] {
+func NewBag[T comparable](workers int) *Bag[T] {
 	if workers <= 0 {
 		panic("queue: Bag needs at least one worker")
 	}
@@ -74,6 +74,24 @@ func (b *Bag[T]) Take(w int) (v T, ok bool) {
 	return v, false
 }
 
+// Remove deletes the first queued occurrence of v from whichever list
+// holds it, reporting whether one was found — the deregistration a
+// departing (cancelled or paused) operator needs, which Take-only bags
+// could not express.
+func (b *Bag[T]) Remove(v T) bool {
+	if RingRemove(&b.global, v) {
+		b.size--
+		return true
+	}
+	for i := range b.locals {
+		if RingRemove(&b.locals[i], v) {
+			b.size--
+			return true
+		}
+	}
+	return false
+}
+
 type bagLane[T any] struct {
 	mu sync.Mutex
 	r  Ring[T]
@@ -91,7 +109,7 @@ type bagLane[T any] struct {
 // *front* (oldest end) of other workers' lists. Every operation locks at
 // most one lane at a time, so callers may hold coarser locks around calls
 // without ordering hazards.
-type ConcurrentBag[T any] struct {
+type ConcurrentBag[T comparable] struct {
 	locals []bagLane[T]
 	global bagLane[T]
 	// lens mirrors each local lane's length and glen the global's, so Take
@@ -102,7 +120,7 @@ type ConcurrentBag[T any] struct {
 }
 
 // NewConcurrentBag returns a bag for the given number of workers.
-func NewConcurrentBag[T any](workers int) *ConcurrentBag[T] {
+func NewConcurrentBag[T comparable](workers int) *ConcurrentBag[T] {
 	if workers <= 0 {
 		panic("queue: ConcurrentBag needs at least one worker")
 	}
@@ -176,4 +194,38 @@ func (b *ConcurrentBag[T]) Take(w int) (v T, ok bool) {
 	}
 	var zero T
 	return zero, false
+}
+
+// Remove deletes the first queued occurrence of v from whichever lane
+// holds it, reporting whether one was found. A false return means a worker
+// concurrently took v (or it was never queued) — the caller's own state
+// change decides what the taker does with it. Each lane is scanned under
+// its own lock, so Remove follows the one-lane-at-a-time discipline and
+// may run under the caller's coarser locks.
+func (b *ConcurrentBag[T]) Remove(v T) bool {
+	if b.glen.Load() > 0 {
+		b.global.mu.Lock()
+		ok := RingRemove(&b.global.r, v)
+		b.glen.Store(int64(b.global.r.Len()))
+		b.global.mu.Unlock()
+		if ok {
+			b.size.Add(-1)
+			return true
+		}
+	}
+	for i := range b.locals {
+		if b.lens[i].Load() == 0 {
+			continue
+		}
+		l := &b.locals[i]
+		l.mu.Lock()
+		ok := RingRemove(&l.r, v)
+		b.lens[i].Store(int64(l.r.Len()))
+		l.mu.Unlock()
+		if ok {
+			b.size.Add(-1)
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,220 @@
+package queue
+
+// Tests of the arbitrary-element removal the run-queue structures gained
+// for the hot query lifecycle: a departing (paused or cancelled) operator
+// must be deregisterable from any position, not just popped off the min
+// end — order-preserving for the FIFO structures, conservation-safe for
+// the concurrent bag under racing takers.
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingRemoveAt(t *testing.T) {
+	// Remove from head, middle, and tail across wraparound positions.
+	for shift := 0; shift < 8; shift++ {
+		for at := 0; at < 5; at++ {
+			var r Ring[int]
+			for i := 0; i < shift; i++ { // rotate the backing array
+				r.PushBack(-1)
+			}
+			for i := 0; i < shift; i++ {
+				r.PopFront()
+			}
+			for i := 0; i < 5; i++ {
+				r.PushBack(i)
+			}
+			r.RemoveAt(at)
+			var got []int
+			for {
+				v, ok := r.PopFront()
+				if !ok {
+					break
+				}
+				got = append(got, v)
+			}
+			want := 0
+			for _, v := range got {
+				if want == at {
+					want++
+				}
+				if v != want {
+					t.Fatalf("shift %d, RemoveAt(%d): got %v", shift, at, got)
+				}
+				want++
+			}
+			if len(got) != 4 {
+				t.Fatalf("shift %d, RemoveAt(%d): %d items left, want 4", shift, at, len(got))
+			}
+		}
+	}
+}
+
+func TestRingRemoveAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemoveAt out of range did not panic")
+		}
+	}()
+	var r Ring[int]
+	r.PushBack(1)
+	r.RemoveAt(1)
+}
+
+func TestRingRemove(t *testing.T) {
+	var r Ring[int]
+	for _, v := range []int{4, 7, 4, 9} {
+		r.PushBack(v)
+	}
+	if !RingRemove(&r, 4) {
+		t.Fatal("RingRemove missed a present value")
+	}
+	if RingRemove(&r, 5) {
+		t.Fatal("RingRemove found an absent value")
+	}
+	// Only the FIRST occurrence goes; order of the rest is preserved.
+	want := []int{7, 4, 9}
+	for _, w := range want {
+		v, ok := r.PopFront()
+		if !ok || v != w {
+			t.Fatalf("after remove: got %d/%v, want %d", v, ok, w)
+		}
+	}
+}
+
+// TestRingRemovePropertyModel cross-checks RemoveAt against a plain slice
+// model over random operation sequences (the same style as the ring's
+// push/pop property test).
+func TestRingRemovePropertyModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var r Ring[int]
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch {
+			case op%3 != 0 || len(model) == 0:
+				r.PushBack(next)
+				model = append(model, next)
+				next++
+			default:
+				i := int(op) % len(model)
+				r.RemoveAt(i)
+				model = append(model[:i], model[i+1:]...)
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		for i, want := range model {
+			if r.At(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBagRemove(t *testing.T) {
+	b := NewBag[int](2)
+	b.AddGlobal(1)
+	b.Add(0, 2)
+	b.Add(1, 3)
+	if !b.Remove(2) {
+		t.Fatal("Remove missed a local-list value")
+	}
+	if b.Remove(2) {
+		t.Fatal("Remove found an already-removed value")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d after removal, want 2", b.Len())
+	}
+	// Worker 0's local list is now empty: it takes the global item, then
+	// steals 3 — never the removed 2.
+	if v, _ := b.Take(0); v != 1 {
+		t.Fatalf("Take = %d, want the global 1", v)
+	}
+	if v, _ := b.Take(0); v != 3 {
+		t.Fatalf("Take = %d, want the stolen 3", v)
+	}
+	if _, ok := b.Take(0); ok {
+		t.Fatal("bag not empty after removals and takes")
+	}
+}
+
+func TestConcurrentBagRemove(t *testing.T) {
+	b := NewConcurrentBag[int](2)
+	b.Add(-1, 1) // global
+	b.Add(0, 2)
+	b.Add(1, 3)
+	for _, v := range []int{1, 3} {
+		if !b.Remove(v) {
+			t.Fatalf("Remove(%d) missed", v)
+		}
+	}
+	if b.Remove(9) {
+		t.Fatal("Remove found an absent value")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	if v, ok := b.Take(0); !ok || v != 2 {
+		t.Fatalf("Take = %d/%v, want 2", v, ok)
+	}
+}
+
+// TestConcurrentBagRemoveConservation races removers against takers:
+// every value leaves the bag exactly once, through exactly one of the two
+// exits.
+func TestConcurrentBagRemoveConservation(t *testing.T) {
+	const workers, values = 4, 2000
+	b := NewConcurrentBag[int](workers)
+	for v := 0; v < values; v++ {
+		b.Add(v%workers, v)
+	}
+	out := make(chan int, values)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if v, ok := b.Take(w); ok {
+					out <- v
+					continue
+				}
+				return
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := w; v < values; v += 2 {
+				if b.Remove(v) {
+					out <- v
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[int]bool, values)
+	for v := range out {
+		if seen[v] {
+			t.Fatalf("value %d left the bag twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != values {
+		t.Fatalf("%d values accounted for, want %d", len(seen), values)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", b.Len())
+	}
+}

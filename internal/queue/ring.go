@@ -74,6 +74,43 @@ func (r *Ring[T]) At(i int) T {
 	return r.buf[(r.head+i)%len(r.buf)]
 }
 
+// RemoveAt deletes the i-th queued item (0 = head), preserving the FIFO
+// order of the rest. It shifts whichever side of the ring is shorter, so a
+// removal near either end is cheap. It panics when i is out of range.
+func (r *Ring[T]) RemoveAt(i int) {
+	if i < 0 || i >= r.size {
+		panic("queue: Ring.RemoveAt out of range")
+	}
+	var zero T
+	if i < r.size/2 {
+		for k := i; k > 0; k-- {
+			r.buf[(r.head+k)%len(r.buf)] = r.buf[(r.head+k-1)%len(r.buf)]
+		}
+		r.buf[r.head] = zero
+		r.head = (r.head + 1) % len(r.buf)
+	} else {
+		for k := i; k < r.size-1; k++ {
+			r.buf[(r.head+k)%len(r.buf)] = r.buf[(r.head+k+1)%len(r.buf)]
+		}
+		r.buf[(r.head+r.size-1)%len(r.buf)] = zero
+	}
+	r.size--
+}
+
+// RingRemove deletes the first queued item equal to v, reporting whether
+// one was found. Schedulers use it to deregister a departing operator from
+// a FIFO run queue, which only a cancellation path ever needs — hence a
+// linear scan rather than position tracking.
+func RingRemove[T comparable](r *Ring[T], v T) bool {
+	for i := 0; i < r.size; i++ {
+		if r.buf[(r.head+i)%len(r.buf)] == v {
+			r.RemoveAt(i)
+			return true
+		}
+	}
+	return false
+}
+
 func (r *Ring[T]) grow() {
 	next := make([]T, max(4, 2*len(r.buf)))
 	for i := 0; i < r.size; i++ {

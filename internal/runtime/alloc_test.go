@@ -79,3 +79,96 @@ func TestAllocsEngineSteadyState(t *testing.T) {
 		})
 	}
 }
+
+// TestAllocsEngineSteadyStateAfterChurn extends the alloc gate to the hot
+// query lifecycle: a burst of submit→ingest→cancel cycles on a live
+// engine must leave the surviving job's steady-state window cycle inside
+// the same allocation budget. A cancel that leaked heap slots (messages or
+// batches not returned to their free lists, operators stranded in a run
+// queue) or grew the pools' working set would show up here as per-cycle
+// allocations after the churn.
+func TestAllocsEngineSteadyStateAfterChurn(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSharded, runtime.DispatchSingleLock} {
+		t.Run(mode.String(), func(t *testing.T) {
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			const sources, warm, runs, churns = 4, 60, 80, 8
+			win := 10 * vtime.Millisecond
+			e := runtime.New(runtime.Config{Workers: 1, Dispatch: mode})
+			if _, err := e.AddJob(testkit.AggSpec("j", sources, 4, win, 100*vtime.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+			e.Start()
+			defer e.Stop()
+
+			wl := testkit.Workload{Seed: 9, Sources: sources, Windows: warm + runs + churns + 2, Tuples: 4, Keys: 16, Win: win}
+			batches := make([][]*dataflow.Batch, wl.Windows+1)
+			for w := 1; w <= wl.Windows; w++ {
+				batches[w] = make([]*dataflow.Batch, sources)
+				for src := 0; src < sources; src++ {
+					batches[w][src] = wl.Batch(src, w)
+				}
+			}
+			w := 0
+			cycle := func() {
+				w++
+				for src := 0; src < sources; src++ {
+					if err := e.Ingest("j", src, batches[w][src], wl.Progress(w)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !e.Drain(10 * time.Second) {
+					t.Fatal("engine did not drain")
+				}
+			}
+			for i := 0; i < warm; i++ {
+				cycle()
+			}
+
+			// The churn burst: each cycle live-submits a job under a reused
+			// name (fresh recorder entry each time), ingests into it, and
+			// cancels it with part of its backlog paused — the discard
+			// path — while the survivor's ingest continues.
+			cwl := testkit.Workload{Seed: 31, Sources: 2, Windows: 4, Tuples: 4, Keys: 8, Win: win}
+			for c := 0; c < churns; c++ {
+				if _, err := e.AddJob(testkit.AggSpec("churn", cwl.Sources, 2, win, 100*vtime.Millisecond)); err != nil {
+					t.Fatal(err)
+				}
+				for cw := 1; cw <= 2; cw++ {
+					for src := 0; src < cwl.Sources; src++ {
+						if err := e.Ingest("churn", src, cwl.Batch(src, cw), cwl.Progress(cw)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				cycle() // keep the survivor moving between lifecycle events
+				if err := e.PauseJob("churn"); err != nil {
+					t.Fatal(err)
+				}
+				for src := 0; src < cwl.Sources; src++ {
+					if err := e.Ingest("churn", src, cwl.Batch(src, 3), cwl.Progress(3)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := e.CancelJob("churn"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if e.Discarded() == 0 {
+				t.Fatal("churn burst discarded nothing; the cancel path went unexercised")
+			}
+
+			allocs := testing.AllocsPerRun(runs, cycle)
+			t.Logf("%v: %.2f allocs per window cycle after %d submit→cancel cycles", mode, allocs, churns)
+			if allocs > maxAllocsPerWindowCycle {
+				t.Errorf("%v: window cycle allocates %.1f times after churn, budget %.0f — submit→cancel leaks into the steady state",
+					mode, allocs, maxAllocsPerWindowCycle)
+			}
+			if p := e.Pending(); p != 0 {
+				t.Errorf("%v: %d messages still pending after churn + drain", mode, p)
+			}
+		})
+	}
+}

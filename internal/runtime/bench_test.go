@@ -141,3 +141,103 @@ func benchModesAndWorkers(b *testing.B, jobs func() []benchJob) {
 
 func BenchmarkDispatchMultitenant(b *testing.B) { benchModesAndWorkers(b, multitenantJobs) }
 func BenchmarkDispatchFairshare(b *testing.B)   { benchModesAndWorkers(b, fairshareJobs) }
+
+// BenchmarkDispatchChurn is the paper's dynamic-workload scenario (§6.4,
+// Figs. 13–14) on the real-time engine: long-lived jobs stream
+// continuously while short-lived jobs arrive, run, and depart — submit
+// and cancel land on the hot engine, never a restart. Each iteration runs
+// the fairshare jobs' full feeds from concurrent producers while a
+// churner cycles churnPerIter jobs through submit → ingest →
+// pause-with-backlog → cancel. Reported: msg/s across everything executed,
+// churn cycles/s, and allocs/op — steady-state throughput for survivors
+// should sit within noise of BenchmarkDispatchFairshare's same cell.
+func BenchmarkDispatchChurn(b *testing.B) {
+	const churnPerIter = 10
+	churnWin := 10 * vtime.Millisecond
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%v/w%d", mode, workers), func(b *testing.B) {
+				jobs := fairshareJobs()
+				feeds := prepare(jobs)
+				cwl := testkit.Workload{Seed: 77, Sources: 2, Windows: 4, Tuples: 8, Keys: 16, Win: churnWin}
+				churnBatches := make([][]*dataflow.Batch, cwl.Windows+1)
+				for w := 1; w <= cwl.Windows; w++ {
+					churnBatches[w] = make([]*dataflow.Batch, cwl.Sources)
+					for src := 0; src < cwl.Sources; src++ {
+						churnBatches[w][src] = cwl.Batch(src, w)
+					}
+				}
+				e := runtime.New(runtime.Config{Workers: workers, Dispatch: mode})
+				for _, j := range jobs {
+					if _, err := e.AddJob(j.spec); err != nil {
+						b.Fatal(err)
+					}
+				}
+				e.Start()
+				defer e.Stop()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var wg sync.WaitGroup
+					for _, feed := range feeds {
+						wg.Add(1)
+						go func(feed []preBatch) {
+							defer wg.Done()
+							for _, pb := range feed {
+								if err := e.Ingest(pb.job, pb.src, pb.b, pb.p); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}(feed)
+					}
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for c := 0; c < churnPerIter; c++ {
+							// One name per slot, reused across iterations so
+							// the recorder's job set stays bounded.
+							name := fmt.Sprintf("churn%d", c)
+							if _, err := e.AddJob(testkit.AggSpec(name, cwl.Sources, 2, churnWin, 100*vtime.Millisecond)); err != nil {
+								b.Error(err)
+								return
+							}
+							for w := 1; w <= 2; w++ {
+								for src := 0; src < cwl.Sources; src++ {
+									if err := e.Ingest(name, src, churnBatches[w][src], cwl.Progress(w)); err != nil {
+										b.Error(err)
+										return
+									}
+								}
+							}
+							// Depart with retained backlog so cancellation's
+							// discard path is part of the measured cost.
+							if err := e.PauseJob(name); err != nil {
+								b.Error(err)
+								return
+							}
+							for src := 0; src < cwl.Sources; src++ {
+								if err := e.Ingest(name, src, churnBatches[3][src], cwl.Progress(3)); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+							if err := e.CancelJob(name); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+					wg.Wait()
+					if !e.Drain(30 * time.Second) {
+						b.Fatal("engine did not drain")
+					}
+				}
+				b.StopTimer()
+				msgs := float64(e.Executed())
+				b.ReportMetric(msgs/b.Elapsed().Seconds(), "msg/s")
+				b.ReportMetric(float64(churnPerIter*b.N)/b.Elapsed().Seconds(), "churn/s")
+			})
+		}
+	}
+}

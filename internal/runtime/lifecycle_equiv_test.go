@@ -1,0 +1,195 @@
+package runtime_test
+
+// Lifecycle-script equivalence: the static-workload equivalence tests
+// (equiv_test.go) pin the dispatchers' ordering decisions on a frozen job
+// set; these extend the pin to a scripted sequence of submit, pause,
+// resume, and cancel events on a LIVE engine. The same determinism knobs
+// apply (progress-only policy, infinite quantum, 1 worker), plus one new
+// one: every chunk of work is ingested while its job is paused and
+// released by a resume, with a drain barrier before the next lifecycle
+// event — so the worker races nothing and the trace is a pure function of
+// priorities and the script.
+//
+// Two properties are pinned, per scheduler kind:
+//
+//   - single-lock and sharded runs of the same script produce identical
+//     per-message execution orders (operator, message ID, progress);
+//   - the surviving job's executions and outputs are identical to a run
+//     of the same script WITHOUT the churn — arriving, departing, paused,
+//     and cancelled neighbors must not perturb a bystander job (message
+//     IDs differ across runs, so this comparison keys on operator +
+//     progress).
+
+import (
+	"testing"
+	"time"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/runtime"
+	"github.com/cameo-stream/cameo/internal/testkit"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+func keepWorkload() testkit.Workload {
+	return testkit.Workload{Seed: 42, Sources: 2, Windows: 12, Tuples: 6, Keys: 8, Win: vtime.Second}
+}
+
+func churnWorkload() testkit.Workload {
+	return testkit.Workload{Seed: 99, Sources: 2, Windows: 6, Tuples: 5, Keys: 8, Win: vtime.Second}
+}
+
+// ingestRange feeds windows [from, to] of wl into one job, with an
+// optional trailing progress-only watermark at window close+1.
+func ingestRange(t *testing.T, e *runtime.Engine, wl testkit.Workload, job string, from, to int, close bool) {
+	t.Helper()
+	for w := from; w <= to; w++ {
+		for src := 0; src < wl.Sources; src++ {
+			if err := e.Ingest(job, src, wl.Batch(src, w), wl.Progress(w)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if close {
+		for src := 0; src < wl.Sources; src++ {
+			if err := e.Ingest(job, src, nil, wl.Progress(to+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// step runs one deterministic lifecycle step: pause the job, ingest a
+// chunk into the parked backlog, resume, and drain the job — the barrier
+// that keeps the 1-worker schedule a pure function of priorities.
+func step(t *testing.T, e *runtime.Engine, wl testkit.Workload, job string, from, to int, close bool) {
+	t.Helper()
+	if err := e.PauseJob(job); err != nil {
+		t.Fatal(err)
+	}
+	ingestRange(t, e, wl, job, from, to, close)
+	if err := e.ResumeJob(job); err != nil {
+		t.Fatal(err)
+	}
+	drained, err := e.DrainJob(job, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drained {
+		t.Fatalf("job %q did not drain", job)
+	}
+}
+
+// churnScript is the scripted submit/pause/resume/cancel sequence. When
+// churn is false only the surviving job's steps run — the no-churn
+// reference for the bystander-isolation check.
+func churnScript(t *testing.T, kind core.SchedulerKind, mode runtime.DispatchMode, churn bool) *runtime.Engine {
+	t.Helper()
+	keep, adhoc := keepWorkload(), churnWorkload()
+	e := runtime.New(runtime.Config{
+		Workers:    1,
+		Scheduler:  kind,
+		Policy:     testkit.ProgressPolicy{},
+		Quantum:    vtime.Hour,
+		Dispatch:   mode,
+		TraceLimit: equivTraceLimit,
+	})
+	if _, err := e.AddJob(testkit.AggSpec("keep", keep.Sources, 2, keep.Win, vtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+
+	step(t, e, keep, "keep", 1, 4, false)
+	if churn {
+		// Live submit, run a chunk, then leave a parked backlog behind and
+		// cancel it — the discard path.
+		if _, err := e.AddJob(testkit.AggSpec("adhoc", adhoc.Sources, 2, adhoc.Win, vtime.Second)); err != nil {
+			t.Fatal(err)
+		}
+		step(t, e, adhoc, "adhoc", 1, 4, false)
+	}
+	step(t, e, keep, "keep", 5, 8, false)
+	if churn {
+		if err := e.PauseJob("adhoc"); err != nil {
+			t.Fatal(err)
+		}
+		ingestRange(t, e, adhoc, "adhoc", 5, 6, false)
+		if err := e.CancelJob("adhoc"); err != nil {
+			t.Fatal(err)
+		}
+		// Name reuse after cancel: a fresh job under the old name.
+		if _, err := e.AddJob(testkit.AggSpec("adhoc", adhoc.Sources, 2, adhoc.Win, vtime.Second)); err != nil {
+			t.Fatal(err)
+		}
+		step(t, e, adhoc, "adhoc", 1, 2, false)
+	}
+	step(t, e, keep, "keep", 9, 12, true)
+	e.Stop()
+	return e
+}
+
+// opProgressKey is the cross-run identity of one execution: message IDs
+// depend on how many neighbors allocated IDs first, so the churn-vs-solo
+// comparison keys on operator and progress only.
+type opProgressKey struct {
+	Op string
+	P  vtime.Time
+}
+
+func keepOnly(e *runtime.Engine) []opProgressKey {
+	var out []opProgressKey
+	for _, ev := range e.Trace().Events() {
+		if ev.Job == "keep" {
+			out = append(out, opProgressKey{Op: ev.Op, P: ev.P})
+		}
+	}
+	return out
+}
+
+func TestLifecycleScriptEquivalence(t *testing.T) {
+	for _, kind := range []core.SchedulerKind{core.CameoScheduler, core.OrleansScheduler, core.FIFOScheduler} {
+		t.Run(kind.String(), func(t *testing.T) {
+			single := churnScript(t, kind, runtime.DispatchSingleLock, true)
+			sharded := churnScript(t, kind, runtime.DispatchSharded, true)
+			ref := keysOf(single.Trace().Events())
+			if len(ref) == 0 {
+				t.Fatal("single-lock churn script executed nothing")
+			}
+			diffOrders(t, "churn script sharded vs single-lock", ref, keysOf(sharded.Trace().Events()))
+			if single.Discarded() == 0 {
+				t.Fatal("churn script discarded nothing; the cancel step is not exercising discards")
+			}
+			if single.Discarded() != sharded.Discarded() {
+				t.Fatalf("discards diverge: single-lock %d, sharded %d",
+					single.Discarded(), sharded.Discarded())
+			}
+
+			// Bystander isolation: the surviving job must execute and emit
+			// exactly as in a churn-free run of its own script.
+			solo := churnScript(t, kind, runtime.DispatchSingleLock, false)
+			want, got := keepOnly(solo), keepOnly(single)
+			if len(want) == 0 {
+				t.Fatal("solo reference executed nothing")
+			}
+			if len(want) != len(got) {
+				t.Fatalf("churn perturbed the surviving job: %d executions vs %d solo", len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("churn perturbed the surviving job at execution %d: %+v vs solo %+v",
+						i, got[i], want[i])
+				}
+			}
+			soloOut := solo.Recorder().Job("keep").Outputs
+			churnOut := single.Recorder().Job("keep").Outputs
+			if len(soloOut) != len(churnOut) {
+				t.Fatalf("surviving job emitted %d outputs under churn, %d solo", len(churnOut), len(soloOut))
+			}
+			for i := range soloOut {
+				if soloOut[i].Window != churnOut[i].Window {
+					t.Fatalf("output %d diverges: window %d under churn, %d solo",
+						i, churnOut[i].Window, soloOut[i].Window)
+				}
+			}
+		})
+	}
+}

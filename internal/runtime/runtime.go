@@ -114,10 +114,12 @@ type Engine struct {
 	cfg   Config
 	clock *vtime.WallClock
 
-	jobsMu  sync.RWMutex
-	jobs    map[string]*dataflow.Job
-	started atomic.Bool
-	stopped atomic.Bool
+	jobsMu     sync.RWMutex
+	jobs       map[string]*dataflow.Job
+	paused     map[string]bool
+	cancelling map[string]bool
+	started    atomic.Bool
+	stopped    atomic.Bool
 
 	path dispatchPath
 
@@ -126,6 +128,7 @@ type Engine struct {
 	trace         *metrics.ScheduleTrace
 	msgID         atomic.Int64
 	executed      atomic.Int64
+	discarded     atomic.Int64
 	handlerPanics atomic.Int64
 	// outstanding counts messages that exist but have not finished
 	// executing: incremented when a message is created (ingest; children
@@ -147,6 +150,13 @@ type Engine struct {
 
 // dispatchPath is the concurrency strategy behind an Engine; exactly one
 // implementation is instantiated per engine, per Config.Dispatch.
+//
+// The lifecycle methods run concurrently with workers and ingest: each
+// operates per operator under that operator's own lock domain, flips its
+// SchedState.Phase, and fixes up run-queue membership — they never stop
+// the worker pool. They are serialized against each other by the engine
+// (jobsMu held exclusively), so a path never sees two lifecycle
+// transitions for one job at once.
 type dispatchPath interface {
 	// worker runs one pool goroutine's scheduling loop until stop.
 	worker(id int)
@@ -156,17 +166,33 @@ type dispatchPath interface {
 	pendingCount() int
 	// stopAll wakes every blocked worker so it can observe e.stopped.
 	stopAll()
+	// cancel marks every operator of job dead, discards its queued
+	// messages back to the pools, and unlinks the operators from every
+	// run-queue structure. Operators currently held by workers are left
+	// to their workers, whose release drops them (and whose in-flight
+	// children are dropped at push).
+	cancel(job *dataflow.Job)
+	// pause parks every operator of job: queued messages are retained,
+	// run-queue entries are removed, and held operators leave the
+	// schedule at their next release.
+	pause(job *dataflow.Job)
+	// resume makes every parked operator of job with pending messages
+	// runnable again and wakes workers.
+	resume(job *dataflow.Job)
 }
 
-// New returns an engine; add jobs, then Start it.
+// New returns an engine. Jobs may be added before or after Start; the
+// worker pool runs until Stop.
 func New(cfg Config) *Engine {
 	cfg.fill()
 	e := &Engine{
-		cfg:      cfg,
-		clock:    vtime.NewWallClock(),
-		jobs:     make(map[string]*dataflow.Job),
-		rec:      metrics.NewRecorder(),
-		overhead: &metrics.Overhead{},
+		cfg:        cfg,
+		clock:      vtime.NewWallClock(),
+		jobs:       make(map[string]*dataflow.Job),
+		paused:     make(map[string]bool),
+		cancelling: make(map[string]bool),
+		rec:        metrics.NewRecorder(),
+		overhead:   &metrics.Overhead{},
 	}
 	if cfg.TraceLimit > 0 {
 		e.trace = metrics.NewScheduleTrace(cfg.TraceLimit)
@@ -217,18 +243,32 @@ func (e *Engine) Now() vtime.Time { return e.clock.Now() }
 // Executed reports the number of messages executed so far.
 func (e *Engine) Executed() int64 { return e.executed.Load() }
 
+// Discarded reports the number of messages dropped by job cancellation
+// (queued at or pushed to a cancelled operator) instead of executed.
+// Every created message is eventually either executed or discarded.
+func (e *Engine) Discarded() int64 { return e.discarded.Load() }
+
 // HandlerPanics reports how many handler invocations panicked. Panicking
 // messages are dropped (their operator keeps running); a nonzero count
 // indicates a bug in user handler code.
 func (e *Engine) HandlerPanics() int64 { return e.handlerPanics.Load() }
 
-// AddJob instantiates a job on this engine. Jobs must be added before
-// Start.
+// AddJob instantiates a job on this engine — before Start or on a live,
+// running engine. A live submit is pure registration: the new operators
+// are fresh objects no worker has seen, so making them schedulable is one
+// map insert under jobsMu; no dispatcher or worker state is rebuilt (the
+// paper's stateless-scheduler property, which is what lets queries arrive
+// and depart at high churn, §6.4). A cancelled job's name may be reused;
+// reuse starts the name's recorded statistics fresh (the cancelled job's
+// stats are dropped, never merged into the new job's — reaching here with
+// a recorder entry but no live job means the entry is stale, and no
+// in-flight execution can still record against it because CancelJob
+// releases the name only after its quiesce).
 func (e *Engine) AddJob(spec dataflow.JobSpec) (*dataflow.Job, error) {
 	e.jobsMu.Lock()
 	defer e.jobsMu.Unlock()
-	if e.started.Load() {
-		return nil, fmt.Errorf("runtime: AddJob after Start")
+	if e.stopped.Load() {
+		return nil, fmt.Errorf("runtime: AddJob on stopped engine")
 	}
 	if _, dup := e.jobs[spec.Name]; dup {
 		return nil, fmt.Errorf("runtime: duplicate job %q", spec.Name)
@@ -244,8 +284,168 @@ func (e *Engine) AddJob(spec dataflow.JobSpec) (*dataflow.Job, error) {
 		op.Sched().Lane = laneNone
 	}
 	e.jobs[spec.Name] = job
+	e.rec.DropJob(spec.Name) // stale stats from a cancelled incarnation, if any
 	e.rec.DeclareJob(spec.Name, spec.Latency)
 	return job, nil
+}
+
+// CancelJob removes a job from the live engine: its operators are marked
+// dead, their pending messages are discarded (pooled messages and batches
+// return to their free lists), and every intrusive run-queue link is
+// severed — all without stopping the workers or touching other jobs'
+// scheduling state. CancelJob then waits for the job to quiesce: a worker
+// mid-message finishes that message (its children are dropped at push),
+// so the wait is bounded by one handler invocation per worker. After it
+// returns no worker references the job and its name is free for reuse.
+// The job's recorded output statistics survive in Recorder.
+//
+// The name is unlinked only AFTER the quiesce, so a dying worker's last
+// output always finds its recorder entry and a concurrent AddJob under
+// the same name (which may drop that entry for a changed constraint)
+// cannot begin until no in-flight execution can record against it.
+// Ingests racing the cancel are accepted and discarded.
+//
+// CancelJob must not be called from inside a handler of the job being
+// cancelled: the handler's own message counts as in-flight, so the
+// quiesce would wait on itself. Handlers that self-terminate should
+// signal another goroutine to cancel.
+func (e *Engine) CancelJob(name string) error {
+	e.jobsMu.Lock()
+	j, ok := e.jobs[name]
+	if !ok {
+		e.jobsMu.Unlock()
+		return fmt.Errorf("runtime: unknown job %q", name)
+	}
+	if e.cancelling[name] {
+		// Another CancelJob owns this job's rundown. Wait for it to
+		// finish (the name leaves the map, or is even replaced by a
+		// resubmission) so this caller gets the same post-condition —
+		// returning early would break "no worker references the job".
+		e.jobsMu.Unlock()
+		for {
+			e.jobsMu.RLock()
+			cur := e.jobs[name]
+			e.jobsMu.RUnlock()
+			if cur != j {
+				return nil
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	e.cancelling[name] = true
+	e.path.cancel(j)
+	e.jobsMu.Unlock()
+	// Quiesce outside the lock so other jobs' lifecycle and ingest calls
+	// proceed while the last in-flight executions retire.
+	for j.Outstanding.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	e.jobsMu.Lock()
+	delete(e.jobs, name)
+	delete(e.paused, name)
+	delete(e.cancelling, name)
+	e.jobsMu.Unlock()
+	j.Teardown()
+	return nil
+}
+
+// PauseJob parks a running job: its operators stop being eligible for
+// scheduling while retaining queued messages, and ingest keeps enqueueing
+// (nothing is dropped). Workers holding one of its operators finish only
+// the current message. Pausing a paused job is a no-op. Note that the
+// engine-wide Drain counts a paused job's retained messages, so it will
+// not report idle until the job is resumed or cancelled; DrainJob targets
+// live jobs individually.
+func (e *Engine) PauseJob(name string) error {
+	e.jobsMu.Lock()
+	defer e.jobsMu.Unlock()
+	j, ok := e.jobs[name]
+	if !ok {
+		return fmt.Errorf("runtime: unknown job %q", name)
+	}
+	if e.paused[name] {
+		return nil
+	}
+	e.paused[name] = true
+	e.path.pause(j)
+	return nil
+}
+
+// ResumeJob makes a paused job schedulable again: every operator with
+// pending messages re-enters its run queue and workers are woken.
+// Resuming a job that is not paused is a no-op.
+func (e *Engine) ResumeJob(name string) error {
+	e.jobsMu.Lock()
+	defer e.jobsMu.Unlock()
+	j, ok := e.jobs[name]
+	if !ok {
+		return fmt.Errorf("runtime: unknown job %q", name)
+	}
+	if !e.paused[name] {
+		return nil
+	}
+	delete(e.paused, name)
+	e.path.resume(j)
+	return nil
+}
+
+// JobPaused reports whether the named job is currently paused.
+func (e *Engine) JobPaused(name string) bool {
+	e.jobsMu.RLock()
+	defer e.jobsMu.RUnlock()
+	return e.paused[name]
+}
+
+// Jobs returns the names of the currently submitted (not cancelled) jobs.
+func (e *Engine) Jobs() []string {
+	e.jobsMu.RLock()
+	defer e.jobsMu.RUnlock()
+	out := make([]string, 0, len(e.jobs))
+	for name := range e.jobs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// DrainJob blocks until one job's messages are fully executed (queued and
+// in-flight) or the timeout elapses, reporting whether it drained. Unlike
+// the engine-wide Drain it is unaffected by other jobs' backlogs — the
+// per-job outstanding counter follows the same children-before-parent
+// atomic counting rule, so a single read is a consistent idle test for
+// that job.
+func (e *Engine) DrainJob(name string, timeout time.Duration) (bool, error) {
+	e.jobsMu.RLock()
+	j, ok := e.jobs[name]
+	e.jobsMu.RUnlock()
+	if !ok {
+		return false, fmt.Errorf("runtime: unknown job %q", name)
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if j.Outstanding.Load() == 0 {
+			return true, nil
+		}
+		if time.Now().After(deadline) {
+			return false, nil
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// discardMessage settles a message that will never execute — one found
+// queued at a cancelled operator, or pushed to one in flight. Its payload
+// batch and the message itself return to the pools (through the shared
+// backstops: discards happen off any worker's free list) and every
+// counter that registered the message is balanced. The caller owns its
+// path's pending counter.
+func (e *Engine) discardMessage(j *dataflow.Job, m *core.Message) {
+	if b, ok := m.Payload.(*dataflow.Batch); ok {
+		e.batches.Put(-1, b)
+	}
+	e.msgs.Put(-1, m)
+	e.discarded.Add(1)
+	e.outstanding.Add(-1)
+	j.Outstanding.Add(-1)
 }
 
 // Start launches the worker pool.
@@ -290,9 +490,12 @@ func (e *Engine) Ingest(job string, src int, b *dataflow.Batch, p vtime.Time) er
 		cm.Msg.Enqueued = now
 	}
 	e.outstanding.Add(int64(len(msgs)))
+	j.Outstanding.Add(int64(len(msgs)))
 	// ingest consumes msgs synchronously (every message is pushed into the
 	// dispatcher before it returns), so the env's scratch can go straight
-	// back to the pool.
+	// back to the pool. If the job was cancelled between the map lookup
+	// above and here, each push observes the dead operators and discards,
+	// re-balancing the counters just added.
 	e.path.ingest(msgs)
 	e.ingestEnvs.Put(env)
 	return nil
@@ -305,7 +508,9 @@ func (e *Engine) Pending() int { return e.path.pendingCount() }
 // is mid-message) or the timeout elapses; it reports whether the engine
 // fully drained. The outstanding counter covers queued AND in-flight
 // messages (children are added in the same atomic op that retires their
-// parent), so one atomic read is a consistent idle test.
+// parent), so one atomic read is a consistent idle test. A paused job's
+// retained messages count as outstanding — Drain will time out while one
+// holds backlog; resume or cancel it first, or use DrainJob.
 func (e *Engine) Drain(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -384,7 +589,10 @@ func (e *Engine) execMessage(op *dataflow.Operator, m *core.Message, env *datafl
 	// One atomic op both registers the children and retires the parent,
 	// so the outstanding count can never dip to zero while derived work
 	// exists. The children are counted before the caller pushes them —
-	// over-counting briefly, never under-counting.
+	// over-counting briefly, never under-counting. The per-job counter
+	// follows the same rule (children never cross jobs), which is what
+	// makes CancelJob's quiesce wait and DrainJob sound.
 	e.outstanding.Add(int64(len(outcome.Children)) - 1)
+	op.Job.Outstanding.Add(int64(len(outcome.Children)) - 1)
 	return outcome.Children, now
 }

@@ -97,12 +97,28 @@ func TestEngineErrors(t *testing.T) {
 	if err := e.Ingest("ghost", 0, nil, 0); err == nil {
 		t.Fatal("ingest for unknown job accepted")
 	}
+	for _, op := range []func() error{
+		func() error { return e.CancelJob("ghost") },
+		func() error { return e.PauseJob("ghost") },
+		func() error { return e.ResumeJob("ghost") },
+		func() error { _, err := e.DrainJob("ghost", time.Millisecond); return err },
+	} {
+		if err := op(); err == nil {
+			t.Fatal("lifecycle op for unknown job accepted")
+		}
+	}
 	e.Start()
+	if _, err := e.AddJob(lsSpec("b")); err != nil {
+		t.Fatalf("AddJob on a running engine: %v", err)
+	}
 	if _, err := e.AddJob(lsSpec("b")); err == nil {
-		t.Fatal("AddJob after Start accepted")
+		t.Fatal("duplicate live-submitted job accepted")
 	}
 	e.Stop()
 	e.Stop() // idempotent
+	if _, err := e.AddJob(lsSpec("c")); err == nil {
+		t.Fatal("AddJob after Stop accepted")
+	}
 }
 
 func TestEngineStopWithoutStart(t *testing.T) {

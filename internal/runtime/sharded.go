@@ -167,16 +167,25 @@ func (p *shardedPath) laneFor(producer int) int {
 
 // push enqueues one message, making the target operator runnable if it was
 // idle. producer is the pushing worker, or -1 for external arrivals.
+// Pushes to dead operators (the target's job was cancelled while this
+// message was in flight) are dropped; pushes to paused operators enqueue
+// without scheduling.
 func (p *shardedPath) push(op *dataflow.Operator, m *core.Message, producer int) {
 	hs := p.home(op)
 	hs.mu.Lock()
 	st := op.Sched()
+	if st.Phase == core.OpDead {
+		hs.mu.Unlock()
+		p.e.discardMessage(op.Job, m)
+		return
+	}
 	oldHead := st.Q.Peek()
 	st.Q.Push(m)
 	p.pending.Add(1)
-	if st.Acquired {
-		// The holding worker re-checks the heap before releasing, so the
-		// new message cannot be stranded; no signal needed.
+	if st.Acquired || st.Phase == core.OpPaused {
+		// Acquired: the holding worker re-checks the heap before
+		// releasing, so the new message cannot be stranded; no signal
+		// needed. Paused: resume reschedules the operator.
 		hs.mu.Unlock()
 		return
 	}
@@ -224,11 +233,18 @@ func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
 			done++
 			op := cm.Target
 			st := op.Sched()
+			if st.Phase == core.OpDead {
+				// discardMessage takes no locks, so dropping under the
+				// shard lock is safe and keeps the one-lock-per-batch
+				// shape.
+				p.e.discardMessage(op.Job, cm.Msg)
+				continue
+			}
 			oldHead := st.Q.Peek()
 			st.Q.Push(cm.Msg)
 			p.pending.Add(1)
 			switch {
-			case st.Acquired:
+			case st.Acquired || st.Phase == core.OpPaused:
 			case st.Lane != laneNone:
 				if head := st.Q.Peek(); head != oldHead {
 					p.runq.Update(int(st.Lane), op, core.GlobalPri(head))
@@ -255,6 +271,89 @@ func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
 
 func (p *shardedPath) stopAll() {
 	close(p.stopCh)
+}
+
+// cancel implements dispatchPath. Per operator, under its home shard
+// lock: mark it dead (in-flight pushes now drop), discard its queued
+// messages, and remove its run-queue entry — the arbitrary-element
+// removal the lane heaps track intrusively via SchedState.Pos. An
+// operator concurrently popped by a worker is simply absent from its
+// lane; that worker's popMsg sees the dead phase and its release leaves
+// the operator unscheduled.
+func (p *shardedPath) cancel(job *dataflow.Job) {
+	for _, op := range job.Operators() {
+		hs := p.home(op)
+		hs.mu.Lock()
+		st := op.Sched()
+		st.Phase = core.OpDead
+		for st.Q.Len() > 0 {
+			p.e.discardMessage(job, st.Q.Pop())
+			p.pending.Add(-1)
+		}
+		// Clear the lane only when the removal actually hit: a miss means
+		// a worker popped the operator and is between its lane pop and its
+		// home-lock acquisition — that worker owns the Lane reset (in
+		// acquire), and overwriting it here would mark a possibly-still-
+		// referenced operator as unqueued.
+		if st.Lane != laneNone && p.runq.Remove(int(st.Lane), op) {
+			st.Lane = laneNone
+		}
+		hs.mu.Unlock()
+	}
+}
+
+// pause implements dispatchPath: park each operator and pull it off its
+// lane; queued messages stay put. Held operators park at their worker's
+// next popMsg/release.
+func (p *shardedPath) pause(job *dataflow.Job) {
+	for _, op := range job.Operators() {
+		hs := p.home(op)
+		hs.mu.Lock()
+		st := op.Sched()
+		if st.Phase == core.OpLive {
+			st.Phase = core.OpPaused
+			// Lane is cleared only on a successful removal (same reasoning
+			// as cancel, but here it is load-bearing): a failed Remove
+			// means a worker is mid-acquisition, and resume treats a
+			// cleared Lane as "not scheduled" — clearing it on the miss
+			// would let resume double-schedule the operator the worker is
+			// about to hold, breaking the actor guarantee. The stale Lane
+			// instead makes resume defer to the worker, whose phase-gated
+			// release parks the operator for a later resume or its next
+			// push.
+			if st.Lane != laneNone && p.runq.Remove(int(st.Lane), op) {
+				st.Lane = laneNone
+			}
+		}
+		hs.mu.Unlock()
+	}
+}
+
+// resume implements dispatchPath: un-park each operator; ones with
+// pending messages re-enter a lane (external-arrival placement) and the
+// lane's worker is woken.
+func (p *shardedPath) resume(job *dataflow.Job) {
+	for _, op := range job.Operators() {
+		hs := p.home(op)
+		hs.mu.Lock()
+		st := op.Sched()
+		if st.Phase != core.OpPaused {
+			hs.mu.Unlock()
+			continue
+		}
+		st.Phase = core.OpLive
+		wake := -2
+		if !st.Acquired && st.Q.Len() > 0 && st.Lane == laneNone {
+			lane := p.laneFor(-1)
+			st.Lane = int32(lane)
+			p.runq.Push(lane, op, core.GlobalPri(st.Q.Peek()))
+			wake = lane
+		}
+		hs.mu.Unlock()
+		if wake != -2 {
+			p.signal(wake)
+		}
+	}
 }
 
 // acquire returns the next operator for worker w, marking it acquired, or
@@ -294,14 +393,16 @@ func (p *shardedPath) acquire(w int) (*dataflow.Operator, bool) {
 }
 
 // popMsg removes the next message of an acquired operator in PriLocal
-// order. (Drain does not watch the pending count — e.outstanding retires
-// a message only after execution — so the pop creates no idle window.)
+// order. A non-live operator yields nothing — a pause or cancel that
+// landed mid-drain stops the holding worker at the next message boundary.
+// (Drain does not watch the pending count — e.outstanding retires a
+// message only after execution — so the pop creates no idle window.)
 func (p *shardedPath) popMsg(op *dataflow.Operator) (*core.Message, bool) {
 	hs := p.home(op)
 	hs.mu.Lock()
 	defer hs.mu.Unlock()
 	st := op.Sched()
-	if st.Q.Len() == 0 {
+	if st.Phase != core.OpLive || st.Q.Len() == 0 {
 		return nil, false
 	}
 	m := st.Q.Pop()
@@ -310,15 +411,16 @@ func (p *shardedPath) popMsg(op *dataflow.Operator) (*core.Message, bool) {
 }
 
 // release returns an acquired operator to the scheduler: requeued on the
-// worker's own lane if messages remain (either freshly arrived or left by
-// a yield), idle otherwise (its intrusive state simply rests on the
-// operator — there is no map entry to clean up).
+// worker's own lane if it is live and messages remain (either freshly
+// arrived or left by a yield), idle otherwise (its intrusive state simply
+// rests on the operator — there is no map entry to clean up). Paused
+// operators leave the schedule here; resume re-enters them.
 func (p *shardedPath) release(op *dataflow.Operator, w int) {
 	hs := p.home(op)
 	hs.mu.Lock()
 	st := op.Sched()
 	st.Acquired = false
-	if st.Q.Len() == 0 {
+	if st.Phase != core.OpLive || st.Q.Len() == 0 {
 		hs.mu.Unlock()
 		return
 	}
@@ -338,7 +440,9 @@ func (p *shardedPath) shouldYield(op *dataflow.Operator, w int) bool {
 	hs := p.home(op)
 	hs.mu.Lock()
 	st := op.Sched()
-	if st.Q.Len() == 0 {
+	// Phase before queue (a cancelled job's queues are torn down once it
+	// quiesces); a non-live operator always yields.
+	if st.Phase != core.OpLive || st.Q.Len() == 0 {
 		hs.mu.Unlock()
 		return true
 	}

@@ -11,10 +11,13 @@ import (
 
 // opRunQueue is the run-queue discipline behind shardedBaselinePath: it
 // orders *runnable operators* (message queues stay in the state shards).
-// producer < 0 marks external arrivals.
+// producer < 0 marks external arrivals. Remove deregisters a departing
+// (paused or cancelled) operator; false means a worker concurrently took
+// it.
 type opRunQueue interface {
 	Add(producer int, op *dataflow.Operator)
 	Take(worker int) (*dataflow.Operator, bool)
+	Remove(op *dataflow.Operator) bool
 	Len() int
 }
 
@@ -27,6 +30,7 @@ type bagRunQueue struct {
 
 func (q bagRunQueue) Add(producer int, op *dataflow.Operator) { q.bag.Add(producer, op) }
 func (q bagRunQueue) Take(w int) (*dataflow.Operator, bool)   { return q.bag.Take(w) }
+func (q bagRunQueue) Remove(op *dataflow.Operator) bool       { return q.bag.Remove(op) }
 func (q bagRunQueue) Len() int                                { return q.bag.Len() }
 
 // fifoRunQueue realizes the FIFO baseline concurrently: one mutex-guarded
@@ -53,6 +57,14 @@ func (q *fifoRunQueue) Take(w int) (*dataflow.Operator, bool) {
 	q.n.Store(int64(q.r.Len()))
 	q.mu.Unlock()
 	return op, ok
+}
+
+func (q *fifoRunQueue) Remove(op *dataflow.Operator) bool {
+	q.mu.Lock()
+	ok := queue.RingRemove(&q.r, op)
+	q.n.Store(int64(q.r.Len()))
+	q.mu.Unlock()
+	return ok
 }
 
 func (q *fifoRunQueue) Len() int { return int(q.n.Load()) }
@@ -110,14 +122,21 @@ func (p *shardedBaselinePath) home(op *dataflow.Operator) *stateShard {
 func (p *shardedBaselinePath) pendingCount() int { return int(p.pending.Load()) }
 
 // push enqueues one message, scheduling the target operator if it was
-// neither queued nor held.
+// neither queued nor held. Pushes to dead operators are dropped (the
+// in-flight half of cancellation); pushes to paused operators enqueue
+// without scheduling.
 func (p *shardedBaselinePath) push(op *dataflow.Operator, m *core.Message, producer int) {
 	hs := p.home(op)
 	hs.mu.Lock()
 	st := op.Sched()
+	if st.Phase == core.OpDead {
+		hs.mu.Unlock()
+		p.e.discardMessage(op.Job, m)
+		return
+	}
 	st.FIFO.PushBack(m)
 	p.pending.Add(1)
-	schedule := !st.OnQueue
+	schedule := !st.OnQueue && st.Phase == core.OpLive
 	if schedule {
 		st.OnQueue = true
 		p.runq.Add(producer, op)
@@ -128,17 +147,125 @@ func (p *shardedBaselinePath) push(op *dataflow.Operator, m *core.Message, produ
 	}
 }
 
-// ingest enqueues externally arrived messages (producer -1). Source
-// batches are small (one message per stage-0 instance); per-message pushes
-// keep the baselines simple — their contract is fidelity, not peak ingest.
+// ingest is the batched fast path, mirroring the Cameo sharded path's
+// shape: the batch's messages are walked once per home shard so each
+// state-shard lock is taken once per batch, not once per message. The
+// run-queue Adds stay inside the shard lock (the same state-shard →
+// run-queue hierarchy push uses); one signal at the end wakes the pool.
 func (p *shardedBaselinePath) ingest(msgs []dataflow.ChildMessage) {
-	for _, cm := range msgs {
-		p.push(cm.Target, cm.Msg, -1)
+	if len(msgs) <= 1 {
+		for _, cm := range msgs {
+			p.push(cm.Target, cm.Msg, -1)
+		}
+		return
+	}
+	scheduled := false
+	done := 0
+	for shard := 0; shard < p.workers && done < len(msgs); shard++ {
+		hs := &p.states[shard]
+		locked := false
+		for _, cm := range msgs {
+			if homeIdx(cm.Target.Name, p.workers) != shard {
+				continue
+			}
+			if !locked {
+				hs.mu.Lock()
+				locked = true
+			}
+			done++
+			op := cm.Target
+			st := op.Sched()
+			if st.Phase == core.OpDead {
+				p.e.discardMessage(op.Job, cm.Msg)
+				continue
+			}
+			st.FIFO.PushBack(cm.Msg)
+			p.pending.Add(1)
+			if !st.OnQueue && st.Phase == core.OpLive {
+				st.OnQueue = true
+				p.runq.Add(-1, op)
+				scheduled = true
+			}
+		}
+		if locked {
+			hs.mu.Unlock()
+		}
+	}
+	if scheduled {
+		p.signal(-1)
 	}
 }
 
 func (p *shardedBaselinePath) stopAll() {
 	close(p.stopCh)
+}
+
+// cancel implements dispatchPath. Per operator, under its home shard
+// lock: mark it dead, discard its ring, and deregister it from the run
+// queue (the Remove the baseline disciplines' structures gained for
+// exactly this). OnQueue with the removal missing means a worker holds
+// (or is taking) the operator; that worker's phase-gated release clears
+// the flag without requeueing.
+func (p *shardedBaselinePath) cancel(job *dataflow.Job) {
+	for _, op := range job.Operators() {
+		hs := p.home(op)
+		hs.mu.Lock()
+		st := op.Sched()
+		st.Phase = core.OpDead
+		for {
+			m, ok := st.FIFO.PopFront()
+			if !ok {
+				break
+			}
+			p.e.discardMessage(job, m)
+			p.pending.Add(-1)
+		}
+		if st.OnQueue && p.runq.Remove(op) {
+			st.OnQueue = false
+		}
+		hs.mu.Unlock()
+	}
+}
+
+// pause implements dispatchPath: park each operator, deregistering queued
+// ones; held ones leave the schedule at their worker's release.
+func (p *shardedBaselinePath) pause(job *dataflow.Job) {
+	for _, op := range job.Operators() {
+		hs := p.home(op)
+		hs.mu.Lock()
+		st := op.Sched()
+		if st.Phase == core.OpLive {
+			st.Phase = core.OpPaused
+			if st.OnQueue && p.runq.Remove(op) {
+				st.OnQueue = false
+			}
+		}
+		hs.mu.Unlock()
+	}
+}
+
+// resume implements dispatchPath: un-park each operator and reschedule
+// ones with retained messages as external arrivals.
+func (p *shardedBaselinePath) resume(job *dataflow.Job) {
+	for _, op := range job.Operators() {
+		hs := p.home(op)
+		hs.mu.Lock()
+		st := op.Sched()
+		if st.Phase != core.OpPaused {
+			hs.mu.Unlock()
+			continue
+		}
+		st.Phase = core.OpLive
+		schedule := !st.OnQueue && st.FIFO.Len() > 0
+		if schedule {
+			st.OnQueue = true
+			p.runq.Add(-1, op)
+		}
+		hs.mu.Unlock()
+		if schedule {
+			p.signal(-1)
+		}
+	}
 }
 
 // acquire returns the next operator for worker w per the baseline's run
@@ -167,11 +294,18 @@ func (p *shardedBaselinePath) acquire(w int) (*dataflow.Operator, bool) {
 	}
 }
 
-// popMsg removes the next message of a held operator in FIFO order.
+// popMsg removes the next message of a held operator in FIFO order. A
+// non-live operator yields nothing, stopping the holding worker at the
+// next message boundary.
 func (p *shardedBaselinePath) popMsg(op *dataflow.Operator) (*core.Message, bool) {
 	hs := p.home(op)
 	hs.mu.Lock()
-	m, ok := op.Sched().FIFO.PopFront()
+	st := op.Sched()
+	if st.Phase != core.OpLive {
+		hs.mu.Unlock()
+		return nil, false
+	}
+	m, ok := st.FIFO.PopFront()
 	if ok {
 		p.pending.Add(-1)
 	}
@@ -179,15 +313,15 @@ func (p *shardedBaselinePath) popMsg(op *dataflow.Operator) (*core.Message, bool
 	return m, ok
 }
 
-// release returns a held operator: drained operators leave the schedule
-// (OnQueue cleared); ones with remaining messages re-enter on the
-// finishing worker's list (Orleans locality) or the back of the global
-// queue (FIFO).
+// release returns a held operator: drained (or paused/cancelled)
+// operators leave the schedule (OnQueue cleared); live ones with
+// remaining messages re-enter on the finishing worker's list (Orleans
+// locality) or the back of the global queue (FIFO).
 func (p *shardedBaselinePath) release(op *dataflow.Operator, w int) {
 	hs := p.home(op)
 	hs.mu.Lock()
 	st := op.Sched()
-	if st.FIFO.Len() == 0 {
+	if st.Phase != core.OpLive || st.FIFO.Len() == 0 {
 		st.OnQueue = false
 		hs.mu.Unlock()
 		return

@@ -12,7 +12,9 @@ import (
 // variable waking idle workers. It supports every SchedulerKind (the
 // baselines have no sharded realization) and serves as the reference
 // implementation the sharded path is cross-checked against in equivalence
-// tests.
+// tests — including for the job lifecycle: cancel/pause/resume are a few
+// dispatcher calls under the same mutex, so their semantics here are easy
+// to read and the concurrent paths are pinned against them.
 type singleLockPath struct {
 	e    *Engine
 	mu   sync.Mutex
@@ -29,10 +31,21 @@ func newSingleLockPath(e *Engine, cfg Config) *singleLockPath {
 	return p
 }
 
+// pushLocked routes one message under p.mu: dead targets drop it (the
+// in-flight half of cancellation), everything else goes to the dispatcher,
+// which enqueues without scheduling when the target is paused.
+func (p *singleLockPath) pushLocked(target *dataflow.Operator, m *core.Message, producer int) {
+	if target.Sched().Phase == core.OpDead {
+		p.e.discardMessage(target.Job, m)
+		return
+	}
+	p.disp.Push(target, m, producer)
+}
+
 func (p *singleLockPath) ingest(msgs []dataflow.ChildMessage) {
 	p.mu.Lock()
 	for _, cm := range msgs {
-		p.disp.Push(cm.Target, cm.Msg, -1)
+		p.pushLocked(cm.Target, cm.Msg, -1)
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
@@ -47,6 +60,56 @@ func (p *singleLockPath) pendingCount() int {
 // stopAll wakes every waiting worker so they observe the stopped flag.
 func (p *singleLockPath) stopAll() {
 	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// cancel implements dispatchPath: under the engine mutex, mark each
+// operator dead, pull it off the run queue, and drain its message queue
+// through the dispatcher (keeping its pending count honest) into the
+// pools.
+func (p *singleLockPath) cancel(job *dataflow.Job) {
+	p.mu.Lock()
+	for _, op := range job.Operators() {
+		op.Sched().Phase = core.OpDead
+		p.disp.Deschedule(op)
+		for {
+			m, ok := p.disp.PopMsg(op)
+			if !ok {
+				break
+			}
+			p.e.discardMessage(job, m)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// pause implements dispatchPath: park each operator and deschedule it;
+// ones held by a worker leave the schedule at that worker's next release
+// (Done is phase-gated).
+func (p *singleLockPath) pause(job *dataflow.Job) {
+	p.mu.Lock()
+	for _, op := range job.Operators() {
+		st := op.Sched()
+		if st.Phase == core.OpLive {
+			st.Phase = core.OpPaused
+			p.disp.Deschedule(op)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// resume implements dispatchPath: un-park each operator and reschedule the
+// ones with pending messages, then wake the workers.
+func (p *singleLockPath) resume(job *dataflow.Job) {
+	p.mu.Lock()
+	for _, op := range job.Operators() {
+		st := op.Sched()
+		if st.Phase == core.OpPaused {
+			st.Phase = core.OpLive
+			p.disp.Reschedule(op)
+		}
+	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
 }
@@ -86,7 +149,7 @@ func (p *singleLockPath) worker(id int) {
 
 			p.mu.Lock()
 			for _, cm := range children {
-				p.disp.Push(cm.Target, cm.Msg, id)
+				p.pushLocked(cm.Target, cm.Msg, id)
 			}
 			if len(children) > 0 {
 				p.cond.Broadcast()
@@ -95,6 +158,14 @@ func (p *singleLockPath) worker(id int) {
 				p.disp.Done(op, id)
 				p.mu.Unlock()
 				return
+			}
+			// A pause or cancel landed while we executed: stop draining
+			// the operator before touching its queue again — a cancelled
+			// job's queues are torn down once it quiesces, so the phase
+			// gate here (and inside Done) is load-bearing, not cosmetic.
+			if op.Sched().Phase != core.OpLive {
+				p.disp.Done(op, id)
+				break
 			}
 			if now-acquired >= e.cfg.Quantum {
 				// Re-scheduling decision point: swap if more urgent work
