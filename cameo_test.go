@@ -1,6 +1,7 @@
 package cameo
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -91,6 +92,72 @@ func TestEngineEndToEnd(t *testing.T) {
 	}
 	if _, err := eng.Stats("ghost"); err == nil {
 		t.Fatal("Stats for unknown job succeeded")
+	}
+}
+
+// TestEngineOverloadPublicAPI drives the admission layer end to end
+// through the public surface: an engine-wide budget with backpressure,
+// TryIngestBatch flow control, the ErrOverloaded → drain → accept round
+// trip, and the Stats counters.
+func TestEngineOverloadPublicAPI(t *testing.T) {
+	defer testkit.LeakCheck(t)()
+	eng := NewEngine(EngineConfig{Workers: 1, MaxPending: 8})
+	if err := eng.Submit(dashboardQuery("job").MaxPending(64)); err != nil {
+		t.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Stop()
+	if err := eng.Pause("job"); err != nil {
+		t.Fatal(err)
+	}
+	win := 100 * time.Millisecond
+	offer := func(ingest func(string, int, []Event, time.Duration) error, w int) error {
+		progress := time.Duration(w) * win
+		return ingest("job", 0, []Event{{Time: progress - time.Millisecond, Key: 1, Value: 1}}, progress)
+	}
+	var rejection error
+	accepted := 0
+	for w := 1; w <= 16; w++ {
+		if rejection = offer(eng.TryIngestBatch, w); rejection != nil {
+			break
+		}
+		accepted++
+	}
+	if !errors.Is(rejection, ErrOverloaded) {
+		t.Fatalf("TryIngestBatch on a full engine = %v, want ErrOverloaded", rejection)
+	}
+	if p := eng.Pending(); p == 0 || p > 8 {
+		t.Fatalf("Pending = %d, want within (0, 8]", p)
+	}
+	if eng.Rejected() == 0 {
+		t.Fatal("Rejected = 0 after a refused ingest")
+	}
+	st, err := eng.Stats("job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Backpressure == 0 {
+		t.Fatalf("Stats.Backpressure = 0 after a refused ingest: %+v", st)
+	}
+	if st.Shed != 0 {
+		t.Fatalf("backpressure engine shed %d messages", st.Shed)
+	}
+
+	// Drain, and the same source is welcome again.
+	if err := eng.Resume("job"); err != nil {
+		t.Fatal(err)
+	}
+	testkit.DrainOrFail(t, eng, 10*time.Second)
+	if err := offer(eng.IngestBatch, accepted+1); err != nil {
+		t.Fatalf("ingest after drain refused: %v", err)
+	}
+	testkit.DrainOrFail(t, eng, 10*time.Second)
+	if created, executed, discarded := eng.Created(), eng.Executed(), eng.Discarded(); created != executed+discarded {
+		t.Fatalf("created %d != executed %d + discarded %d", created, executed, discarded)
+	}
+	// Out-of-range sources are errors, not panics, at the public surface.
+	if err := eng.IngestBatch("job", 99, nil, time.Second); err == nil {
+		t.Fatal("IngestBatch accepted an out-of-range source")
 	}
 }
 

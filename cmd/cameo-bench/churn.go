@@ -22,7 +22,7 @@ const churnCycles = 40
 
 func churnQuery(name string) *cameo.Query {
 	return cameo.NewQuery(name).
-		LatencyTarget(100 * time.Millisecond).
+		LatencyTarget(100*time.Millisecond).
 		Sources(2).
 		Aggregate("agg", 2, cameo.Window(10*time.Millisecond), cameo.Sum).
 		AggregateGlobal("total", cameo.Window(10*time.Millisecond), cameo.Sum)
@@ -143,8 +143,8 @@ type churnCell struct {
 }
 
 type churnReport struct {
-	Workload    string      `json:"workload"`
-	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Workload string `json:"workload"`
+	benchEnv
 	Seed        uint64      `json:"seed"`
 	Reps        int         `json:"reps"`
 	ChurnCycles int         `json:"churn_cycles_per_run"`
@@ -159,7 +159,7 @@ func runChurnSweep(seed uint64, reps int, jsonPath string) {
 		churnCycles, runtime.GOMAXPROCS(0), reps)
 	fmt.Printf("%-12s %8s %14s %10s %12s %10s %10s\n",
 		"dispatcher", "workers", "msg/s", "churn/s", "elapsed", "p50", "p99")
-	report := churnReport{Workload: "churn", GOMAXPROCS: runtime.GOMAXPROCS(0),
+	report := churnReport{Workload: "churn", benchEnv: captureEnv(),
 		Seed: seed, Reps: reps, ChurnCycles: churnCycles}
 	for _, mode := range []cameo.DispatchMode{cameo.DispatchSingleLock, cameo.DispatchSharded} {
 		for _, workers := range []int{1, 2, 4, 8} {

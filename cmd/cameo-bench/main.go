@@ -31,8 +31,9 @@ func main() {
 		plot       = flag.Bool("plot", false, "also render each table's last numeric column as ASCII bars")
 		rt         = flag.Bool("rt", false, "benchmark the real-time engine: dispatcher x worker-count scaling sweep")
 		churn      = flag.Bool("churn", false, "benchmark the real-time engine's hot query lifecycle: long-lived jobs + submit/cancel churn")
-		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn)")
-		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn results to this file (e.g. BENCH_rt.json)")
+		overload   = flag.Bool("overload", false, "benchmark the admission layer: 1x-4x offered load vs a budgeted shedding engine")
+		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn, -overload)")
+		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn/-overload results to this file (e.g. BENCH_rt.json)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -68,6 +69,8 @@ func main() {
 	}
 
 	switch {
+	case *overload:
+		runOverloadSweep(*seed, *reps, *jsonOut)
 	case *churn:
 		runChurnSweep(*seed, *reps, *jsonOut)
 	case *rt:

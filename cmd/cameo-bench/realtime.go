@@ -149,11 +149,11 @@ type rtCell struct {
 // rtReport is the top-level -json document, the repo's perf-trajectory
 // record (CI uploads one per run so numbers stay comparable across PRs).
 type rtReport struct {
-	Workload   string   `json:"workload"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Seed       uint64   `json:"seed"`
-	Reps       int      `json:"reps"`
-	Cells      []rtCell `json:"cells"`
+	Workload string `json:"workload"`
+	benchEnv
+	Seed  uint64   `json:"seed"`
+	Reps  int      `json:"reps"`
+	Cells []rtCell `json:"cells"`
 }
 
 func runRealtimeSweep(seed uint64, reps int, jsonPath string) {
@@ -164,7 +164,7 @@ func runRealtimeSweep(seed uint64, reps int, jsonPath string) {
 		runtime.GOMAXPROCS(0), reps)
 	fmt.Printf("%-12s %8s %14s %12s %12s %10s %10s\n",
 		"dispatcher", "workers", "msg/s", "elapsed", "allocs/msg", "p50", "p99")
-	report := rtReport{Workload: "multitenant", GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: seed, Reps: reps}
+	report := rtReport{Workload: "multitenant", benchEnv: captureEnv(), Seed: seed, Reps: reps}
 	base := make(map[int]float64) // single-lock msg/s per worker count
 	for _, mode := range []cameo.DispatchMode{cameo.DispatchSingleLock, cameo.DispatchSharded} {
 		for _, workers := range []int{1, 2, 4, 8} {

@@ -28,6 +28,35 @@ const (
 	DispatchSingleLock = runtime.DispatchSingleLock
 )
 
+// OverloadPolicy selects the engine's response when admitting a batch
+// would exceed a pending-message budget (EngineConfig.MaxPending or a
+// query's MaxPending).
+type OverloadPolicy = runtime.OverloadPolicy
+
+// Overload policies for EngineConfig.Overload.
+const (
+	// OverloadBackpressure (the default) refuses the batch: IngestBatch
+	// returns ErrOverloaded and enqueues nothing, so sources can apply
+	// flow control. No admitted message is ever dropped.
+	OverloadBackpressure = runtime.OverloadBackpressure
+	// OverloadShed admits the batch and discards queued messages to get
+	// back under budget — messages that can no longer meet their deadline
+	// first (negative laxity), then the lax end of the largest-backlog
+	// query. Shed counts surface in Stats.
+	OverloadShed = runtime.OverloadShed
+)
+
+// ErrOverloaded is returned by IngestBatch (under OverloadBackpressure)
+// and TryIngestBatch when the batch would push the engine past its
+// engine-wide pending-message budget; drain and retry. Compare with
+// errors.Is — the per-query form ErrJobOverloaded wraps it.
+var ErrOverloaded = runtime.ErrOverloaded
+
+// ErrJobOverloaded is the per-query form of ErrOverloaded: the target
+// query's own MaxPending budget would be exceeded. It wraps
+// ErrOverloaded.
+var ErrJobOverloaded = runtime.ErrJobOverloaded
+
 // EngineConfig parameterizes a real-time Engine.
 type EngineConfig struct {
 	// Workers is the worker-pool size (default 1).
@@ -43,6 +72,14 @@ type EngineConfig struct {
 	// Dispatch selects the scheduling concurrency strategy (default
 	// DispatchAuto). Every scheduler kind has a sharded realization.
 	Dispatch DispatchMode
+	// MaxPending caps the engine-wide count of queued (admitted but not
+	// yet executed) messages; 0 means unlimited. Enforced at ingest by the
+	// admission layer, with the response selected by Overload. Per-query
+	// budgets are set with Query.MaxPending.
+	MaxPending int
+	// Overload selects the over-budget response: OverloadBackpressure
+	// (default) or OverloadShed.
+	Overload OverloadPolicy
 }
 
 // Engine is the real-time execution engine: a single-node worker pool
@@ -61,11 +98,13 @@ type Engine struct {
 func NewEngine(cfg EngineConfig) *Engine {
 	return &Engine{
 		inner: runtime.New(runtime.Config{
-			Workers:   cfg.Workers,
-			Scheduler: cfg.Scheduler,
-			Policy:    cfg.Policy,
-			Quantum:   vtime.FromStd(cfg.Quantum),
-			Dispatch:  cfg.Dispatch,
+			Workers:    cfg.Workers,
+			Scheduler:  cfg.Scheduler,
+			Policy:     cfg.Policy,
+			Quantum:    vtime.FromStd(cfg.Quantum),
+			Dispatch:   cfg.Dispatch,
+			MaxPending: cfg.MaxPending,
+			Overload:   cfg.Overload,
 		}),
 	}
 }
@@ -142,6 +181,27 @@ func (e *Engine) Now() time.Duration { return vtime.Std(e.inner.Now()) }
 // raw scheduling throughput counter (cameo-bench -rt uses it).
 func (e *Engine) Executed() int64 { return e.inner.Executed() }
 
+// Created reports the number of messages created so far. At quiescence
+// conservation holds: Created == Executed + Discarded — cancellation and
+// overload shedding lose nothing to the pools.
+func (e *Engine) Created() int64 { return e.inner.Created() }
+
+// Discarded reports the number of messages dropped instead of executed,
+// by query cancellation or overload shedding.
+func (e *Engine) Discarded() int64 { return e.inner.Discarded() }
+
+// Pending reports the number of queued (admitted but not yet executed)
+// messages — the quantity MaxPending bounds.
+func (e *Engine) Pending() int { return e.inner.Pending() }
+
+// Shed reports how many queued messages the admission layer discarded
+// under overload, across all queries (per-query counts are in Stats).
+func (e *Engine) Shed() int64 { return e.inner.Shed() }
+
+// Rejected reports how many ingest attempts were refused with
+// ErrOverloaded across all queries (per-query counts are in Stats).
+func (e *Engine) Rejected() int64 { return e.inner.Rejected() }
+
 // Dispatch reports the dispatch mode the engine resolved to.
 func (e *Engine) Dispatch() DispatchMode { return e.inner.Dispatch() }
 
@@ -152,18 +212,35 @@ func (e *Engine) Dispatch() DispatchMode { return e.inner.Dispatch() }
 // progress of all channels become eligible to fire. Safe for concurrent
 // use across sources.
 func (e *Engine) IngestBatch(job string, source int, events []Event, progress time.Duration) error {
-	var b *dataflow.Batch
-	if len(events) > 0 {
-		b = dataflow.NewBatch(len(events))
-		for _, ev := range events {
-			b.Append(vtime.FromStd(ev.Time), ev.Key, ev.Value)
-		}
+	return e.inner.Ingest(job, source, renderBatch(events), vtime.FromStd(progress))
+}
+
+// TryIngestBatch is the non-blocking, never-shedding variant of
+// IngestBatch: when admitting the batch would exceed a pending-message
+// budget it returns ErrOverloaded (or ErrJobOverloaded) without
+// enqueueing anything, regardless of the engine's overload policy — the
+// flow-control primitive for sources that would rather slow down than
+// have the engine shed.
+func (e *Engine) TryIngestBatch(job string, source int, events []Event, progress time.Duration) error {
+	return e.inner.TryIngest(job, source, renderBatch(events), vtime.FromStd(progress))
+}
+
+func renderBatch(events []Event) *dataflow.Batch {
+	if len(events) == 0 {
+		return nil
 	}
-	return e.inner.Ingest(job, source, b, vtime.FromStd(progress))
+	b := dataflow.NewBatch(len(events))
+	for _, ev := range events {
+		b.Append(vtime.FromStd(ev.Time), ev.Key, ev.Value)
+	}
+	return b
 }
 
 // AdvanceProgress advances one source channel's stream progress without
 // data — a watermark/heartbeat that lets windows close during idle periods.
+// Watermarks are exempt from the admission budgets (refusing one under
+// overload would delay exactly the window closures that drain state), so
+// AdvanceProgress never returns ErrOverloaded.
 func (e *Engine) AdvanceProgress(job string, source int, progress time.Duration) error {
 	return e.inner.Ingest(job, source, nil, vtime.FromStd(progress))
 }
@@ -177,6 +254,10 @@ type JobStats struct {
 	P50, P95, P99 time.Duration
 	// SuccessRate is the fraction of outputs that met the latency target.
 	SuccessRate float64
+	// Shed is the number of this job's queued messages discarded by the
+	// admission layer under overload (OverloadShed); Backpressure is the
+	// number of this job's ingest attempts refused with ErrOverloaded.
+	Shed, Backpressure int64
 }
 
 // Stats reports a submitted job's current output statistics.
@@ -185,7 +266,12 @@ func (e *Engine) Stats(job string) (JobStats, error) {
 	if js == nil {
 		return JobStats{}, fmt.Errorf("cameo: unknown job %q", job)
 	}
-	out := JobStats{Outputs: js.Latencies.Len(), SuccessRate: js.SuccessRate()}
+	out := JobStats{
+		Outputs:      js.Latencies.Len(),
+		SuccessRate:  js.SuccessRate(),
+		Shed:         js.Shed.Load(),
+		Backpressure: js.Rejected.Load(),
+	}
 	if out.Outputs > 0 {
 		out.P50 = vtime.Std(vtime.Time(js.Latencies.Quantile(0.50)))
 		out.P95 = vtime.Std(vtime.Time(js.Latencies.Quantile(0.95)))

@@ -44,7 +44,7 @@ func feed(eng *cameo.Engine, job string, from, to int) {
 func main() {
 	// The engine starts with a single long-lived tenant...
 	monitor := cameo.NewQuery("monitor").
-		LatencyTarget(250 * time.Millisecond).
+		LatencyTarget(250*time.Millisecond).
 		Aggregate("by-key", 2, cameo.Window(window), cameo.Count).
 		AggregateGlobal("total", cameo.Window(window), cameo.Sum)
 	eng := cameo.NewEngine(cameo.EngineConfig{Workers: 2})
@@ -60,7 +60,7 @@ func main() {
 	for i := 0; i < 3; i++ {
 		name := fmt.Sprintf("adhoc-%d", i)
 		adhoc := cameo.NewQuery(name).
-			LatencyTarget(100 * time.Millisecond).
+			LatencyTarget(100*time.Millisecond).
 			AggregateGlobal("sum", cameo.Window(window), cameo.Sum)
 		if err := eng.Submit(adhoc); err != nil {
 			log.Fatal(err)

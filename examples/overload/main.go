@@ -1,0 +1,129 @@
+// Overload: deadline-aware admission control on a budgeted engine.
+//
+// Two tenants share one engine: a latency-strict "alerts" query and a
+// bulk "archive" query that floods far beyond capacity. The engine
+// carries pending-message budgets (engine-wide and per-query), so instead
+// of growing its queues without bound it degrades predictably:
+//
+//   - under OverloadShed, the archive's over-budget backlog is discarded
+//     deadline-first (messages that could no longer meet their constraint
+//     anyway), while the alerts query is untouched;
+//
+//   - TryIngestBatch gives a source backpressure (ErrOverloaded) instead
+//     of shedding, so well-behaved producers can apply flow control;
+//
+//   - conservation holds throughout: every created message is either
+//     executed or accounted discarded.
+//
+//     go run ./examples/overload
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	cameo "github.com/cameo-stream/cameo"
+)
+
+const window = 20 * time.Millisecond
+
+func events(n int, progress time.Duration) []cameo.Event {
+	out := make([]cameo.Event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cameo.Event{
+			Time:  progress - time.Duration(i+1)*time.Microsecond,
+			Key:   int64(i % 8),
+			Value: 1,
+		})
+	}
+	return out
+}
+
+// burn makes archive tuples expensive to process, so the archive's
+// offered load genuinely exceeds what the workers can drain.
+func burn(_ time.Duration, k int64, v float64) (int64, float64) {
+	x := v
+	for i := 0; i < 20000; i++ {
+		x += float64(i&int(k|1)) * 1e-9
+	}
+	return k, x
+}
+
+func main() {
+	alerts := cameo.NewQuery("alerts").
+		LatencyTarget(50*time.Millisecond).
+		Aggregate("by-key", 2, cameo.Window(window), cameo.Count).
+		AggregateGlobal("total", cameo.Window(window), cameo.Sum)
+	archive := cameo.NewQuery("archive").
+		LatencyTarget(2*time.Second).
+		MaxPending(256). // the bulk tenant's own budget
+		Map("burn", 2, burn).
+		AggregateGlobal("rollup", cameo.Window(window), cameo.Sum)
+
+	eng := cameo.NewEngine(cameo.EngineConfig{
+		Workers:    2,
+		MaxPending: 1024,               // engine-wide backstop
+		Overload:   cameo.OverloadShed, // discard doomed work instead of queueing it
+	})
+	for _, q := range []*cameo.Query{alerts, archive} {
+		if err := eng.Submit(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	// Flood the archive at several times capacity while the alerts query
+	// ticks along at a modest rate. The archive's backlog saturates its
+	// own 256-message budget and sheds there; the engine-wide backstop
+	// never binds, so the alerts query is untouched.
+	start := time.Now()
+	for i := 0; time.Since(start) < 500*time.Millisecond; i++ {
+		progress := time.Since(start)
+		if err := eng.IngestBatch("archive", 0, events(64, progress), progress); err != nil {
+			log.Fatal(err)
+		}
+		if i%64 == 0 {
+			if err := eng.IngestBatch("alerts", 0, events(4, progress), progress); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if i%2000 == 0 {
+			fmt.Printf("t=%-6v pending %5d (engine budget 1024, archive budget 256)\n",
+				progress.Round(time.Millisecond), eng.Pending())
+		}
+	}
+
+	// A polite source uses TryIngestBatch: on a full engine it gets
+	// ErrOverloaded back instead of triggering more shedding.
+	backpressured := 0
+	for w := 0; w < 50; w++ {
+		progress := time.Since(start)
+		err := eng.TryIngestBatch("archive", 0, events(64, progress), progress)
+		if errors.Is(err, cameo.ErrOverloaded) {
+			backpressured++
+		} else if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if !eng.Drain(30 * time.Second) {
+		log.Fatal("engine did not drain")
+	}
+
+	for _, job := range []string{"alerts", "archive"} {
+		st, err := eng.Stats(job)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s outputs %4d  p99 %8v  shed %6d  backpressure %3d\n",
+			job, st.Outputs, st.P99.Round(time.Microsecond), st.Shed, st.Backpressure)
+	}
+	fmt.Printf("\nengine: created %d = executed %d + discarded %d (conserved: %v)\n",
+		eng.Created(), eng.Executed(), eng.Discarded(),
+		eng.Created() == eng.Executed()+eng.Discarded())
+	fmt.Printf("shed %d messages under overload, %d polite ingests backpressured\n",
+		eng.Shed(), backpressured)
+}

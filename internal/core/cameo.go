@@ -124,3 +124,40 @@ func (d *CameoDispatcher[O]) Reschedule(op O) {
 	}
 	d.waiting.PushOrUpdate(op, GlobalPri(st.Q.Peek()))
 }
+
+// Shed implements Dispatcher: sweep op's message heap, then fix the
+// operator's waiting-heap entry — removed when the queue emptied, re-keyed
+// when the head changed (a shed can remove the most urgent message).
+func (d *CameoDispatcher[O]) Shed(op O, drop func(*Message) bool, discard func(*Message)) int {
+	st := op.Sched()
+	oldHead := st.Q.Peek()
+	n := st.Q.Shed(drop, discard)
+	if n == 0 {
+		return 0
+	}
+	d.pending -= n
+	if !st.Acquired && st.Phase == OpLive {
+		if st.Q.Len() == 0 {
+			d.waiting.Remove(op)
+		} else if head := st.Q.Peek(); head != oldHead {
+			d.waiting.PushOrUpdate(op, GlobalPri(head))
+		}
+	}
+	return n
+}
+
+// ShedTail implements Dispatcher: drop a heap leaf — never the head while
+// more than one message is queued, so no re-keying is needed, only the
+// empty-queue deschedule.
+func (d *CameoDispatcher[O]) ShedTail(op O) (*Message, bool) {
+	st := op.Sched()
+	m := st.Q.PopTail()
+	if m == nil {
+		return nil, false
+	}
+	d.pending--
+	if st.Q.Len() == 0 && !st.Acquired {
+		d.waiting.Remove(op)
+	}
+	return m, true
+}

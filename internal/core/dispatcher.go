@@ -63,6 +63,18 @@ type Dispatcher[O Handle] interface {
 	// unacquired, off the run queue, and has pending messages, it re-enters
 	// the run queue as if its head message had just arrived.
 	Reschedule(op O)
+	// Shed removes every queued message of op for which drop returns true,
+	// handing each to discard, and keeps the run queue consistent: op is
+	// re-keyed when its head changed and descheduled when its queue
+	// emptied. It returns the number removed. This is the admission
+	// layer's laxity sweep — an overload-path operation, never
+	// steady-state work. The engine owns recycling the discarded messages.
+	Shed(op O, drop func(*Message) bool, discard func(*Message)) int
+	// ShedTail removes one message from the lax end of op's queue (a heap
+	// leaf for priority disciplines, the newest arrival for FIFO ones),
+	// descheduling op if its queue emptied — the per-victim primitive of
+	// backlog shedding. ok is false when op has nothing queued.
+	ShedTail(op O) (*Message, bool)
 }
 
 // MsgHeap orders an operator's pending messages by (PriLocal, ID) — the
@@ -112,7 +124,12 @@ func (h *MsgHeap) Pop() *Message {
 	h.items[0] = h.items[last]
 	h.items[last] = nil
 	h.items = h.items[:last]
-	i, n := 0, len(h.items)
+	h.siftDown(0)
+	return top
+}
+
+func (h *MsgHeap) siftDown(i int) {
+	n := len(h.items)
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
@@ -123,12 +140,53 @@ func (h *MsgHeap) Pop() *Message {
 			smallest = r
 		}
 		if smallest == i {
-			break
+			return
 		}
 		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
 		i = smallest
 	}
-	return top
+}
+
+// Shed removes every queued message for which drop returns true, handing
+// each removed message to discard, and restores heap order over the
+// survivors. It returns the number removed. The full-queue scan is O(n) —
+// shedding is an overload-path operation, never steady-state work.
+func (h *MsgHeap) Shed(drop func(*Message) bool, discard func(*Message)) int {
+	kept := h.items[:0]
+	for _, m := range h.items {
+		if drop(m) {
+			discard(m)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	dropped := len(h.items) - len(kept)
+	for i := len(kept); i < len(h.items); i++ {
+		h.items[i] = nil
+	}
+	h.items = kept
+	if dropped > 0 {
+		for i := len(h.items)/2 - 1; i >= 0; i-- {
+			h.siftDown(i)
+		}
+	}
+	return dropped
+}
+
+// PopTail removes and returns the last element of the heap's backing
+// array — a leaf, so never the most urgent message while more than one is
+// queued, and its removal cannot change the head. The shed path uses it as
+// a cheap least-urgent-ish victim when a backlogged job must give memory
+// back. Returns nil when the heap is empty.
+func (h *MsgHeap) PopTail() *Message {
+	n := len(h.items)
+	if n == 0 {
+		return nil
+	}
+	m := h.items[n-1]
+	h.items[n-1] = nil
+	h.items = h.items[:n-1]
+	return m
 }
 
 // GlobalPri is the run-queue key for an operator: the PriGlobal of its head

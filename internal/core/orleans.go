@@ -109,6 +109,35 @@ func (d *OrleansDispatcher[O]) Reschedule(op O) {
 	d.bag.AddGlobal(op)
 }
 
+// Shed implements Dispatcher: compact op's FIFO ring (order of survivors
+// preserved), descheduling op when its queue emptied.
+func (d *OrleansDispatcher[O]) Shed(op O, drop func(*Message) bool, discard func(*Message)) int {
+	st := op.Sched()
+	n := st.FIFO.Shed(drop, discard)
+	if n == 0 {
+		return 0
+	}
+	d.pending -= n
+	if st.FIFO.Len() == 0 && st.OnQueue && !st.Acquired && d.bag.Remove(op) {
+		st.OnQueue = false
+	}
+	return n
+}
+
+// ShedTail implements Dispatcher: drop op's newest queued message.
+func (d *OrleansDispatcher[O]) ShedTail(op O) (*Message, bool) {
+	st := op.Sched()
+	m, ok := st.FIFO.PopBack()
+	if !ok {
+		return nil, false
+	}
+	d.pending--
+	if st.FIFO.Len() == 0 && st.OnQueue && !st.Acquired && d.bag.Remove(op) {
+		st.OnQueue = false
+	}
+	return m, true
+}
+
 // FIFODispatcher is the paper's custom FIFO baseline (§6): "we insert
 // operators into the global run queue and extract them in FIFO order",
 // with each operator processing its messages in FIFO order. State is
@@ -197,4 +226,33 @@ func (d *FIFODispatcher[O]) Reschedule(op O) {
 	}
 	st.OnQueue = true
 	d.runq.PushBack(op)
+}
+
+// Shed implements Dispatcher: compact op's FIFO ring, descheduling op when
+// its queue emptied.
+func (d *FIFODispatcher[O]) Shed(op O, drop func(*Message) bool, discard func(*Message)) int {
+	st := op.Sched()
+	n := st.FIFO.Shed(drop, discard)
+	if n == 0 {
+		return 0
+	}
+	d.pending -= n
+	if st.FIFO.Len() == 0 && st.OnQueue && !st.Acquired && queue.RingRemove(&d.runq, op) {
+		st.OnQueue = false
+	}
+	return n
+}
+
+// ShedTail implements Dispatcher: drop op's newest queued message.
+func (d *FIFODispatcher[O]) ShedTail(op O) (*Message, bool) {
+	st := op.Sched()
+	m, ok := st.FIFO.PopBack()
+	if !ok {
+		return nil, false
+	}
+	d.pending--
+	if st.FIFO.Len() == 0 && st.OnQueue && !st.Acquired && queue.RingRemove(&d.runq, op) {
+		st.OnQueue = false
+	}
+	return m, true
 }

@@ -56,6 +56,12 @@ func (p *DeadlinePolicy) Name() string {
 	return n
 }
 
+// DeadlineAware reports whether this policy's PriGlobal is a start
+// deadline on the engine clock — true for LLF and EDF, false for SJF
+// (whose priority is a cost, not an instant). The admission layer uses it
+// to pick the laxity test for overload shedding (see Doomed).
+func (p *DeadlinePolicy) DeadlineAware() bool { return p.Kind != KindSJF }
+
 // OnSource implements Policy (Algorithm 1, BUILDCXTATSOURCE).
 func (p *DeadlinePolicy) OnSource(m *Message, ti TargetInfo) {
 	m.PC.PriLocal, m.PC.PriGlobal = m.P, m.T // initial values, then convert

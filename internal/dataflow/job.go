@@ -69,6 +69,13 @@ type Job struct {
 	// the same atomic op that retires their parent). The simulator
 	// leaves it zero.
 	Outstanding atomic.Int64
+	// Queued counts this job's admitted-but-not-yet-popped messages — the
+	// per-job half of the real-time engine's admission accounting
+	// (incremented when a message enters an operator's queue, decremented
+	// when it is popped for execution, discarded, or shed). The admission
+	// layer checks it against Spec.MaxPending and uses it to pick the
+	// largest-backlog victim when shedding. The simulator leaves it zero.
+	Queued atomic.Int64
 }
 
 // DefaultEWMAAlpha is the default smoothing factor of operator cost

@@ -128,6 +128,11 @@ type JobSpec struct {
 	// EWMAAlpha is the smoothing factor of operator cost profiles;
 	// defaults to 0.2 (recent messages dominate within tens of samples).
 	EWMAAlpha float64
+	// MaxPending caps this job's queued (admitted but not yet executed)
+	// message count in the real-time engine; 0 means unlimited. The
+	// engine's admission layer enforces it at ingest — refusing the batch
+	// or shedding, per the engine's overload policy.
+	MaxPending int
 }
 
 // Validate checks the spec and fills defaults, returning a descriptive
@@ -160,6 +165,9 @@ func (s *JobSpec) Validate() error {
 	}
 	if s.EWMAAlpha == 0 {
 		s.EWMAAlpha = DefaultEWMAAlpha
+	}
+	if s.MaxPending < 0 {
+		return fmt.Errorf("dataflow: job %q: negative MaxPending %d", s.Name, s.MaxPending)
 	}
 	for i := range s.Stages {
 		st := &s.Stages[i]

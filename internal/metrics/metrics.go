@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/cameo-stream/cameo/internal/stats"
 	"github.com/cameo-stream/cameo/internal/vtime"
@@ -35,6 +36,13 @@ type JobStats struct {
 	Constraint vtime.Duration
 	Latencies  *stats.Sample // microseconds
 	Outputs    []Output
+	// Shed counts the job's queued messages discarded by the engine's
+	// admission layer under overload; Rejected counts the job's ingest
+	// attempts refused by backpressure. Atomic because callers read a
+	// *JobStats outside the Recorder's mutex (like Latencies, which is
+	// internally synchronized).
+	Shed     atomic.Int64
+	Rejected atomic.Int64
 }
 
 // SuccessRate reports the fraction of outputs that met the constraint
@@ -94,6 +102,26 @@ func (r *Recorder) Record(o Output) {
 	}
 	j.Latencies.Add(float64(o.Latency()))
 	j.Outputs = append(j.Outputs, o)
+}
+
+// AddShed records n messages of job discarded by overload shedding.
+// Unknown jobs are ignored (a shed can race the job's cancellation).
+func (r *Recorder) AddShed(job string, n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.jobs[job]; ok {
+		j.Shed.Add(n)
+	}
+}
+
+// AddRejected records n ingest attempts for job refused by backpressure.
+// Unknown jobs are ignored.
+func (r *Recorder) AddRejected(job string, n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.jobs[job]; ok {
+		j.Rejected.Add(n)
+	}
 }
 
 // Job returns the stats for one job, or nil when unknown.

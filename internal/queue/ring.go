@@ -97,6 +97,31 @@ func (r *Ring[T]) RemoveAt(i int) {
 	r.size--
 }
 
+// Shed removes every queued item for which drop returns true, handing each
+// removed item to discard and preserving the FIFO order of the survivors.
+// It returns the number removed. Like RemoveAt it exists for the
+// cancellation/overload paths — a linear compaction, never steady-state
+// work.
+func (r *Ring[T]) Shed(drop func(T) bool, discard func(T)) int {
+	kept := 0
+	for i := 0; i < r.size; i++ {
+		v := r.buf[(r.head+i)%len(r.buf)]
+		if drop(v) {
+			discard(v)
+			continue
+		}
+		r.buf[(r.head+kept)%len(r.buf)] = v
+		kept++
+	}
+	var zero T
+	for i := kept; i < r.size; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	dropped := r.size - kept
+	r.size = kept
+	return dropped
+}
+
 // RingRemove deletes the first queued item equal to v, reporting whether
 // one was found. Schedulers use it to deregister a departing operator from
 // a FIFO run queue, which only a cancellation path ever needs — hence a

@@ -1,0 +1,223 @@
+package runtime
+
+// The admission layer: every ingest, on every dispatch path, passes
+// through one gate that enforces pending-message budgets and mounts the
+// engine's overload response on top of them. Without it the engine
+// accepts work unconditionally — sustained overload grows the run queues
+// without bound and eventually misses every deadline instead of only the
+// hopeless ones. With it the engine degrades predictably: sources either
+// see backpressure (ErrOverloaded, no data lost inside the engine) or the
+// engine sheds exactly the messages that could no longer meet their
+// deadlines anyway (negative laxity), falling back to the lax end of the
+// largest backlog when doomed messages alone don't free enough budget.
+//
+// The layer owns the queued-message accounting every dispatch path used
+// to keep privately: paths call enqueued/dequeued at exactly the points
+// they previously bumped their own pending counters, so one atomic pair
+// (engine-wide + per-job) serves budget checks, Engine.Pending, and the
+// shed victim selection. The accept path is allocation-free — a handful
+// of atomic loads — which keeps the zero-allocation hot path intact (the
+// alloc gate pins this).
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// OverloadPolicy selects the engine's response when an ingest would push a
+// pending-message budget (Config.MaxPending, JobSpec.MaxPending) past its
+// limit.
+type OverloadPolicy int
+
+const (
+	// OverloadBackpressure (the default) refuses the batch: Ingest returns
+	// ErrOverloaded (or ErrJobOverloaded for a per-job budget) and nothing
+	// is enqueued, so sources can apply flow control — slow down, buffer,
+	// or retry after draining. No admitted message is ever dropped.
+	OverloadBackpressure OverloadPolicy = iota
+	// OverloadShed admits the batch and then discards queued messages to
+	// get back under budget: first messages that can no longer meet their
+	// deadline anyway (negative laxity, core.Doomed), then — if the doomed
+	// alone don't free enough — the lax end of the largest-backlog job's
+	// queues. Shed messages recycle through the pools with full
+	// conservation accounting (created == executed + discarded holds) and
+	// are counted per job in the metrics recorder.
+	OverloadShed
+)
+
+// String names the overload policy.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case OverloadBackpressure:
+		return "backpressure"
+	case OverloadShed:
+		return "shed"
+	}
+	return fmt.Sprintf("overload(%d)", int(p))
+}
+
+// ErrOverloaded is returned by Ingest (under OverloadBackpressure) and
+// TryIngest when admitting the batch would push the engine past its
+// engine-wide pending-message budget. The caller should drain — wait, or
+// slow its production rate — and retry.
+var ErrOverloaded = errors.New("runtime: engine over pending-message budget")
+
+// ErrJobOverloaded is the per-job form of ErrOverloaded: the target job's
+// own MaxPending budget would be exceeded. It wraps ErrOverloaded, so
+// errors.Is(err, ErrOverloaded) matches both.
+var ErrJobOverloaded = fmt.Errorf("runtime: job over pending-message budget: %w", ErrOverloaded)
+
+// admission is the overload-management layer every dispatch path's
+// enqueue and dequeue passes through. One instance per engine.
+type admission struct {
+	e *Engine
+	// max is the engine-wide queued-message budget (0 = unlimited);
+	// highWater is the pressure threshold (7/8 of max) past which workers
+	// opportunistically sweep doomed messages under OverloadShed.
+	max       int64
+	highWater int64
+	policy    OverloadPolicy
+	// deadlineAware records whether the engine's policy stamps start
+	// deadlines into PriGlobal (LLF/EDF), selecting the laxity test
+	// core.Doomed applies when shedding.
+	deadlineAware bool
+
+	// queued counts admitted-but-not-yet-popped messages engine-wide; the
+	// per-job half lives on dataflow.Job.Queued. Both follow the paths'
+	// push/pop/discard sites exactly, so one atomic read is the budget
+	// check and Engine.Pending.
+	queued   atomic.Int64
+	shed     atomic.Int64
+	rejected atomic.Int64
+}
+
+func newAdmission(e *Engine, cfg Config) *admission {
+	a := &admission{e: e, max: int64(cfg.MaxPending), policy: cfg.Overload}
+	if a.max > 0 {
+		a.highWater = a.max - a.max/8
+	}
+	if da, ok := cfg.Policy.(core.DeadlineAware); ok && da.DeadlineAware() {
+		a.deadlineAware = true
+	}
+	return a
+}
+
+// enqueued and dequeued are the accounting hooks the dispatch paths call
+// where they used to bump their private pending counters: enqueued after
+// a message is pushed into a live or paused operator's queue, dequeued
+// when one is popped for execution, discarded by cancellation, or shed.
+func (a *admission) enqueued(j *dataflow.Job) {
+	a.queued.Add(1)
+	j.Queued.Add(1)
+}
+
+func (a *admission) dequeued(j *dataflow.Job) {
+	a.queued.Add(-1)
+	j.Queued.Add(-1)
+}
+
+// admit is the ingest-side gate: n is the number of messages the batch
+// will fan out into (stage-0 parallelism — known before any message is
+// created, so a refused batch allocates nothing). try forces backpressure
+// semantics regardless of the configured policy; under OverloadShed a
+// plain Ingest is always admitted and enforce sheds afterwards.
+//
+// The check is a racy load-then-compare by design: concurrent ingests
+// that all pass it can transiently overshoot a budget by up to
+// (concurrent callers − 1) × fan-out. Making the cap hard would need
+// reserve-then-rollback on the hot path for a bound that execution (or
+// the next enforce) restores within one drain cycle; the budgets are
+// memory back-pressure, not an exact semaphore.
+func (a *admission) admit(j *dataflow.Job, n int, try bool) error {
+	backpressure := try || a.policy == OverloadBackpressure
+	if jm := int64(j.Spec.MaxPending); jm > 0 && backpressure && j.Queued.Load()+int64(n) > jm {
+		a.reject(j)
+		return ErrJobOverloaded
+	}
+	if a.max > 0 && backpressure && a.queued.Load()+int64(n) > a.max {
+		a.reject(j)
+		return ErrOverloaded
+	}
+	return nil
+}
+
+func (a *admission) reject(j *dataflow.Job) {
+	a.rejected.Add(1)
+	a.e.rec.AddRejected(j.Spec.Name, 1)
+}
+
+// pressured reports whether workers should opportunistically sweep doomed
+// messages from the operators they acquire: only under OverloadShed (a
+// backpressure engine never discards admitted work) and only past the
+// high-water mark, so the sweep costs nothing in the steady state.
+func (a *admission) pressured() bool {
+	return a.policy == OverloadShed && a.highWater > 0 && a.queued.Load() >= a.highWater
+}
+
+// enforce brings the queued counts back under budget after an ingest was
+// admitted under OverloadShed — j is the job that just ingested. Under
+// budget it is a few atomic loads; over budget it runs the two shed
+// passes the policy defines (doomed first, then excess backlog).
+func (a *admission) enforce(j *dataflow.Job, now vtime.Time) {
+	if a.policy != OverloadShed {
+		return
+	}
+	if jm := int64(j.Spec.MaxPending); jm > 0 && j.Queued.Load() > jm {
+		a.e.path.shedDoomed(j, now)
+		if over := j.Queued.Load() - jm; over > 0 {
+			a.e.path.shedExcess(j, int(over))
+		}
+	}
+	if a.max > 0 && a.queued.Load() > a.max {
+		a.shedEngine(now)
+	}
+}
+
+// shedEngine is the engine-wide shed: a laxity pass over every job (a
+// doomed message is worthless whichever job it belongs to), then repeated
+// largest-backlog victim selection until the engine is back under budget
+// or no job has sheddable backlog left. A victim that yields nothing
+// (paused — pause retains backlog — or all in-flight) is excluded and the
+// next-largest tried, so one unsheddable job cannot shield the others.
+func (a *admission) shedEngine(now vtime.Time) {
+	e := a.e
+	e.jobsMu.RLock()
+	defer e.jobsMu.RUnlock()
+	for _, j := range e.jobs {
+		if a.queued.Load() <= a.max {
+			return
+		}
+		e.path.shedDoomed(j, now)
+	}
+	var skip map[*dataflow.Job]bool
+	for a.queued.Load() > a.max {
+		var victim *dataflow.Job
+		var most int64
+		for _, j := range e.jobs {
+			if skip[j] {
+				continue
+			}
+			if q := j.Queued.Load(); q > most {
+				most, victim = q, j
+			}
+		}
+		if victim == nil {
+			return
+		}
+		over := a.queued.Load() - a.max
+		if over > most {
+			over = most
+		}
+		if e.path.shedExcess(victim, int(over)) == 0 {
+			if skip == nil {
+				skip = make(map[*dataflow.Job]bool, len(e.jobs))
+			}
+			skip[victim] = true
+		}
+	}
+}

@@ -80,6 +80,68 @@ func TestAllocsEngineSteadyState(t *testing.T) {
 	}
 }
 
+// TestAllocsEngineSteadyStateAdmission extends the alloc gate to the
+// admission layer (ISSUE satellite): with pending-message budgets
+// configured (engine-wide AND per-job) and the shed policy armed, the
+// accept path — budget checks at ingest plus the queued-counter
+// accounting on every push and pop — must stay inside the same window-
+// cycle budget. Per-message allocation creeping into admit/enqueued/
+// dequeued would show up here as ~21 extra allocations per cycle.
+func TestAllocsEngineSteadyStateAdmission(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSharded, runtime.DispatchSingleLock} {
+		t.Run(mode.String(), func(t *testing.T) {
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			const sources, warm, runs = 4, 60, 80
+			win := 10 * vtime.Millisecond
+			// Budgets far above the working set: the admission checks run on
+			// every ingest but never trip, which is exactly the steady state
+			// whose allocation profile must not regress.
+			e := runtime.New(runtime.Config{Workers: 1, Dispatch: mode,
+				MaxPending: 1 << 20, Overload: runtime.OverloadShed})
+			spec := testkit.AggSpec("j", sources, 4, win, 100*vtime.Millisecond)
+			spec.MaxPending = 1 << 20
+			if _, err := e.AddJob(spec); err != nil {
+				t.Fatal(err)
+			}
+			e.Start()
+			defer e.Stop()
+
+			wl := testkit.Workload{Seed: 9, Sources: sources, Windows: warm + runs + 2, Tuples: 4, Keys: 16, Win: win}
+			batches := make([][]*dataflow.Batch, wl.Windows+1)
+			for w := 1; w <= wl.Windows; w++ {
+				batches[w] = make([]*dataflow.Batch, sources)
+				for src := 0; src < sources; src++ {
+					batches[w][src] = wl.Batch(src, w)
+				}
+			}
+			w := 0
+			cycle := func() {
+				w++
+				for src := 0; src < sources; src++ {
+					if err := e.Ingest("j", src, batches[w][src], wl.Progress(w)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !e.Drain(10 * time.Second) {
+					t.Fatal("engine did not drain")
+				}
+			}
+			for i := 0; i < warm; i++ {
+				cycle()
+			}
+			allocs := testing.AllocsPerRun(runs, cycle)
+			t.Logf("%v: %.2f allocs per window cycle with admission budgets armed", mode, allocs)
+			if allocs > maxAllocsPerWindowCycle {
+				t.Errorf("%v: budgeted window cycle allocates %.1f times, budget %.0f — the admission accept path allocates",
+					mode, allocs, maxAllocsPerWindowCycle)
+			}
+		})
+	}
+}
+
 // TestAllocsEngineSteadyStateAfterChurn extends the alloc gate to the hot
 // query lifecycle: a burst of submit→ingest→cancel cycles on a live
 // engine must leave the surviving job's steady-state window cycle inside

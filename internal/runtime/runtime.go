@@ -88,11 +88,26 @@ type Config struct {
 	// TraceLimit, when positive, records up to this many executions in a
 	// schedule trace (mirrors sim.Config.TraceLimit), exposed via Trace.
 	TraceLimit int
+	// MaxPending caps the engine-wide count of admitted-but-not-yet-popped
+	// messages (0 = unlimited). Budgets are enforced at ingest by the
+	// admission layer; per-job budgets live on JobSpec.MaxPending.
+	// Data-less ingests (watermarks) are exempt from the check, and
+	// concurrent ingests may transiently overshoot by their combined
+	// fan-out — the budget is memory back-pressure, not an exact
+	// semaphore.
+	MaxPending int
+	// Overload selects the response when a budget would be exceeded:
+	// backpressure (default — Ingest returns ErrOverloaded) or
+	// deadline-aware shedding (see OverloadPolicy).
+	Overload OverloadPolicy
 }
 
 func (c *Config) fill() {
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.MaxPending < 0 {
+		c.MaxPending = 0
 	}
 	if c.Quantum <= 0 {
 		c.Quantum = vtime.Millisecond
@@ -122,6 +137,9 @@ type Engine struct {
 	stopped    atomic.Bool
 
 	path dispatchPath
+	// adm is the admission layer: pending-message budgets, overload
+	// response, and the queued-message accounting every path reports into.
+	adm *admission
 
 	rec           *metrics.Recorder
 	overhead      *metrics.Overhead
@@ -162,10 +180,20 @@ type dispatchPath interface {
 	worker(id int)
 	// ingest enqueues externally arrived messages and wakes workers.
 	ingest(msgs []dataflow.ChildMessage)
-	// pendingCount reports queued (not yet popped) messages.
-	pendingCount() int
 	// stopAll wakes every blocked worker so it can observe e.stopped.
 	stopAll()
+	// shedDoomed discards job's queued messages that can no longer meet
+	// their deadline at instant now (core.Doomed), per operator under that
+	// operator's own lock domain, keeping run-queue membership consistent
+	// (re-key on head change, deschedule on emptied queue). Paused and
+	// dead operators are skipped (pause retains backlog; cancel owns dead
+	// queues). Returns the number shed.
+	shedDoomed(job *dataflow.Job, now vtime.Time) int
+	// shedExcess discards up to n queued messages of job from the lax end
+	// of its operators' queues (heap leaves / newest FIFO arrivals, stage
+	// 0 first — undigested input is the cheapest work to lose). Messages
+	// held by workers are not touched; the return value may be short.
+	shedExcess(job *dataflow.Job, n int) int
 	// cancel marks every operator of job dead, discards its queued
 	// messages back to the pools, and unlinks the operators from every
 	// run-queue structure. Operators currently held by workers are left
@@ -199,6 +227,7 @@ func New(cfg Config) *Engine {
 	}
 	e.msgs = core.NewMessagePool(cfg.Workers)
 	e.batches = dataflow.NewBatchPool(cfg.Workers)
+	e.adm = newAdmission(e, cfg)
 	e.envs = make([]*dataflow.Env, cfg.Workers)
 	for i := range e.envs {
 		e.envs[i] = e.newEnv(i)
@@ -243,10 +272,26 @@ func (e *Engine) Now() vtime.Time { return e.clock.Now() }
 // Executed reports the number of messages executed so far.
 func (e *Engine) Executed() int64 { return e.executed.Load() }
 
-// Discarded reports the number of messages dropped by job cancellation
-// (queued at or pushed to a cancelled operator) instead of executed.
-// Every created message is eventually either executed or discarded.
+// Created reports the number of messages created so far (source fan-outs
+// plus derived children). Conservation holds at quiescence:
+// Created == Executed + Discarded.
+func (e *Engine) Created() int64 { return e.msgID.Load() }
+
+// Discarded reports the number of messages dropped instead of executed —
+// by job cancellation (queued at or pushed to a cancelled operator) or by
+// overload shedding. Every created message is eventually either executed
+// or discarded.
 func (e *Engine) Discarded() int64 { return e.discarded.Load() }
+
+// Shed reports how many queued messages the admission layer discarded
+// under overload (a subset of Discarded). Per-job counts are in the
+// metrics recorder.
+func (e *Engine) Shed() int64 { return e.adm.shed.Load() }
+
+// Rejected reports how many ingest attempts were refused with
+// ErrOverloaded / ErrJobOverloaded (backpressure). Per-job counts are in
+// the metrics recorder.
+func (e *Engine) Rejected() int64 { return e.adm.rejected.Load() }
 
 // HandlerPanics reports how many handler invocations panicked. Panicking
 // messages are dropped (their operator keeps running); a nonzero count
@@ -448,6 +493,27 @@ func (e *Engine) discardMessage(j *dataflow.Job, m *core.Message) {
 	j.Outstanding.Add(-1)
 }
 
+// shedQueued settles one queued message the admission layer discarded:
+// the queued-budget counters release it, then discardMessage recycles it
+// with the usual conservation accounting. Callers hold the lock guarding
+// the queue the message came from.
+func (e *Engine) shedQueued(j *dataflow.Job, m *core.Message) {
+	e.adm.dequeued(j)
+	e.discardMessage(j, m)
+}
+
+// noteShed records n shed messages against job j — the engine-wide shed
+// counter plus the per-job metrics entry. Called once per swept operator
+// (not per message), and the recorder mutex is a leaf no caller's lock
+// can wait behind.
+func (e *Engine) noteShed(j *dataflow.Job, n int) {
+	if n == 0 {
+		return
+	}
+	e.adm.shed.Add(int64(n))
+	e.rec.AddShed(j.Spec.Name, int64(n))
+}
+
 // Start launches the worker pool.
 func (e *Engine) Start() {
 	if e.started.Swap(true) {
@@ -474,12 +540,49 @@ func (e *Engine) Stop() {
 // The arrival time is stamped by the engine clock. Safe for concurrent use;
 // under the sharded dispatcher concurrent ingests from different sources
 // proceed in parallel, contending only per shard.
+//
+// Every ingest passes through the admission layer: when a pending-message
+// budget (Config.MaxPending, JobSpec.MaxPending) would be exceeded, the
+// batch is either refused with ErrOverloaded / ErrJobOverloaded (under
+// OverloadBackpressure — nothing was enqueued; drain and retry) or
+// admitted with doomed/excess queued messages shed to make room (under
+// OverloadShed). TryIngest always gets the backpressure behaviour.
 func (e *Engine) Ingest(job string, src int, b *dataflow.Batch, p vtime.Time) error {
+	return e.ingest(job, src, b, p, false)
+}
+
+// TryIngest is the non-blocking, never-shedding variant of Ingest: when
+// admitting the batch would exceed a pending-message budget it returns
+// ErrOverloaded (or ErrJobOverloaded) without enqueueing anything —
+// regardless of the configured overload policy — so sources can apply
+// their own flow control even on a shedding engine.
+func (e *Engine) TryIngest(job string, src int, b *dataflow.Batch, p vtime.Time) error {
+	return e.ingest(job, src, b, p, true)
+}
+
+func (e *Engine) ingest(job string, src int, b *dataflow.Batch, p vtime.Time, try bool) error {
 	e.jobsMu.RLock()
 	j, ok := e.jobs[job]
 	e.jobsMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("runtime: unknown job %q", job)
+	}
+	if src < 0 || src >= j.Spec.Sources {
+		return fmt.Errorf("runtime: job %q: source %d out of range [0,%d)",
+			job, src, j.Spec.Sources)
+	}
+	// The admission check precedes message creation — the fan-out width is
+	// stage-0 parallelism, known up front — so a refused batch allocates
+	// nothing and the accept path adds only a few atomic loads. Data-less
+	// ingests (nil batch: watermarks/heartbeats) are exempt: refusing a
+	// watermark under overload would delay exactly the window closures
+	// that drain state, and a heartbeat's fan-out is the bounded price of
+	// letting progress advance. Their messages still count against the
+	// queued totals once pushed.
+	if b != nil {
+		if err := e.adm.admit(j, len(j.Stages[0]), try); err != nil {
+			return err
+		}
 	}
 	now := e.clock.Now()
 	env := e.ingestEnvs.Get().(*dataflow.Env)
@@ -498,11 +601,24 @@ func (e *Engine) Ingest(job string, src int, b *dataflow.Batch, p vtime.Time) er
 	// re-balancing the counters just added.
 	e.path.ingest(msgs)
 	e.ingestEnvs.Put(env)
+	e.adm.enforce(j, now)
 	return nil
 }
 
-// Pending reports the number of queued (not yet executed) messages.
-func (e *Engine) Pending() int { return e.path.pendingCount() }
+// Pending reports the number of queued (not yet executed) messages — the
+// quantity the admission layer's budgets bound.
+func (e *Engine) Pending() int { return int(e.adm.queued.Load()) }
+
+// JobPending reports one job's queued (not yet executed) message count.
+func (e *Engine) JobPending(name string) (int, error) {
+	e.jobsMu.RLock()
+	j, ok := e.jobs[name]
+	e.jobsMu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("runtime: unknown job %q", name)
+	}
+	return int(j.Queued.Load()), nil
+}
 
 // Drain blocks until every queued message has been executed (and no worker
 // is mid-message) or the timeout elapses; it reports whether the engine

@@ -7,6 +7,7 @@ import (
 	"github.com/cameo-stream/cameo/internal/core"
 	"github.com/cameo-stream/cameo/internal/dataflow"
 	"github.com/cameo-stream/cameo/internal/queue"
+	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
 // laneNone marks an operator that is not on any run-queue lane (idle with
@@ -120,7 +121,6 @@ type shardedPath struct {
 	workers int
 	runq    *queue.ShardedHeap[*dataflow.Operator]
 	states  []stateShard
-	pending atomic.Int64
 	rr      atomic.Int64 // round-robin cursor for external arrivals
 
 	parker
@@ -141,8 +141,6 @@ func newShardedPath(e *Engine, workers int) *shardedPath {
 func (p *shardedPath) home(op *dataflow.Operator) *stateShard {
 	return &p.states[homeIdx(op.Name, p.workers)]
 }
-
-func (p *shardedPath) pendingCount() int { return int(p.pending.Load()) }
 
 // laneFor picks the run-queue lane for a newly runnable operator. Workers
 // keep their own lane (locality: the freshest producer is the natural
@@ -181,7 +179,7 @@ func (p *shardedPath) push(op *dataflow.Operator, m *core.Message, producer int)
 	}
 	oldHead := st.Q.Peek()
 	st.Q.Push(m)
-	p.pending.Add(1)
+	p.e.adm.enqueued(op.Job)
 	if st.Acquired || st.Phase == core.OpPaused {
 		// Acquired: the holding worker re-checks the heap before
 		// releasing, so the new message cannot be stranded; no signal
@@ -242,7 +240,7 @@ func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
 			}
 			oldHead := st.Q.Peek()
 			st.Q.Push(cm.Msg)
-			p.pending.Add(1)
+			p.e.adm.enqueued(op.Job)
 			switch {
 			case st.Acquired || st.Phase == core.OpPaused:
 			case st.Lane != laneNone:
@@ -287,8 +285,8 @@ func (p *shardedPath) cancel(job *dataflow.Job) {
 		st := op.Sched()
 		st.Phase = core.OpDead
 		for st.Q.Len() > 0 {
+			p.e.adm.dequeued(job)
 			p.e.discardMessage(job, st.Q.Pop())
-			p.pending.Add(-1)
 		}
 		// Clear the lane only when the removal actually hit: a miss means
 		// a worker popped the operator and is between its lane pop and its
@@ -356,6 +354,102 @@ func (p *shardedPath) resume(job *dataflow.Job) {
 	}
 }
 
+// shedDoomed implements dispatchPath: sweep each of job's live operators
+// for queued messages that can no longer meet their deadline.
+func (p *shardedPath) shedDoomed(job *dataflow.Job, now vtime.Time) int {
+	total := 0
+	for _, stage := range job.Stages {
+		for _, op := range stage {
+			total += p.shedOpDoomed(op, now)
+		}
+	}
+	return total
+}
+
+// shedOpDoomed sweeps one operator's doomed queued messages under its
+// home shard lock, fixing its run-queue entry afterwards: removed when
+// the sweep emptied the queue (the arbitrary-element removal the lane
+// heaps track intrusively), re-keyed when it removed the head. Acquired
+// operators need no fix-up — their workers re-check the queue at release.
+func (p *shardedPath) shedOpDoomed(op *dataflow.Operator, now vtime.Time) int {
+	e := p.e
+	aware := e.adm.deadlineAware
+	job := op.Job
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	if st.Phase != core.OpLive || st.Q.Len() == 0 {
+		hs.mu.Unlock()
+		return 0
+	}
+	oldHead := st.Q.Peek()
+	n := st.Q.Shed(
+		func(m *core.Message) bool { return core.Doomed(m, now, aware) },
+		func(m *core.Message) { e.shedQueued(job, m) })
+	if n > 0 && !st.Acquired && st.Lane != laneNone {
+		if st.Q.Len() == 0 {
+			// Clear the lane only when the removal hit (same reasoning as
+			// cancel: a miss means a worker owns the Lane reset).
+			if p.runq.Remove(int(st.Lane), op) {
+				st.Lane = laneNone
+			}
+		} else if head := st.Q.Peek(); head != oldHead {
+			p.runq.Update(int(st.Lane), op, core.GlobalPri(head))
+		}
+	}
+	hs.mu.Unlock()
+	e.noteShed(job, n)
+	return n
+}
+
+// shedExcess implements dispatchPath: discard up to n queued messages of
+// job, walking stage 0 first (undigested input is the cheapest work to
+// lose) and taking heap-leaf victims so the most urgent message of every
+// operator survives.
+func (p *shardedPath) shedExcess(job *dataflow.Job, n int) int {
+	total := 0
+	for _, stage := range job.Stages {
+		for _, op := range stage {
+			if total >= n {
+				return total
+			}
+			total += p.shedOpTail(op, n-total)
+		}
+	}
+	return total
+}
+
+func (p *shardedPath) shedOpTail(op *dataflow.Operator, n int) int {
+	e := p.e
+	job := op.Job
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	if st.Phase != core.OpLive {
+		hs.mu.Unlock()
+		return 0
+	}
+	count := 0
+	for count < n {
+		m := st.Q.PopTail()
+		if m == nil {
+			break
+		}
+		e.shedQueued(job, m)
+		count++
+	}
+	// PopTail never changes a non-emptied heap's head, so the only
+	// run-queue fix-up is the empty-queue removal.
+	if count > 0 && !st.Acquired && st.Lane != laneNone && st.Q.Len() == 0 {
+		if p.runq.Remove(int(st.Lane), op) {
+			st.Lane = laneNone
+		}
+	}
+	hs.mu.Unlock()
+	e.noteShed(job, count)
+	return count
+}
+
 // acquire returns the next operator for worker w, marking it acquired, or
 // ok=false when the engine is stopping. It parks when no lane has work.
 func (p *shardedPath) acquire(w int) (*dataflow.Operator, bool) {
@@ -406,7 +500,7 @@ func (p *shardedPath) popMsg(op *dataflow.Operator) (*core.Message, bool) {
 		return nil, false
 	}
 	m := st.Q.Pop()
-	p.pending.Add(-1)
+	p.e.adm.dequeued(op.Job)
 	return m, true
 }
 
@@ -468,6 +562,12 @@ func (p *shardedPath) worker(w int) {
 		op, ok := p.acquire(w)
 		if !ok {
 			return
+		}
+		if e.adm.pressured() {
+			// The background laxity sweep: under sustained pressure, drop
+			// the acquired operator's doomed messages before spending
+			// execution time on them.
+			p.shedOpDoomed(op, e.clock.Now())
 		}
 		acquired := e.clock.Now()
 		for {

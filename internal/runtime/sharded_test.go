@@ -53,8 +53,8 @@ func TestShardedAcquireStealsMostUrgent(t *testing.T) {
 		_ = m
 		p.release(op, 1)
 	}
-	if p.pendingCount() != 0 {
-		t.Fatalf("pending = %d after draining", p.pendingCount())
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after draining", e.Pending())
 	}
 }
 

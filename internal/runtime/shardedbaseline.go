@@ -7,6 +7,7 @@ import (
 	"github.com/cameo-stream/cameo/internal/core"
 	"github.com/cameo-stream/cameo/internal/dataflow"
 	"github.com/cameo-stream/cameo/internal/queue"
+	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
 // opRunQueue is the run-queue discipline behind shardedBaselinePath: it
@@ -93,7 +94,6 @@ type shardedBaselinePath struct {
 	name    string
 	runq    opRunQueue
 	states  []stateShard
-	pending atomic.Int64
 
 	parker
 }
@@ -119,8 +119,6 @@ func (p *shardedBaselinePath) home(op *dataflow.Operator) *stateShard {
 	return &p.states[homeIdx(op.Name, p.workers)]
 }
 
-func (p *shardedBaselinePath) pendingCount() int { return int(p.pending.Load()) }
-
 // push enqueues one message, scheduling the target operator if it was
 // neither queued nor held. Pushes to dead operators are dropped (the
 // in-flight half of cancellation); pushes to paused operators enqueue
@@ -135,7 +133,7 @@ func (p *shardedBaselinePath) push(op *dataflow.Operator, m *core.Message, produ
 		return
 	}
 	st.FIFO.PushBack(m)
-	p.pending.Add(1)
+	p.e.adm.enqueued(op.Job)
 	schedule := !st.OnQueue && st.Phase == core.OpLive
 	if schedule {
 		st.OnQueue = true
@@ -180,7 +178,7 @@ func (p *shardedBaselinePath) ingest(msgs []dataflow.ChildMessage) {
 				continue
 			}
 			st.FIFO.PushBack(cm.Msg)
-			p.pending.Add(1)
+			p.e.adm.enqueued(op.Job)
 			if !st.OnQueue && st.Phase == core.OpLive {
 				st.OnQueue = true
 				p.runq.Add(-1, op)
@@ -217,8 +215,8 @@ func (p *shardedBaselinePath) cancel(job *dataflow.Job) {
 			if !ok {
 				break
 			}
+			p.e.adm.dequeued(job)
 			p.e.discardMessage(job, m)
-			p.pending.Add(-1)
 		}
 		if st.OnQueue && p.runq.Remove(op) {
 			st.OnQueue = false
@@ -268,6 +266,87 @@ func (p *shardedBaselinePath) resume(job *dataflow.Job) {
 	}
 }
 
+// shedDoomed implements dispatchPath: sweep each of job's live operators'
+// FIFO rings for messages that can no longer meet their deadline (for the
+// baselines' arrival policies that is an exhausted latency budget — see
+// core.Doomed), preserving the arrival order of the survivors.
+func (p *shardedBaselinePath) shedDoomed(job *dataflow.Job, now vtime.Time) int {
+	total := 0
+	for _, stage := range job.Stages {
+		for _, op := range stage {
+			total += p.shedOpDoomed(op, now)
+		}
+	}
+	return total
+}
+
+func (p *shardedBaselinePath) shedOpDoomed(op *dataflow.Operator, now vtime.Time) int {
+	e := p.e
+	aware := e.adm.deadlineAware
+	job := op.Job
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	if st.Phase != core.OpLive || st.FIFO.Len() == 0 {
+		hs.mu.Unlock()
+		return 0
+	}
+	n := st.FIFO.Shed(
+		func(m *core.Message) bool { return core.Doomed(m, now, aware) },
+		func(m *core.Message) { e.shedQueued(job, m) })
+	// An emptied operator leaves the run queue; a failed Remove means a
+	// worker holds it (OnQueue stays set — the sequential semantics), and
+	// that worker's release clears the flag.
+	if n > 0 && st.FIFO.Len() == 0 && st.OnQueue && p.runq.Remove(op) {
+		st.OnQueue = false
+	}
+	hs.mu.Unlock()
+	e.noteShed(job, n)
+	return n
+}
+
+// shedExcess implements dispatchPath: discard up to n queued messages of
+// job from the newest end of its rings, stage 0 first.
+func (p *shardedBaselinePath) shedExcess(job *dataflow.Job, n int) int {
+	total := 0
+	for _, stage := range job.Stages {
+		for _, op := range stage {
+			if total >= n {
+				return total
+			}
+			total += p.shedOpTail(op, n-total)
+		}
+	}
+	return total
+}
+
+func (p *shardedBaselinePath) shedOpTail(op *dataflow.Operator, n int) int {
+	e := p.e
+	job := op.Job
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	if st.Phase != core.OpLive {
+		hs.mu.Unlock()
+		return 0
+	}
+	count := 0
+	for count < n {
+		m, ok := st.FIFO.PopBack()
+		if !ok {
+			break
+		}
+		e.shedQueued(job, m)
+		count++
+	}
+	if count > 0 && st.FIFO.Len() == 0 && st.OnQueue && p.runq.Remove(op) {
+		st.OnQueue = false
+	}
+	hs.mu.Unlock()
+	e.noteShed(job, count)
+	return count
+}
+
 // acquire returns the next operator for worker w per the baseline's run
 // queue, or ok=false when the engine is stopping. The operator's OnQueue
 // flag stays set while held (the sequential dispatchers' semantics).
@@ -307,7 +386,7 @@ func (p *shardedBaselinePath) popMsg(op *dataflow.Operator) (*core.Message, bool
 	}
 	m, ok := st.FIFO.PopFront()
 	if ok {
-		p.pending.Add(-1)
+		p.e.adm.dequeued(op.Job)
 	}
 	hs.mu.Unlock()
 	return m, ok
@@ -342,6 +421,10 @@ func (p *shardedBaselinePath) worker(w int) {
 		op, ok := p.acquire(w)
 		if !ok {
 			return
+		}
+		if e.adm.pressured() {
+			// Background laxity sweep under pressure (see shardedPath).
+			p.shedOpDoomed(op, e.clock.Now())
 		}
 		acquired := e.clock.Now()
 		for {

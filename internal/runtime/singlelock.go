@@ -5,6 +5,7 @@ import (
 
 	"github.com/cameo-stream/cameo/internal/core"
 	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
 // singleLockPath is the original dispatch strategy: the sequential
@@ -40,6 +41,7 @@ func (p *singleLockPath) pushLocked(target *dataflow.Operator, m *core.Message, 
 		return
 	}
 	p.disp.Push(target, m, producer)
+	p.e.adm.enqueued(target.Job)
 }
 
 func (p *singleLockPath) ingest(msgs []dataflow.ChildMessage) {
@@ -49,12 +51,6 @@ func (p *singleLockPath) ingest(msgs []dataflow.ChildMessage) {
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
-}
-
-func (p *singleLockPath) pendingCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.disp.Pending()
 }
 
 // stopAll wakes every waiting worker so they observe the stopped flag.
@@ -78,6 +74,7 @@ func (p *singleLockPath) cancel(job *dataflow.Job) {
 			if !ok {
 				break
 			}
+			p.e.adm.dequeued(job)
 			p.e.discardMessage(job, m)
 		}
 	}
@@ -114,6 +111,71 @@ func (p *singleLockPath) resume(job *dataflow.Job) {
 	p.mu.Unlock()
 }
 
+// shedDoomed implements dispatchPath: under the engine mutex, sweep each
+// of job's live operators through the dispatcher's Shed (which keeps the
+// run queue re-keyed/descheduled as queues change).
+func (p *singleLockPath) shedDoomed(job *dataflow.Job, now vtime.Time) int {
+	e := p.e
+	aware := e.adm.deadlineAware
+	drop := func(m *core.Message) bool { return core.Doomed(m, now, aware) }
+	total := 0
+	p.mu.Lock()
+	for _, stage := range job.Stages {
+		for _, op := range stage {
+			if op.Sched().Phase != core.OpLive {
+				continue
+			}
+			total += p.disp.Shed(op, drop,
+				func(m *core.Message) { e.shedQueued(job, m) })
+		}
+	}
+	p.mu.Unlock()
+	e.noteShed(job, total)
+	return total
+}
+
+// shedExcess implements dispatchPath: discard up to n queued messages of
+// job from the lax end of its operators' queues, stage 0 first.
+func (p *singleLockPath) shedExcess(job *dataflow.Job, n int) int {
+	e := p.e
+	total := 0
+	p.mu.Lock()
+	for _, stage := range job.Stages {
+		for _, op := range stage {
+			if op.Sched().Phase != core.OpLive {
+				continue
+			}
+			for total < n {
+				m, ok := p.disp.ShedTail(op)
+				if !ok {
+					break
+				}
+				e.shedQueued(job, m)
+				total++
+			}
+		}
+		if total >= n {
+			break
+		}
+	}
+	p.mu.Unlock()
+	e.noteShed(job, total)
+	return total
+}
+
+// shedOpDoomedLocked is the worker-loop laxity sweep: drop the acquired
+// operator's doomed messages before spending execution time on them.
+// Caller holds p.mu.
+func (p *singleLockPath) shedOpDoomedLocked(op *dataflow.Operator, now vtime.Time) {
+	e := p.e
+	aware := e.adm.deadlineAware
+	job := op.Job
+	n := p.disp.Shed(op,
+		func(m *core.Message) bool { return core.Doomed(m, now, aware) },
+		func(m *core.Message) { e.shedQueued(job, m) })
+	e.noteShed(job, n)
+}
+
 // worker is the scheduling loop of one pool thread, the real-time
 // incarnation of the sequential dispatcher protocol.
 func (p *singleLockPath) worker(id int) {
@@ -135,6 +197,10 @@ func (p *singleLockPath) worker(id int) {
 			p.cond.Wait()
 			continue
 		}
+		if e.adm.pressured() {
+			// Background laxity sweep under pressure (see shardedPath).
+			p.shedOpDoomedLocked(op, e.clock.Now())
+		}
 		acquired := e.clock.Now()
 		for {
 			m, ok := p.disp.PopMsg(op)
@@ -143,6 +209,7 @@ func (p *singleLockPath) worker(id int) {
 				p.cond.Broadcast() // Done may have requeued the operator
 				break
 			}
+			p.e.adm.dequeued(op.Job)
 			p.mu.Unlock()
 
 			children, now := e.execMessage(op, m, env)

@@ -72,6 +72,17 @@ func (q *Query) Sources(n int) *Query {
 	return q
 }
 
+// MaxPending caps this query's queued (admitted but not yet executed)
+// message count in the real-time engine; 0 (the default) means unlimited.
+// When an IngestBatch would exceed the budget, the engine's admission
+// layer refuses it with ErrJobOverloaded or sheds, per the engine's
+// Overload policy — so one flooding query saturates its own budget
+// instead of the whole engine.
+func (q *Query) MaxPending(n int) *Query {
+	q.spec.MaxPending = n
+	return q
+}
+
 // SourcePorts splits the source channels into logical ports (2 for a
 // two-stream join). Sources must divide evenly by ports.
 func (q *Query) SourcePorts(n int) *Query {
