@@ -1,0 +1,189 @@
+package main
+
+// The -batch mode: the DrainBatch sweep behind ISSUE 5's amortized
+// dispatch hot path. The multitenant workload of -rt runs at DrainBatch
+// ∈ {1, 4, 16, 64} on all three dispatch paths (single-lock Cameo,
+// sharded Cameo, sharded Orleans baseline); each cell reports msg/s and
+// the first latency-sensitive job's p50/p99, so the sweep shows both
+// sides of the batching trade at once: throughput should rise (or at
+// worst stay flat) as the per-message scheduler locking amortizes away,
+// while the strict job's p99 must stay near its DrainBatch=1 value —
+// preemption moves to batch boundaries, and a blown-up tail would mean
+// the batch is too coarse for deadline work. -json writes
+// BENCH_batch.json for the CI trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	cameo "github.com/cameo-stream/cameo"
+)
+
+// btPaths are the dispatch realizations the sweep covers (the same three
+// as -overload).
+func btPaths() []ovPathCell {
+	return []ovPathCell{
+		{cameo.DispatchSingleLock, cameo.SchedulerCameo},
+		{cameo.DispatchSharded, cameo.SchedulerCameo},
+		{cameo.DispatchSharded, cameo.SchedulerOrleans},
+	}
+}
+
+// btRun executes the -rt multitenant workload once at the given drain
+// batch size and returns the measured cell.
+func btRun(cell ovPathCell, drainBatch, workers int, seed uint64) rtResult {
+	eng := cameo.NewEngine(cameo.EngineConfig{
+		Workers:    workers,
+		Dispatch:   cell.dispatch,
+		Scheduler:  cell.scheduler,
+		DrainBatch: drainBatch,
+	})
+	jobs := rtJobs()
+	for _, j := range jobs {
+		if err := eng.Submit(rtQuery(j)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	start := time.Now()
+	done := make(chan error, len(jobs))
+	for _, j := range jobs {
+		go func(j rtJob) {
+			for w := 1; w <= j.windows; w++ {
+				progress := time.Duration(w) * j.window
+				for src := 0; src < j.sources; src++ {
+					if err := eng.IngestBatch(j.name, src, rtEvents(j, seed, src, w), progress); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			for src := 0; src < j.sources; src++ {
+				if err := eng.AdvanceProgress(j.name, src, time.Duration(j.windows+1)*j.window); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(j)
+	}
+	for range jobs {
+		if err := <-done; err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !eng.Drain(60 * time.Second) {
+		fmt.Fprintln(os.Stderr, "engine did not drain")
+		os.Exit(1)
+	}
+	dur := time.Since(start)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	res := rtResult{msgs: eng.Executed(), dur: dur}
+	if res.msgs > 0 {
+		res.allocs = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(res.msgs)
+	}
+	if st, err := eng.Stats("ls0"); err == nil {
+		res.p50, res.p99 = st.P50, st.P99
+	}
+	return res
+}
+
+// btCell is the machine-readable form of one sweep cell (-json).
+type btCell struct {
+	Dispatcher   string  `json:"dispatcher"`
+	Scheduler    string  `json:"scheduler"`
+	DrainBatch   int     `json:"drain_batch"`
+	MsgPerSec    float64 `json:"msg_per_sec"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	AllocsPerMsg float64 `json:"allocs_per_msg"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	// SpeedupVs1 and P99RatioVs1 compare this cell against the same
+	// path's DrainBatch=1 cell: the amortization win and its preemption-
+	// granularity price, respectively.
+	SpeedupVs1  float64 `json:"speedup_vs_batch1"`
+	P99RatioVs1 float64 `json:"p99_ratio_vs_batch1"`
+}
+
+type btReport struct {
+	Workload string `json:"workload"`
+	benchEnv
+	Seed    uint64   `json:"seed"`
+	Reps    int      `json:"reps"`
+	Workers int      `json:"workers"`
+	Cells   []btCell `json:"cells"`
+}
+
+func runBatchSweep(seed uint64, reps int, jsonPath string) {
+	if reps < 1 {
+		reps = 1
+	}
+	const workers = 2
+	env := captureEnv()
+	fmt.Printf("drain-batch sweep: multitenant workload, %d workers (GOMAXPROCS=%d, best of %d)\n\n",
+		workers, env.GOMAXPROCS, reps)
+	fmt.Printf("%-12s %-8s %6s %12s %12s %10s %10s %9s %9s\n",
+		"dispatcher", "sched", "batch", "msg/s", "allocs/msg", "p50", "p99", "vs b=1", "p99 vs 1")
+	report := btReport{Workload: "multitenant-batch", benchEnv: env, Seed: seed, Reps: reps, Workers: workers}
+	for _, cell := range btPaths() {
+		var baseRate, baseP99 float64
+		for _, batch := range []int{1, 4, 16, 64} {
+			var best rtResult
+			var bestRate float64
+			for r := 0; r < reps; r++ {
+				res := btRun(cell, batch, workers, seed+uint64(r))
+				if rate := float64(res.msgs) / res.dur.Seconds(); rate > bestRate {
+					bestRate, best = rate, res
+				}
+			}
+			p99ms := float64(best.p99.Microseconds()) / 1000
+			speedup, p99ratio := 0.0, 0.0
+			if batch == 1 {
+				baseRate, baseP99 = bestRate, p99ms
+			}
+			if baseRate > 0 {
+				speedup = bestRate / baseRate
+			}
+			if baseP99 > 0 {
+				p99ratio = p99ms / baseP99
+			}
+			fmt.Printf("%-12v %-8v %6d %12.0f %12.2f %10v %10v %8.2fx %8.2fx\n",
+				cell.dispatch, cell.scheduler, batch, bestRate, best.allocs,
+				best.p50.Round(time.Millisecond), best.p99.Round(time.Millisecond),
+				speedup, p99ratio)
+			report.Cells = append(report.Cells, btCell{
+				Dispatcher:   fmt.Sprint(cell.dispatch),
+				Scheduler:    fmt.Sprint(cell.scheduler),
+				DrainBatch:   batch,
+				MsgPerSec:    bestRate,
+				ElapsedMS:    float64(best.dur.Microseconds()) / 1000,
+				AllocsPerMsg: best.allocs,
+				P50MS:        float64(best.p50.Microseconds()) / 1000,
+				P99MS:        p99ms,
+				SpeedupVs1:   speedup,
+				P99RatioVs1:  p99ratio,
+			})
+		}
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-bench: writing json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(machine-readable results written to %s)\n", jsonPath)
+	}
+}

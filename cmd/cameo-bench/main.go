@@ -32,8 +32,9 @@ func main() {
 		rt         = flag.Bool("rt", false, "benchmark the real-time engine: dispatcher x worker-count scaling sweep")
 		churn      = flag.Bool("churn", false, "benchmark the real-time engine's hot query lifecycle: long-lived jobs + submit/cancel churn")
 		overload   = flag.Bool("overload", false, "benchmark the admission layer: 1x-4x offered load vs a budgeted shedding engine")
-		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn, -overload)")
-		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn/-overload results to this file (e.g. BENCH_rt.json)")
+		batch      = flag.Bool("batch", false, "benchmark the batched drain path: DrainBatch sweep on all three dispatch paths")
+		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn, -overload, -batch)")
+		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn/-overload/-batch results to this file (e.g. BENCH_rt.json)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -69,6 +70,8 @@ func main() {
 	}
 
 	switch {
+	case *batch:
+		runBatchSweep(*seed, *reps, *jsonOut)
 	case *overload:
 		runOverloadSweep(*seed, *reps, *jsonOut)
 	case *churn:

@@ -69,6 +69,14 @@ type EngineConfig struct {
 	// Quantum is the re-scheduling grain (default 1ms): how long a worker
 	// holds an operator before checking whether more urgent work waits.
 	Quantum time.Duration
+	// DrainBatch is the number of messages a worker drains from an
+	// acquired operator per scheduler-lock acquisition (default 16).
+	// 1 disables batching — every pop takes its lock, and preemption
+	// (pause, cancel, a more urgent arrival) is message-granular. Larger
+	// values amortize scheduling locks across the batch at the cost of
+	// preemption granularity: the quantum/yield check moves to batch
+	// boundaries.
+	DrainBatch int
 	// Dispatch selects the scheduling concurrency strategy (default
 	// DispatchAuto). Every scheduler kind has a sharded realization.
 	Dispatch DispatchMode
@@ -102,6 +110,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 			Scheduler:  cfg.Scheduler,
 			Policy:     cfg.Policy,
 			Quantum:    vtime.FromStd(cfg.Quantum),
+			DrainBatch: cfg.DrainBatch,
 			Dispatch:   cfg.Dispatch,
 			MaxPending: cfg.MaxPending,
 			Overload:   cfg.Overload,

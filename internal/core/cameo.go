@@ -66,6 +66,24 @@ func (d *CameoDispatcher[O]) PopMsg(op O) (*Message, bool) {
 	return m, true
 }
 
+// PopMsgs implements Dispatcher: drain up to len(buf) messages of the
+// acquired operator in (PriLocal, ID) order.
+func (d *CameoDispatcher[O]) PopMsgs(op O, buf []*Message) int {
+	n := op.Sched().Q.PopInto(buf)
+	d.pending -= n
+	return n
+}
+
+// Unpop implements Dispatcher: a heap restores order by priority, so the
+// batch tail is simply re-pushed.
+func (d *CameoDispatcher[O]) Unpop(op O, msgs []*Message) {
+	st := op.Sched()
+	for _, m := range msgs {
+		st.Q.Push(m)
+	}
+	d.pending += len(msgs)
+}
+
 // PeekMsg implements Dispatcher.
 func (d *CameoDispatcher[O]) PeekMsg(op O) (*Message, bool) {
 	st := op.Sched()

@@ -41,6 +41,18 @@ type Dispatcher[O Handle] interface {
 	NextOp(worker int) (O, bool)
 	// PopMsg removes and returns the next message of an acquired operator.
 	PopMsg(op O) (*Message, bool)
+	// PopMsgs removes up to len(buf) messages of an acquired operator in
+	// queue order into buf, returning how many it popped — the batch-drain
+	// fast path: one run-queue lock amortizes over the whole batch where
+	// PopMsg pays it per message. len(buf)==1 is exactly PopMsg.
+	PopMsgs(op O, buf []*Message) int
+	// Unpop returns the unexecuted tail of a popped batch to the front of
+	// op's queue, in the order PopMsgs returned it — the undo that keeps a
+	// mid-batch pause or engine stop from stranding messages a worker
+	// still holds in its drain buffer. Priority queues simply re-push
+	// (order restores by priority); FIFO queues prepend, preserving
+	// arrival order.
+	Unpop(op O, msgs []*Message)
 	// PeekMsg returns the next message of op without removing it.
 	PeekMsg(op O) (*Message, bool)
 	// Done releases an acquired operator, requeueing it if messages remain.
@@ -145,6 +157,18 @@ func (h *MsgHeap) siftDown(i int) {
 		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
 		i = smallest
 	}
+}
+
+// PopInto removes up to len(buf) messages in (PriLocal, ID) order into
+// buf, returning how many it popped — the amortized-drain primitive: the
+// caller takes whatever lock guards the heap once for the whole batch.
+func (h *MsgHeap) PopInto(buf []*Message) int {
+	n := 0
+	for n < len(buf) && len(h.items) > 0 {
+		buf[n] = h.Pop()
+		n++
+	}
+	return n
 }
 
 // Shed removes every queued message for which drop returns true, handing

@@ -55,6 +55,21 @@ func (d *OrleansDispatcher[O]) PopMsg(op O) (*Message, bool) {
 	return m, ok
 }
 
+// PopMsgs implements Dispatcher: drain up to len(buf) messages in FIFO
+// order.
+func (d *OrleansDispatcher[O]) PopMsgs(op O, buf []*Message) int {
+	n := op.Sched().FIFO.PopFrontInto(buf)
+	d.pending -= n
+	return n
+}
+
+// Unpop implements Dispatcher: prepend the batch tail so arrival order is
+// preserved.
+func (d *OrleansDispatcher[O]) Unpop(op O, msgs []*Message) {
+	op.Sched().FIFO.UnpopFront(msgs)
+	d.pending += len(msgs)
+}
+
 // PeekMsg implements Dispatcher.
 func (d *OrleansDispatcher[O]) PeekMsg(op O) (*Message, bool) {
 	return op.Sched().FIFO.PeekFront()
@@ -178,6 +193,21 @@ func (d *FIFODispatcher[O]) PopMsg(op O) (*Message, bool) {
 		d.pending--
 	}
 	return m, ok
+}
+
+// PopMsgs implements Dispatcher: drain up to len(buf) messages in FIFO
+// order.
+func (d *FIFODispatcher[O]) PopMsgs(op O, buf []*Message) int {
+	n := op.Sched().FIFO.PopFrontInto(buf)
+	d.pending -= n
+	return n
+}
+
+// Unpop implements Dispatcher: prepend the batch tail so arrival order is
+// preserved.
+func (d *FIFODispatcher[O]) Unpop(op O, msgs []*Message) {
+	op.Sched().FIFO.UnpopFront(msgs)
+	d.pending += len(msgs)
 }
 
 // PeekMsg implements Dispatcher.

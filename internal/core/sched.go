@@ -49,6 +49,11 @@ type SchedState struct {
 	// Lane is the run-queue lane currently holding the operator on the
 	// sharded Cameo path, or that path's laneNone sentinel.
 	Lane int32
+	// Home is the operator's state-shard index on the sharded paths —
+	// the hash of the stable operator name, computed once when its job is
+	// added so the per-message paths (push, pop, delivery grouping) look
+	// it up with a field read instead of rehashing the name.
+	Home int32
 }
 
 // OpPhase is the lifecycle phase of an operator's scheduling state — the

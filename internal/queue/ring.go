@@ -31,6 +31,31 @@ func (r *Ring[T]) PushFront(v T) {
 	r.size++
 }
 
+// PopFrontInto removes up to len(buf) items from the head in FIFO order
+// into buf, returning how many it popped — the batch-drain primitive:
+// the caller takes whatever lock guards the ring once per batch.
+func (r *Ring[T]) PopFrontInto(buf []T) int {
+	n := 0
+	for n < len(buf) {
+		v, ok := r.PopFront()
+		if !ok {
+			break
+		}
+		buf[n] = v
+		n++
+	}
+	return n
+}
+
+// UnpopFront prepends vs so the ring reads v[0], v[1], ... before the
+// current head — the undo of a PopFrontInto tail that was never
+// consumed, preserving FIFO order.
+func (r *Ring[T]) UnpopFront(vs []T) {
+	for i := len(vs) - 1; i >= 0; i-- {
+		r.PushFront(vs[i])
+	}
+}
+
 // PopFront removes and returns the head item; ok is false when empty.
 func (r *Ring[T]) PopFront() (v T, ok bool) {
 	if r.size == 0 {

@@ -8,10 +8,64 @@ import (
 // GlobalLane is the lane index of a ShardedHeap's overflow lane.
 const GlobalLane = -1
 
+// laneTop is a lane's lock-free head cache: the Pri of the lane's current
+// most-urgent value, published under the lane lock through a seqlock so
+// readers never take the lock. Pri is two int64s — too wide for one atomic
+// word — so the writer brackets the field stores with two sequence bumps
+// (odd = update in progress) and a reader retries when the sequence moved
+// or is odd. Writers are serialized by the lane lock, so a reader's retry
+// window is a handful of stores.
+type laneTop struct {
+	seq atomic.Uint64
+	key atomic.Int64
+	tie atomic.Int64
+	has atomic.Bool
+}
+
+// write publishes (p, has) as the lane's current top. Caller holds the
+// lane lock.
+func (t *laneTop) write(p Pri, has bool) {
+	t.seq.Add(1) // odd: update in progress
+	t.key.Store(p.Key)
+	t.tie.Store(p.Tie)
+	t.has.Store(has)
+	t.seq.Add(1) // even: consistent
+}
+
+// read returns the cached top without locking. valid is false when the
+// read tore against a concurrent write (retry or fall back to the lock);
+// has is false when the lane was empty at publish time.
+func (t *laneTop) read() (p Pri, has, valid bool) {
+	s := t.seq.Load()
+	if s&1 != 0 {
+		return Pri{}, false, false
+	}
+	p = Pri{Key: t.key.Load(), Tie: t.tie.Load()}
+	has = t.has.Load()
+	if t.seq.Load() != s {
+		return Pri{}, false, false
+	}
+	return p, has, true
+}
+
 type shardLane[T comparable] struct {
-	mu sync.Mutex
-	h  *IndexedHeap[T]
-	_  [40]byte // pad to a cache line so shard locks don't false-share
+	// top is read lock-free by every peek-shaped operation (shouldYield,
+	// steal scans, the acquisition peek); it leads the struct with padding
+	// behind it so those reads never share a cache line with the bouncing
+	// mutex word.
+	top laneTop
+	_   [32]byte
+	mu  sync.Mutex
+	h   *IndexedHeap[T]
+	_   [40]byte // pad to a cache line so shard locks don't false-share
+}
+
+// publishTop refreshes the lane's top cache from its heap. Caller holds
+// the lane lock; every mutation under that lock must call it before
+// unlocking so the cache never lags a committed change.
+func (l *shardLane[T]) publishTop() {
+	_, p, ok := l.h.PeekMin()
+	l.top.write(p, ok)
 }
 
 // ShardedHeap is the concurrent run-queue under the real-time engine's
@@ -102,6 +156,7 @@ func (s *ShardedHeap[T]) Push(lane int, v T, p Pri) {
 	l.mu.Lock()
 	l.h.Push(v, p)
 	n.Store(int64(l.h.Len()))
+	l.publishTop()
 	l.mu.Unlock()
 	s.size.Add(1)
 }
@@ -117,6 +172,7 @@ func (s *ShardedHeap[T]) Update(lane int, v T, p Pri) bool {
 		return false
 	}
 	l.h.Update(v, p)
+	l.publishTop()
 	return true
 }
 
@@ -126,6 +182,9 @@ func (s *ShardedHeap[T]) Remove(lane int, v T) bool {
 	l.mu.Lock()
 	ok := l.h.Remove(v)
 	n.Store(int64(l.h.Len()))
+	if ok {
+		l.publishTop()
+	}
 	l.mu.Unlock()
 	if ok {
 		s.size.Add(-1)
@@ -139,6 +198,9 @@ func (s *ShardedHeap[T]) PopLane(lane int) (v T, p Pri, ok bool) {
 	l.mu.Lock()
 	v, p, ok = l.h.PopMin()
 	n.Store(int64(l.h.Len()))
+	if ok {
+		l.publishTop()
+	}
 	l.mu.Unlock()
 	if ok {
 		s.size.Add(-1)
@@ -154,19 +216,38 @@ func (s *ShardedHeap[T]) PeekLane(lane int) (v T, p Pri, ok bool) {
 	return l.h.PeekMin()
 }
 
+// TopOf returns the priority of lane's most urgent value without taking
+// the lane lock — a pure read of the lane's seqlock-published top cache.
+// ok is false when the lane is empty. Like any unlocked peek it is a
+// heuristic snapshot: the lane may change the instant it returns, so
+// callers that act on it must tolerate a lost race (every pop re-validates
+// under the lane lock). Unlike LaneLen it is exact at the instant of a
+// consistent read — the cache is republished under the lane lock by every
+// mutation before that mutation unlocks.
+func (s *ShardedHeap[T]) TopOf(lane int) (p Pri, ok bool) {
+	l, _ := s.lane(lane)
+	for i := 0; i < 4; i++ {
+		if p, has, valid := l.top.read(); valid {
+			return p, has
+		}
+	}
+	// Four torn reads in a row means writers are landing back to back;
+	// take the lock rather than spin unboundedly in a peek.
+	l.mu.Lock()
+	_, p, ok = l.h.PeekMin()
+	l.mu.Unlock()
+	return p, ok
+}
+
 // PopLocalOrGlobal removes and returns the more urgent of worker w's shard
-// head and the global lane head — the acquisition fast path. The two lanes
-// are peeked under separate locks, so under contention the choice is a
-// heuristic snapshot; the popped value is always the current minimum of the
-// lane it came from.
+// head and the global lane head — the acquisition fast path. The peek
+// phase is two lock-free top-cache reads; only the chosen lane is locked,
+// to pop. Under contention the choice is a heuristic snapshot; the popped
+// value is always the current minimum of the lane it came from.
 func (s *ShardedHeap[T]) PopLocalOrGlobal(w int) (v T, p Pri, ok bool) {
 	for attempt := 0; attempt < 2; attempt++ {
-		var lp, gp Pri
-		var lok, gok bool
-		_, lp, lok = s.PeekLane(w)
-		if s.glen.Load() > 0 {
-			_, gp, gok = s.PeekLane(GlobalLane)
-		}
+		lp, lok := s.TopOf(w)
+		gp, gok := s.TopOf(GlobalLane)
 		if !lok && !gok {
 			return v, p, false
 		}
@@ -188,18 +269,16 @@ func (s *ShardedHeap[T]) PopLocalOrGlobal(w int) (v T, p Pri, ok bool) {
 
 // Steal removes and returns the most urgent value among all OTHER workers'
 // shards — priority-aware stealing: the thief scans every victim's head and
-// takes the globally most urgent, not the first it finds. ok is false when
-// every victim is empty.
+// takes the globally most urgent, not the first it finds. The scan is pure
+// top-cache reads (no victim is locked); only the chosen victim is locked,
+// to pop. ok is false when every victim is empty.
 func (s *ShardedHeap[T]) Steal(thief int) (v T, p Pri, ok bool) {
 	for attempt := 0; attempt < 2; attempt++ {
 		best, found := -1, false
 		var bestPri Pri
 		for i := 1; i < len(s.shards); i++ {
 			victim := (thief + i) % len(s.shards)
-			if s.lens[victim].Load() == 0 {
-				continue
-			}
-			if _, vp, vok := s.PeekLane(victim); vok && (!found || vp.Less(bestPri)) {
+			if vp, vok := s.TopOf(victim); vok && (!found || vp.Less(bestPri)) {
 				best, bestPri, found = victim, vp, true
 			}
 		}

@@ -165,3 +165,128 @@ func TestShardedHeapConcurrent(t *testing.T) {
 		t.Fatalf("Len = %d after drain", s.Len())
 	}
 }
+
+// checkTopsLocked asserts, for every lane, that the seqlock-published top
+// cache matches the heap's real head under the lane lock. Holding the
+// lock excludes writers, so the cached read must be consistent (valid)
+// and exact — the invariant every peek-shaped fast path (TopOf) relies
+// on.
+func checkTopsLocked(t *testing.T, s *ShardedHeap[int]) {
+	t.Helper()
+	for lane := GlobalLane; lane < len(s.shards); lane++ {
+		l, _ := s.lane(lane)
+		l.mu.Lock()
+		_, want, wok := l.h.PeekMin()
+		got, has, valid := l.top.read()
+		l.mu.Unlock()
+		if !valid {
+			t.Errorf("lane %d: top cache torn while lane lock held", lane)
+			continue
+		}
+		if has != wok || (wok && got != want) {
+			t.Errorf("lane %d: cached top (%+v, %v) != heap head (%+v, %v)",
+				lane, got, has, want, wok)
+		}
+	}
+}
+
+// TestShardedHeapTopCache pins the cache against the locked head through
+// a deterministic mutation sequence covering every publish site: push,
+// pop, re-key up and down, remove of head and non-head, and emptying.
+func TestShardedHeapTopCache(t *testing.T) {
+	s := NewShardedHeap[int](2)
+	step := func(f func()) {
+		f()
+		checkTopsLocked(t, s)
+	}
+	step(func() {})                             // fresh lanes read empty
+	step(func() { s.Push(0, 1, Pri{Key: 30}) }) // first push
+	step(func() { s.Push(0, 2, Pri{Key: 10}) }) // new head
+	step(func() { s.Push(0, 3, Pri{Key: 20}) }) // non-head push
+	step(func() { s.Push(GlobalLane, 4, Pri{Key: 5}) })
+	step(func() { s.Update(0, 3, Pri{Key: 1}) })  // re-key to head
+	step(func() { s.Update(0, 3, Pri{Key: 40}) }) // re-key off head
+	step(func() { s.Remove(0, 2) })               // remove head
+	step(func() { s.Remove(0, 3) })               // remove non-head
+	step(func() { s.PopLane(0) })                 // pop to empty
+	step(func() { s.PopLane(GlobalLane) })        // empty the global lane
+	if p, ok := s.TopOf(0); ok {
+		t.Fatalf("TopOf(0) = %+v on empty lane", p)
+	}
+	s.Push(1, 9, Pri{Key: 7, Tie: 3})
+	if p, ok := s.TopOf(1); !ok || p != (Pri{Key: 7, Tie: 3}) {
+		t.Fatalf("TopOf(1) = %+v,%v want {7 3},true", p, ok)
+	}
+}
+
+// TestShardedHeapTopCacheRace is the -race property test of the lane-top
+// cache: concurrent pushers, poppers, stealers, updaters, and removers
+// hammer the heap while a checker repeatedly validates — under each lane
+// lock — that the published top equals the heap's head. Any publish site
+// that forgot to refresh the cache, or any torn read reachable with the
+// lock held, fails here.
+func TestShardedHeapTopCacheRace(t *testing.T) {
+	const (
+		shards  = 4
+		pushers = 4
+		items   = 1500
+	)
+	s := NewShardedHeap[int](shards)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < pushers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				id := g*items + i
+				lane := id % (shards + 1)
+				if lane == shards {
+					lane = GlobalLane
+				}
+				s.Push(lane, id, Pri{Key: int64(id % 89), Tie: int64(id)})
+				switch id % 5 {
+				case 0:
+					s.Update(lane, id, Pri{Key: int64(id % 13), Tie: int64(id)})
+				case 1:
+					s.Remove(lane, id)
+				}
+			}
+		}(g)
+	}
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			misses := 0
+			for misses < 500 {
+				if _, _, ok := s.PopLocalOrGlobal(w); ok {
+					misses = 0
+					continue
+				}
+				if _, _, ok := s.Steal(w); ok {
+					misses = 0
+					continue
+				}
+				misses++
+			}
+		}(w)
+	}
+	var checker sync.WaitGroup
+	checker.Add(1)
+	go func() {
+		defer checker.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			checkTopsLocked(t, s)
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	checker.Wait()
+	checkTopsLocked(t, s) // and once at rest
+}

@@ -121,6 +121,25 @@ func (a *admission) dequeued(j *dataflow.Job) {
 	j.Queued.Add(-1)
 }
 
+// enqueuedN and dequeuedN are the batch forms: one atomic pair covers a
+// whole drain batch or a grouped delivery, where the per-message forms
+// would pay the pair per message.
+func (a *admission) enqueuedN(j *dataflow.Job, n int) {
+	if n == 0 {
+		return
+	}
+	a.queued.Add(int64(n))
+	j.Queued.Add(int64(n))
+}
+
+func (a *admission) dequeuedN(j *dataflow.Job, n int) {
+	if n == 0 {
+		return
+	}
+	a.queued.Add(int64(-n))
+	j.Queued.Add(int64(-n))
+}
+
 // admit is the ingest-side gate: n is the number of messages the batch
 // will fan out into (stage-0 parallelism — known before any message is
 // created, so a refused batch allocates nothing). try forces backpressure

@@ -10,6 +10,7 @@ package runtime_test
 // aggregation handlers — amortized, not per-message).
 
 import (
+	"fmt"
 	"runtime/debug"
 	"testing"
 	"time"
@@ -139,6 +140,64 @@ func TestAllocsEngineSteadyStateAdmission(t *testing.T) {
 					mode, allocs, maxAllocsPerWindowCycle)
 			}
 		})
+	}
+}
+
+// TestAllocsEngineSteadyStateDrainBatch extends the alloc gate to the
+// batched drain path (ISSUE 5 satellite): the window-cycle budget must be
+// the same at every DrainBatch setting — the batch buffer is allocated
+// once per worker at startup, popMsgs/deliver reuse caller scratch, and
+// the grouped-delivery walk indexes in place — so batching adds zero
+// steady-state allocations. A per-batch or per-group allocation creeping
+// in would show up here as extra allocations per cycle at DrainBatch>1.
+func TestAllocsEngineSteadyStateDrainBatch(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSharded, runtime.DispatchSingleLock} {
+		for _, batch := range []int{1, 16, 64} {
+			t.Run(fmt.Sprintf("%v/batch%d", mode, batch), func(t *testing.T) {
+				defer debug.SetGCPercent(debug.SetGCPercent(-1))
+				const sources, warm, runs = 4, 60, 80
+				win := 10 * vtime.Millisecond
+				e := runtime.New(runtime.Config{Workers: 1, Dispatch: mode, DrainBatch: batch})
+				if _, err := e.AddJob(testkit.AggSpec("j", sources, 4, win, 100*vtime.Millisecond)); err != nil {
+					t.Fatal(err)
+				}
+				e.Start()
+				defer e.Stop()
+
+				wl := testkit.Workload{Seed: 9, Sources: sources, Windows: warm + runs + 2, Tuples: 4, Keys: 16, Win: win}
+				batches := make([][]*dataflow.Batch, wl.Windows+1)
+				for w := 1; w <= wl.Windows; w++ {
+					batches[w] = make([]*dataflow.Batch, sources)
+					for src := 0; src < sources; src++ {
+						batches[w][src] = wl.Batch(src, w)
+					}
+				}
+				w := 0
+				cycle := func() {
+					w++
+					for src := 0; src < sources; src++ {
+						if err := e.Ingest("j", src, batches[w][src], wl.Progress(w)); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if !e.Drain(10 * time.Second) {
+						t.Fatal("engine did not drain")
+					}
+				}
+				for i := 0; i < warm; i++ {
+					cycle()
+				}
+				allocs := testing.AllocsPerRun(runs, cycle)
+				t.Logf("%v DrainBatch=%d: %.2f allocs per window cycle", mode, batch, allocs)
+				if allocs > maxAllocsPerWindowCycle {
+					t.Errorf("%v DrainBatch=%d: window cycle allocates %.1f times, budget %.0f — the batch-drain path allocates",
+						mode, batch, allocs, maxAllocsPerWindowCycle)
+				}
+			})
+		}
 	}
 }
 

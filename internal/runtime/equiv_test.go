@@ -77,6 +77,13 @@ func runtimeOrder(t *testing.T, mode runtime.DispatchMode) []execKey {
 }
 
 func runtimeOrderSched(t *testing.T, kind core.SchedulerKind, mode runtime.DispatchMode) []execKey {
+	// DrainBatch 1 pins the exact unbatched one-lock-per-pop schedule the
+	// simulator's sequential dispatcher produces; batch_test.go separately
+	// pins DrainBatch>1 against this reference.
+	return runtimeOrderBatch(t, kind, mode, 1)
+}
+
+func runtimeOrderBatch(t *testing.T, kind core.SchedulerKind, mode runtime.DispatchMode, drainBatch int) []execKey {
 	t.Helper()
 	wl := equivWorkload()
 	e := runtime.New(runtime.Config{
@@ -85,6 +92,7 @@ func runtimeOrderSched(t *testing.T, kind core.SchedulerKind, mode runtime.Dispa
 		Policy:     testkit.ProgressPolicy{},
 		Quantum:    vtime.Hour,
 		Dispatch:   mode,
+		DrainBatch: drainBatch,
 		TraceLimit: equivTraceLimit,
 	})
 	if e.Dispatch() != mode {

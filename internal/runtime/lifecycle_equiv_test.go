@@ -91,6 +91,7 @@ func churnScript(t *testing.T, kind core.SchedulerKind, mode runtime.DispatchMod
 		Policy:     testkit.ProgressPolicy{},
 		Quantum:    vtime.Hour,
 		Dispatch:   mode,
+		DrainBatch: 1, // pin the unbatched schedule (see runtimeOrderSched)
 		TraceLimit: equivTraceLimit,
 	})
 	if _, err := e.AddJob(testkit.AggSpec("keep", keep.Sources, 2, keep.Win, vtime.Second)); err != nil {

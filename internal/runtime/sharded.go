@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -137,9 +138,9 @@ func newShardedPath(e *Engine, workers int) *shardedPath {
 	}
 }
 
-// home returns the state shard owning op.
+// home returns the state shard owning op (index precomputed at AddJob).
 func (p *shardedPath) home(op *dataflow.Operator) *stateShard {
-	return &p.states[homeIdx(op.Name, p.workers)]
+	return &p.states[op.Sched().Home]
 }
 
 // laneFor picks the run-queue lane for a newly runnable operator. Workers
@@ -204,14 +205,28 @@ func (p *shardedPath) push(op *dataflow.Operator, m *core.Message, producer int)
 	p.signal(lane)
 }
 
-// ingest is the batched fast path: the batch's messages are walked once
-// per home shard so each shard lock is taken once per batch, not once per
-// message. Batches are small (one message per stage-0 instance), so the
-// grouping is a shard-indexed scan rather than an allocated index.
+// ingest is the batched external-arrival path; the worker loop routes its
+// own children through the same grouped delivery with itself as producer.
 func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
-	if len(msgs) <= 1 || p.workers > 63 {
+	p.deliver(msgs, -1)
+}
+
+// deliver enqueues a batch of messages, walking it once per home shard so
+// each shard lock is taken once per batch (not once per message) and once
+// per *target* inside that lock, so each runnable operator gets exactly
+// one run-queue re-key or lane push for the whole group — the batched
+// counterpart of push. producer is the delivering worker, or -1 for
+// external arrivals. Consumed entries have their Msg nil'ed (the slice is
+// the caller's scratch, rebuilt on its next use). Batches are small (one
+// message per stage-0 instance, or one execution's fan-out), so the
+// grouping is a shard-indexed scan rather than an allocated index.
+func (p *shardedPath) deliver(msgs []dataflow.ChildMessage, producer int) {
+	if len(msgs) == 0 {
+		return
+	}
+	if len(msgs) == 1 || p.workers > 63 {
 		for _, cm := range msgs {
-			p.push(cm.Target, cm.Msg, -1)
+			p.push(cm.Target, cm.Msg, producer)
 		}
 		return
 	}
@@ -220,27 +235,40 @@ func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
 	for shard := 0; shard < p.workers && done < len(msgs); shard++ {
 		hs := &p.states[shard]
 		locked := false
-		for _, cm := range msgs {
-			if homeIdx(cm.Target.Name, p.workers) != shard {
+		for i := range msgs {
+			if msgs[i].Msg == nil || int(msgs[i].Target.Sched().Home) != shard {
 				continue
 			}
 			if !locked {
 				hs.mu.Lock()
 				locked = true
 			}
-			done++
-			op := cm.Target
+			op := msgs[i].Target
 			st := op.Sched()
 			if st.Phase == core.OpDead {
 				// discardMessage takes no locks, so dropping under the
 				// shard lock is safe and keeps the one-lock-per-batch
 				// shape.
-				p.e.discardMessage(op.Job, cm.Msg)
+				for j := i; j < len(msgs); j++ {
+					if msgs[j].Msg != nil && msgs[j].Target == op {
+						p.e.discardMessage(op.Job, msgs[j].Msg)
+						msgs[j].Msg = nil
+						done++
+					}
+				}
 				continue
 			}
 			oldHead := st.Q.Peek()
-			st.Q.Push(cm.Msg)
-			p.e.adm.enqueued(op.Job)
+			pushed := 0
+			for j := i; j < len(msgs); j++ {
+				if msgs[j].Msg != nil && msgs[j].Target == op {
+					st.Q.Push(msgs[j].Msg)
+					msgs[j].Msg = nil
+					pushed++
+					done++
+				}
+			}
+			p.e.adm.enqueuedN(op.Job, pushed)
 			switch {
 			case st.Acquired || st.Phase == core.OpPaused:
 			case st.Lane != laneNone:
@@ -248,7 +276,7 @@ func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
 					p.runq.Update(int(st.Lane), op, core.GlobalPri(head))
 				}
 			default:
-				lane := p.laneFor(-1)
+				lane := p.laneFor(producer)
 				st.Lane = int32(lane)
 				p.runq.Push(lane, op, core.GlobalPri(st.Q.Peek()))
 				signalMask |= 1 << uint(lane+1) // +1 folds GlobalLane(-1) to bit 0
@@ -258,12 +286,9 @@ func (p *shardedPath) ingest(msgs []dataflow.ChildMessage) {
 			hs.mu.Unlock()
 		}
 	}
-	if signalMask != 0 {
-		for lane := -1; lane < p.workers; lane++ {
-			if signalMask&(1<<uint(lane+1)) != 0 {
-				p.signal(lane)
-			}
-		}
+	// Walk only the set bits instead of testing every lane.
+	for m := signalMask; m != 0; m &= m - 1 {
+		p.signal(bits.TrailingZeros64(m) - 1)
 	}
 }
 
@@ -486,22 +511,65 @@ func (p *shardedPath) acquire(w int) (*dataflow.Operator, bool) {
 	}
 }
 
-// popMsg removes the next message of an acquired operator in PriLocal
-// order. A non-live operator yields nothing — a pause or cancel that
-// landed mid-drain stops the holding worker at the next message boundary.
-// (Drain does not watch the pending count — e.outstanding retires a
-// message only after execution — so the pop creates no idle window.)
-func (p *shardedPath) popMsg(op *dataflow.Operator) (*core.Message, bool) {
+// popMsgs removes up to len(buf) messages of an acquired operator in
+// PriLocal order under ONE home-shard lock — the batch-drain entry point
+// that amortizes what used to be a lock per pop. A non-live operator
+// yields nothing — a pause or cancel that landed between batches stops
+// the holding worker here; one that lands mid-batch is caught by the
+// worker's lifecycle-epoch check. (Drain does not watch the pending
+// count — e.outstanding retires a message only after execution — so the
+// pops create no idle window.)
+func (p *shardedPath) popMsgs(op *dataflow.Operator, buf []*core.Message) int {
 	hs := p.home(op)
 	hs.mu.Lock()
 	defer hs.mu.Unlock()
 	st := op.Sched()
-	if st.Phase != core.OpLive || st.Q.Len() == 0 {
-		return nil, false
+	if st.Phase != core.OpLive {
+		return 0
 	}
-	m := st.Q.Pop()
-	p.e.adm.dequeued(op.Job)
-	return m, true
+	n := st.Q.PopInto(buf)
+	p.e.adm.dequeuedN(op.Job, n)
+	return n
+}
+
+// opLive reports op's phase under its home-shard lock — the worker's
+// mid-batch re-check when the lifecycle epoch moved.
+func (p *shardedPath) opLive(op *dataflow.Operator) bool {
+	hs := p.home(op)
+	hs.mu.Lock()
+	live := op.Sched().Phase == core.OpLive
+	hs.mu.Unlock()
+	return live
+}
+
+// returnUndrained disposes of the unexecuted tail of a drain batch when
+// the worker must stop mid-batch (engine stop, or a pause/cancel caught
+// by the epoch check): messages go back into the operator's queue with
+// the admission accounting re-armed while the operator still has a queue
+// to hold them (live or paused — heap order restores by priority), or
+// follow the cancel path's discard with conservation intact when the
+// operator died (cancel already emptied its queue; these stragglers were
+// in our buffer when it swept). The caller still holds op acquired, so no
+// run-queue fix-up happens here — its release re-keys or parks as usual.
+func (p *shardedPath) returnUndrained(op *dataflow.Operator, msgs []*core.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	if st.Phase == core.OpDead {
+		hs.mu.Unlock()
+		for _, m := range msgs {
+			p.e.discardMessage(op.Job, m)
+		}
+		return
+	}
+	for _, m := range msgs {
+		st.Q.Push(m)
+	}
+	p.e.adm.enqueuedN(op.Job, len(msgs))
+	hs.mu.Unlock()
 }
 
 // release returns an acquired operator to the scheduler: requeued on the
@@ -529,7 +597,10 @@ func (p *shardedPath) release(op *dataflow.Operator, w int) {
 // (own lane or overflow lane) is strictly more urgent than op's next
 // message. Other workers' lanes are deliberately not scanned — their
 // owners or thieves will get to them, and a cheap decision point is the
-// point of the quantum.
+// point of the quantum. Both waiting-lane peeks are lock-free top-cache
+// reads (one atomic load each — no lane lock, and no separate LaneLen
+// pre-check: emptiness rides in the cached word), so past the home-shard
+// read the whole decision is two atomic loads.
 func (p *shardedPath) shouldYield(op *dataflow.Operator, w int) bool {
 	hs := p.home(op)
 	hs.mu.Lock()
@@ -542,21 +613,29 @@ func (p *shardedPath) shouldYield(op *dataflow.Operator, w int) bool {
 	}
 	mine := core.GlobalPri(st.Q.Peek())
 	hs.mu.Unlock()
-	if _, lp, ok := p.runq.PeekLane(w); ok && lp.Less(mine) {
+	if lp, ok := p.runq.TopOf(w); ok && lp.Less(mine) {
 		return true
 	}
-	if p.runq.LaneLen(queue.GlobalLane) > 0 {
-		if _, gp, ok := p.runq.PeekLane(queue.GlobalLane); ok && gp.Less(mine) {
-			return true
-		}
+	if gp, ok := p.runq.TopOf(queue.GlobalLane); ok && gp.Less(mine) {
+		return true
 	}
 	return false
 }
 
 // worker is the scheduling loop of one pool thread on the sharded path.
+// The drain phase is batched: up to Config.DrainBatch messages leave the
+// acquired operator's queue under one home-shard lock (popMsgs) into the
+// worker's scratch buffer, children are delivered grouped (one lock per
+// target shard), and the quantum/yield decision moves to batch
+// boundaries. Mid-batch, the only per-message scheduling cost is two
+// atomic loads (stop flag, lifecycle epoch); a moved epoch sends the
+// worker back to the home lock so pause and cancel keep their
+// message-boundary responsiveness, with the batch tail returned or
+// discarded (returnUndrained) so conservation holds.
 func (p *shardedPath) worker(w int) {
 	e := p.e
 	env := e.envs[w]
+	buf := make([]*core.Message, e.cfg.DrainBatch)
 	defer e.wg.Done()
 	for {
 		op, ok := p.acquire(w)
@@ -570,19 +649,35 @@ func (p *shardedPath) worker(w int) {
 			p.shedOpDoomed(op, e.clock.Now())
 		}
 		acquired := e.clock.Now()
+	drain:
 		for {
-			m, ok := p.popMsg(op)
-			if !ok {
+			epoch := e.lifeEpoch.Load()
+			n := p.popMsgs(op, buf)
+			if n == 0 {
 				p.release(op, w)
 				break
 			}
-			children, now := e.execMessage(op, m, env)
-			for _, cm := range children {
-				p.push(cm.Target, cm.Msg, w)
-			}
-			if e.stopped.Load() {
-				p.release(op, w)
-				return
+			var now vtime.Time
+			for i := 0; i < n; i++ {
+				var children []dataflow.ChildMessage
+				children, now = e.execMessage(op, buf[i], env)
+				p.deliver(children, w)
+				if e.stopped.Load() {
+					p.returnUndrained(op, buf[i+1:n])
+					p.release(op, w)
+					return
+				}
+				if i+1 < n && e.lifeEpoch.Load() != epoch {
+					// A pause or cancel completed somewhere since this
+					// batch was popped; re-check our operator before
+					// executing more of its messages.
+					epoch = e.lifeEpoch.Load()
+					if !p.opLive(op) {
+						p.returnUndrained(op, buf[i+1:n])
+						p.release(op, w)
+						break drain
+					}
+				}
 			}
 			if now-acquired >= e.cfg.Quantum {
 				// Re-scheduling decision point: swap if more urgent work

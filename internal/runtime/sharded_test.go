@@ -46,11 +46,10 @@ func TestShardedAcquireStealsMostUrgent(t *testing.T) {
 		if !ok || op != want {
 			t.Fatalf("acquire(1) = %v, want %v", op.Name, want.Name)
 		}
-		m, ok := p.popMsg(op)
-		if !ok {
+		var buf [1]*core.Message
+		if n := p.popMsgs(op, buf[:]); n != 1 {
 			t.Fatalf("stolen op %v has no message", op.Name)
 		}
-		_ = m
 		p.release(op, 1)
 	}
 	if e.Pending() != 0 {
@@ -77,8 +76,12 @@ func TestShardedRekeyOnNewHead(t *testing.T) {
 	if !ok || op != a {
 		t.Fatalf("acquire = %v, want re-keyed op %v", op.Name, a.Name)
 	}
-	if m, _ := p.popMsg(op); m.ID != 3 {
-		t.Fatalf("head message ID = %d, want 3 (PriLocal order)", m.ID)
+	var buf [1]*core.Message
+	if n := p.popMsgs(op, buf[:]); n != 1 {
+		t.Fatalf("popMsgs = %d, want 1", n)
+	}
+	if buf[0].ID != 3 {
+		t.Fatalf("head message ID = %d, want 3 (PriLocal order)", buf[0].ID)
 	}
 }
 

@@ -115,8 +115,9 @@ func newShardedBaselinePath(e *Engine, cfg Config) *shardedBaselinePath {
 	return p
 }
 
+// home returns the state shard owning op (index precomputed at AddJob).
 func (p *shardedBaselinePath) home(op *dataflow.Operator) *stateShard {
-	return &p.states[homeIdx(op.Name, p.workers)]
+	return &p.states[op.Sched().Home]
 }
 
 // push enqueues one message, scheduling the target operator if it was
@@ -145,15 +146,28 @@ func (p *shardedBaselinePath) push(op *dataflow.Operator, m *core.Message, produ
 	}
 }
 
-// ingest is the batched fast path, mirroring the Cameo sharded path's
-// shape: the batch's messages are walked once per home shard so each
-// state-shard lock is taken once per batch, not once per message. The
-// run-queue Adds stay inside the shard lock (the same state-shard →
-// run-queue hierarchy push uses); one signal at the end wakes the pool.
+// ingest is the batched external-arrival path; the worker loop routes its
+// own children through the same grouped delivery with itself as producer.
 func (p *shardedBaselinePath) ingest(msgs []dataflow.ChildMessage) {
-	if len(msgs) <= 1 {
+	p.deliver(msgs, -1)
+}
+
+// deliver enqueues a batch of messages, mirroring the Cameo sharded
+// path's grouped shape: the batch is walked once per home shard so each
+// state-shard lock is taken once per batch (not once per message), and
+// once per *target* inside that lock, so each newly runnable operator
+// gets exactly one run-queue Add (under the shard lock — the same
+// state-shard → run-queue hierarchy push uses). producer is the
+// delivering worker (bag locality), or -1 for external arrivals.
+// Consumed entries have their Msg nil'ed (the slice is caller scratch,
+// rebuilt on its next use); one signal at the end wakes the pool.
+func (p *shardedBaselinePath) deliver(msgs []dataflow.ChildMessage, producer int) {
+	if len(msgs) == 0 {
+		return
+	}
+	if len(msgs) == 1 {
 		for _, cm := range msgs {
-			p.push(cm.Target, cm.Msg, -1)
+			p.push(cm.Target, cm.Msg, producer)
 		}
 		return
 	}
@@ -162,26 +176,39 @@ func (p *shardedBaselinePath) ingest(msgs []dataflow.ChildMessage) {
 	for shard := 0; shard < p.workers && done < len(msgs); shard++ {
 		hs := &p.states[shard]
 		locked := false
-		for _, cm := range msgs {
-			if homeIdx(cm.Target.Name, p.workers) != shard {
+		for i := range msgs {
+			if msgs[i].Msg == nil || int(msgs[i].Target.Sched().Home) != shard {
 				continue
 			}
 			if !locked {
 				hs.mu.Lock()
 				locked = true
 			}
-			done++
-			op := cm.Target
+			op := msgs[i].Target
 			st := op.Sched()
 			if st.Phase == core.OpDead {
-				p.e.discardMessage(op.Job, cm.Msg)
+				for j := i; j < len(msgs); j++ {
+					if msgs[j].Msg != nil && msgs[j].Target == op {
+						p.e.discardMessage(op.Job, msgs[j].Msg)
+						msgs[j].Msg = nil
+						done++
+					}
+				}
 				continue
 			}
-			st.FIFO.PushBack(cm.Msg)
-			p.e.adm.enqueued(op.Job)
+			pushed := 0
+			for j := i; j < len(msgs); j++ {
+				if msgs[j].Msg != nil && msgs[j].Target == op {
+					st.FIFO.PushBack(msgs[j].Msg)
+					msgs[j].Msg = nil
+					pushed++
+					done++
+				}
+			}
+			p.e.adm.enqueuedN(op.Job, pushed)
 			if !st.OnQueue && st.Phase == core.OpLive {
 				st.OnQueue = true
-				p.runq.Add(-1, op)
+				p.runq.Add(producer, op)
 				scheduled = true
 			}
 		}
@@ -190,7 +217,7 @@ func (p *shardedBaselinePath) ingest(msgs []dataflow.ChildMessage) {
 		}
 	}
 	if scheduled {
-		p.signal(-1)
+		p.signal(producer)
 	}
 }
 
@@ -373,23 +400,57 @@ func (p *shardedBaselinePath) acquire(w int) (*dataflow.Operator, bool) {
 	}
 }
 
-// popMsg removes the next message of a held operator in FIFO order. A
-// non-live operator yields nothing, stopping the holding worker at the
-// next message boundary.
-func (p *shardedBaselinePath) popMsg(op *dataflow.Operator) (*core.Message, bool) {
+// popMsgs removes up to len(buf) messages of a held operator in FIFO
+// order under ONE home-shard lock (see shardedPath.popMsgs). A non-live
+// operator yields nothing, stopping the holding worker at the next batch
+// boundary; mid-batch transitions are caught by the worker's
+// lifecycle-epoch check.
+func (p *shardedBaselinePath) popMsgs(op *dataflow.Operator, buf []*core.Message) int {
 	hs := p.home(op)
 	hs.mu.Lock()
 	st := op.Sched()
 	if st.Phase != core.OpLive {
 		hs.mu.Unlock()
-		return nil, false
+		return 0
 	}
-	m, ok := st.FIFO.PopFront()
-	if ok {
-		p.e.adm.dequeued(op.Job)
-	}
+	n := st.FIFO.PopFrontInto(buf)
+	p.e.adm.dequeuedN(op.Job, n)
 	hs.mu.Unlock()
-	return m, ok
+	return n
+}
+
+// opLive reports op's phase under its home-shard lock — the worker's
+// mid-batch re-check when the lifecycle epoch moved.
+func (p *shardedBaselinePath) opLive(op *dataflow.Operator) bool {
+	hs := p.home(op)
+	hs.mu.Lock()
+	live := op.Sched().Phase == core.OpLive
+	hs.mu.Unlock()
+	return live
+}
+
+// returnUndrained disposes of the unexecuted tail of a drain batch when
+// the worker must stop mid-batch: prepended back onto the ring in its
+// original arrival order (with admission accounting re-armed) while the
+// operator still has a queue to hold it, discarded with conservation
+// intact when a cancel emptied the queue out from under the batch.
+func (p *shardedBaselinePath) returnUndrained(op *dataflow.Operator, msgs []*core.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	if st.Phase == core.OpDead {
+		hs.mu.Unlock()
+		for _, m := range msgs {
+			p.e.discardMessage(op.Job, m)
+		}
+		return
+	}
+	st.FIFO.UnpopFront(msgs)
+	p.e.adm.enqueuedN(op.Job, len(msgs))
+	hs.mu.Unlock()
 }
 
 // release returns a held operator: drained (or paused/cancelled)
@@ -410,12 +471,16 @@ func (p *shardedBaselinePath) release(op *dataflow.Operator, w int) {
 	p.signal(w)
 }
 
-// worker is the scheduling loop of one pool thread. The yield rule is the
-// baselines': after a quantum, release whenever any other operator is
-// runnable — plain time-slicing with no notion of urgency.
+// worker is the scheduling loop of one pool thread, batch-draining like
+// the Cameo sharded worker (popMsgs under one home lock, grouped child
+// delivery, quantum check at batch boundaries, lifecycle-epoch watch
+// mid-batch). The yield rule is the baselines': after a quantum, release
+// whenever any other operator is runnable — plain time-slicing with no
+// notion of urgency.
 func (p *shardedBaselinePath) worker(w int) {
 	e := p.e
 	env := e.envs[w]
+	buf := make([]*core.Message, e.cfg.DrainBatch)
 	defer e.wg.Done()
 	for {
 		op, ok := p.acquire(w)
@@ -427,19 +492,32 @@ func (p *shardedBaselinePath) worker(w int) {
 			p.shedOpDoomed(op, e.clock.Now())
 		}
 		acquired := e.clock.Now()
+	drain:
 		for {
-			m, ok := p.popMsg(op)
-			if !ok {
+			epoch := e.lifeEpoch.Load()
+			n := p.popMsgs(op, buf)
+			if n == 0 {
 				p.release(op, w)
 				break
 			}
-			children, now := e.execMessage(op, m, env)
-			for _, cm := range children {
-				p.push(cm.Target, cm.Msg, w)
-			}
-			if e.stopped.Load() {
-				p.release(op, w)
-				return
+			var now vtime.Time
+			for i := 0; i < n; i++ {
+				var children []dataflow.ChildMessage
+				children, now = e.execMessage(op, buf[i], env)
+				p.deliver(children, w)
+				if e.stopped.Load() {
+					p.returnUndrained(op, buf[i+1:n])
+					p.release(op, w)
+					return
+				}
+				if i+1 < n && e.lifeEpoch.Load() != epoch {
+					epoch = e.lifeEpoch.Load()
+					if !p.opLive(op) {
+						p.returnUndrained(op, buf[i+1:n])
+						p.release(op, w)
+						break drain
+					}
+				}
 			}
 			if now-acquired >= e.cfg.Quantum {
 				if p.runq.Len() > 0 {

@@ -8,6 +8,25 @@ import (
 	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
+// requeueLocked disposes of the unexecuted tail of a drain batch when the
+// worker stops mid-batch: un-popped back to the front of op's queue (with
+// the admission accounting re-armed) while op still has a queue to hold
+// it, discarded with conservation intact when op was cancelled. Caller
+// holds p.mu.
+func (p *singleLockPath) requeueLocked(op *dataflow.Operator, msgs []*core.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	if op.Sched().Phase == core.OpDead {
+		for _, m := range msgs {
+			p.e.discardMessage(op.Job, m)
+		}
+		return
+	}
+	p.disp.Unpop(op, msgs)
+	p.e.adm.enqueuedN(op.Job, len(msgs))
+}
+
 // singleLockPath is the original dispatch strategy: the sequential
 // core.Dispatcher guarded by one engine-wide mutex, with a condition
 // variable waking idle workers. It supports every SchedulerKind (the
@@ -177,10 +196,18 @@ func (p *singleLockPath) shedOpDoomedLocked(op *dataflow.Operator, now vtime.Tim
 }
 
 // worker is the scheduling loop of one pool thread, the real-time
-// incarnation of the sequential dispatcher protocol.
+// incarnation of the sequential dispatcher protocol. The drain phase is
+// batched like the sharded paths': up to Config.DrainBatch messages leave
+// the acquired operator per PopMsgs call, so the engine mutex is taken
+// once per batch for popping instead of once per message (children still
+// re-take it per execution — they must be routed before the env's scratch
+// is reused). The quantum/yield decision moves to batch boundaries; a
+// pause or cancel landing mid-batch is observed at the per-message relock
+// and the batch tail is un-popped or discarded (requeueLocked).
 func (p *singleLockPath) worker(id int) {
 	e := p.e
 	env := e.envs[id]
+	buf := make([]*core.Message, e.cfg.DrainBatch)
 	defer e.wg.Done()
 	p.mu.Lock()
 	for {
@@ -202,37 +229,44 @@ func (p *singleLockPath) worker(id int) {
 			p.shedOpDoomedLocked(op, e.clock.Now())
 		}
 		acquired := e.clock.Now()
+	drain:
 		for {
-			m, ok := p.disp.PopMsg(op)
-			if !ok {
+			n := p.disp.PopMsgs(op, buf)
+			if n == 0 {
 				p.disp.Done(op, id)
 				p.cond.Broadcast() // Done may have requeued the operator
 				break
 			}
-			p.e.adm.dequeued(op.Job)
-			p.mu.Unlock()
-
-			children, now := e.execMessage(op, m, env)
-
-			p.mu.Lock()
-			for _, cm := range children {
-				p.pushLocked(cm.Target, cm.Msg, id)
-			}
-			if len(children) > 0 {
-				p.cond.Broadcast()
-			}
-			if e.stopped.Load() {
-				p.disp.Done(op, id)
+			p.e.adm.dequeuedN(op.Job, n)
+			var now vtime.Time
+			for i := 0; i < n; i++ {
 				p.mu.Unlock()
-				return
-			}
-			// A pause or cancel landed while we executed: stop draining
-			// the operator before touching its queue again — a cancelled
-			// job's queues are torn down once it quiesces, so the phase
-			// gate here (and inside Done) is load-bearing, not cosmetic.
-			if op.Sched().Phase != core.OpLive {
-				p.disp.Done(op, id)
-				break
+
+				var children []dataflow.ChildMessage
+				children, now = e.execMessage(op, buf[i], env)
+
+				p.mu.Lock()
+				for _, cm := range children {
+					p.pushLocked(cm.Target, cm.Msg, id)
+				}
+				if len(children) > 0 {
+					p.cond.Broadcast()
+				}
+				if e.stopped.Load() {
+					p.requeueLocked(op, buf[i+1:n])
+					p.disp.Done(op, id)
+					p.mu.Unlock()
+					return
+				}
+				// A pause or cancel landed while we executed: stop draining
+				// the operator before touching its queue again — a cancelled
+				// job's queues are torn down once it quiesces, so the phase
+				// gate here (and inside Done) is load-bearing, not cosmetic.
+				if op.Sched().Phase != core.OpLive {
+					p.requeueLocked(op, buf[i+1:n])
+					p.disp.Done(op, id)
+					break drain
+				}
 			}
 			if now-acquired >= e.cfg.Quantum {
 				// Re-scheduling decision point: swap if more urgent work
