@@ -1,0 +1,45 @@
+package main
+
+// benchEnv stamps the measurement environment into every BENCH_*.json so
+// numbers from different hosts stay distinguishable in the perf
+// trajectory — a 1-vCPU CI builder and a multicore dev box produce
+// incomparable msg/s, and without the stamp the JSONs look identical
+// (ROADMAP's multicore-validation item).
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// benchEnv is embedded in each report struct, so its fields appear as
+// top-level JSON keys (gomaxprocs keeps its pre-existing key).
+type benchEnv struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GitSHA     string `json:"git_sha"`
+	GoVersion  string `json:"go_version"`
+}
+
+// captureEnv reads the environment stamp: GITHUB_SHA when CI provides it,
+// otherwise the working tree's HEAD, otherwise "unknown".
+func captureEnv() benchEnv {
+	return benchEnv{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GitSHA:     gitSHA(),
+		GoVersion:  runtime.Version(),
+	}
+}
+
+func gitSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

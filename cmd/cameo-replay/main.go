@@ -1,0 +1,187 @@
+// cameo-replay replays a JSON workload spec deterministically and reports
+// an SLO verdict — the capacity-planning harness of EXPERIMENTS.md.
+//
+// A spec describes an engine shape (workers, scheduler, admission budgets)
+// and per-tenant workloads (arrival process, dataflow shape, deadline and
+// shed-tolerance SLOs). The same spec replays on the virtual-time simulator
+// (byte-reproducible under one seed) and on the real-time engine
+// (statistically comparable, with real admission effects), and the verdict
+// says pass/fail per tenant instead of leaving latency plots to the reader.
+//
+// Examples:
+//
+//	cameo-replay                              # builtin CI spec, both engines
+//	cameo-replay -mode sim -json BENCH_replay.json
+//	cameo-replay -spec capacity.json -mode runtime -strict
+//	cameo-replay -emit-spec > my-spec.json    # starting point to edit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+	"github.com/cameo-stream/cameo/internal/workload"
+	"github.com/cameo-stream/cameo/internal/workload/replay"
+)
+
+// report is the BENCH_replay.json shape: env-stamped verdicts from each
+// requested engine.
+type report struct {
+	Workload string `json:"workload"`
+	benchEnv
+	Spec     string            `json:"spec"`
+	Seed     uint64            `json:"seed"`
+	Verdicts []*replay.Verdict `json:"verdicts"`
+	Pass     bool              `json:"pass"`
+}
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "JSON workload spec path (empty = builtin CI spec)")
+		mode     = flag.String("mode", "both", "sim, runtime, or both")
+		seed     = flag.Uint64("seed", 0, "override the spec seed (0 keeps the spec's)")
+		jsonPath = flag.String("json", "", "write the verdict report to this path")
+		emitSpec = flag.Bool("emit-spec", false, "print the builtin spec as JSON and exit")
+		strict   = flag.Bool("strict", false, "exit 1 when any tenant misses its SLO")
+	)
+	flag.Parse()
+
+	spec := builtinSpec()
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		if spec, err = workload.ParseSpec(data); err != nil {
+			fatal(err)
+		}
+	}
+	if *seed != 0 {
+		spec.Seed = *seed
+	}
+	if *emitSpec {
+		out, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	rep := &report{
+		Workload: "replay",
+		benchEnv: captureEnv(),
+		Spec:     spec.Name,
+		Seed:     spec.Seed,
+		Pass:     true,
+	}
+	run := func(name string, driver func(*workload.Spec) (*replay.Verdict, error)) {
+		fmt.Printf("== %s replay: spec %q, seed %d ==\n", name, spec.Name, spec.Seed)
+		v, err := driver(spec)
+		if err != nil {
+			fatal(err)
+		}
+		printVerdict(v)
+		rep.Verdicts = append(rep.Verdicts, v)
+		rep.Pass = rep.Pass && v.Pass
+	}
+	switch *mode {
+	case "sim":
+		run("sim", replay.Sim)
+	case "runtime":
+		run("runtime", replay.Engine)
+	case "both":
+		run("sim", replay.Sim)
+		run("runtime", replay.Engine)
+	default:
+		fmt.Fprintf(os.Stderr, "cameo-replay: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *strict && !rep.Pass {
+		os.Exit(1)
+	}
+}
+
+func printVerdict(v *replay.Verdict) {
+	for _, t := range v.Tenants {
+		status := "PASS"
+		if !t.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("  [%s] %-12s p50 %7.1fms  p99 %7.1fms (deadline %.0fms)  "+
+			"outputs %d  shed %.1f%% (max %.0f%%)\n",
+			status, t.Tenant, t.P50MS, t.P99MS, t.DeadlineMS,
+			t.Outputs, t.ShedFrac*100, t.MaxShedFrac*100)
+	}
+	fmt.Printf("  %d messages executed", v.Messages)
+	if v.Mode == "runtime" {
+		fmt.Printf(", %d created, %d discarded", v.Created, v.Discarded)
+	}
+	fmt.Println()
+}
+
+// builtinSpec is the CI smoke workload: an interactive tenant with Poisson
+// arrivals and a tight deadline sharing the engine with a bursty bulk
+// tenant that tolerates shedding — small enough to replay in about a
+// second of wall time on the real-time engine.
+func builtinSpec() *workload.Spec {
+	spec := &workload.Spec{
+		Name:       "ci-smoke",
+		Seed:       1,
+		DurationUS: 1200 * vtime.Millisecond,
+		Workers:    2,
+		Overload:   "shed",
+		MaxPending: 4096,
+		Tenants: []workload.TenantSpec{
+			{
+				Name:       "interactive",
+				Sources:    2,
+				IntervalUS: 10 * vtime.Millisecond,
+				Arrival:    workload.ArrivalSpec{Kind: "poisson", Rate: 40},
+				Keys:       32,
+				FanOut:     2,
+				WindowUS:   50 * vtime.Millisecond,
+				Spread:     true,
+				SLO:        workload.SLOSpec{DeadlineUS: 80 * vtime.Millisecond},
+			},
+			{
+				Name:       "bulk",
+				Sources:    2,
+				IntervalUS: 10 * vtime.Millisecond,
+				Arrival: workload.ArrivalSpec{
+					Kind: "bursty", Rate: 100, Spike: 400,
+					PeriodUS: 200 * vtime.Millisecond, Duty: 0.25,
+					Jitter: 0.3,
+				},
+				Keys:       64,
+				FanOut:     2,
+				WindowUS:   100 * vtime.Millisecond,
+				MaxPending: 512,
+				SLO:        workload.SLOSpec{DeadlineUS: 500 * vtime.Millisecond, MaxShedFrac: 0.2},
+			},
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err) // builtin spec must always validate
+	}
+	return spec
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cameo-replay: %v\n", err)
+	os.Exit(1)
+}

@@ -30,6 +30,30 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate flags up front: SkewedRates(n=0) would index an empty slice,
+	// and a zero-interval heatmap renders nothing useful. Fail loudly with
+	// the usage exit code instead of panicking.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cameo-trace: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if *n < 1 {
+		fail("-n must be >= 1 (got %d)", *n)
+	}
+	switch *mode {
+	case "heatmap":
+		if *intervals < 1 {
+			fail("-intervals must be >= 1 (got %d)", *intervals)
+		}
+	case "skew":
+		if *total < *n {
+			fail("-total %d cannot feed %d sources (need >= 1 tuple each)", *total, *n)
+		}
+		if *ratio < 1 {
+			fail("-ratio must be >= 1 (got %g)", *ratio)
+		}
+	}
+
 	switch *mode {
 	case "volumes":
 		vols := workload.PowerLawVolumes(*seed, *n, 1.05)
@@ -77,6 +101,7 @@ func main() {
 		for i, r := range rates {
 			fmt.Printf("  src %2d: %6d tuples/s\n", i, r)
 		}
+		// SkewedRates guarantees min >= 1, so the ratio is well-defined.
 		fmt.Printf("observed max/min: %.1fx\n", float64(max)/float64(min))
 
 	default:

@@ -41,7 +41,7 @@ func runMix(kind sim.SchedulerKind, seed uint64, nLS, nBA int, baRate float64,
 		q.Feed = func(fseed uint64) *workload.Feed {
 			return workload.UniformSpread(fseed, sc.Sources, workload.SourceConfig{
 				Interval: interval,
-				Rate:     workload.JitterRate{Inner: workload.ConstantRate(sc.TuplesPerMsg), Frac: 0.5},
+				Rate:     &workload.JitterRate{Inner: workload.ConstantRate(sc.TuplesPerMsg), Frac: 0.5},
 				Keys:     256,
 				Delay:    50 * vtime.Millisecond,
 				End:      horizon,

@@ -63,7 +63,7 @@ func Fig13(seed uint64) *Report {
 		ba.Feed = func(fseed uint64) *workload.Feed {
 			return workload.UniformSpread(fseed, sc.Sources, workload.SourceConfig{
 				Interval: pt.interval,
-				Rate: workload.JitterRate{
+				Rate: &workload.JitterRate{
 					Inner: workload.ConstantRate(pt.batch * 24),
 					Frac:  0.6,
 				},

@@ -53,7 +53,7 @@ func fig14Run(seed uint64, quantum vtime.Duration, interleaved bool) sim.Results
 		q.Feed = func(fseed uint64) *workload.Feed {
 			return workload.UniformSpread(fseed, sc.Sources, workload.SourceConfig{
 				Interval: 250 * vtime.Millisecond,
-				Rate:     workload.JitterRate{Inner: workload.ConstantRate(sc.TuplesPerMsg), Frac: 0.5},
+				Rate:     &workload.JitterRate{Inner: workload.ConstantRate(sc.TuplesPerMsg), Frac: 0.5},
 				Keys:     32,
 				Delay:    50 * vtime.Millisecond,
 				End:      horizon,

@@ -98,6 +98,46 @@ func TestExpMean(t *testing.T) {
 	}
 }
 
+func TestPoissonMoments(t *testing.T) {
+	// Poisson(lambda) has mean lambda and variance lambda; cover both the
+	// Knuth branch (lambda < 10) and the PTRS branch (lambda >= 10),
+	// including a lambda large enough that exp(-lambda) would underflow.
+	for _, lambda := range []float64{0.5, 3, 9.9, 10, 42.5, 800} {
+		r := NewRNG(12)
+		s := NewSample(0)
+		for i := 0; i < 200000; i++ {
+			s.Add(float64(r.Poisson(lambda)))
+		}
+		tol := 3 * math.Sqrt(lambda/200000) // ~3 sigma on the sample mean
+		if m := s.Mean(); math.Abs(m-lambda) > tol {
+			t.Errorf("Poisson(%v) mean = %v, want within %v", lambda, m, tol)
+		}
+		if v := s.StdDev() * s.StdDev(); math.Abs(v-lambda) > 0.05*lambda {
+			t.Errorf("Poisson(%v) variance = %v, want ~lambda", lambda, v)
+		}
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	for _, lambda := range []float64{2, 50} {
+		a, b := NewRNG(13), NewRNG(13)
+		for i := 0; i < 1000; i++ {
+			if a.Poisson(lambda) != b.Poisson(lambda) {
+				t.Fatalf("Poisson(%v) diverged at draw %d under one seed", lambda, i)
+			}
+		}
+	}
+}
+
+func TestPoissonPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Poisson(0)
+}
+
 func TestParetoProperties(t *testing.T) {
 	r := NewRNG(8)
 	// All draws >= xm; heavy tail: some draws far above xm.

@@ -53,6 +53,10 @@ func NewFeed(seed uint64, cfgs ...SourceConfig) *Feed {
 		if cfg.Keys <= 0 {
 			cfg.Keys = 1
 		}
+		// Stateful schedules (fractional-remainder carries) are cloned per
+		// source: Uniform/UniformSpread share one SourceConfig across all
+		// sources, and a shared carry would couple their emissions.
+		cfg.Rate = CloneSchedule(cfg.Rate)
 		f.sources = append(f.sources, &sourceState{
 			cfg:  cfg,
 			rng:  root.Split(),

@@ -37,7 +37,7 @@ type Scale struct {
 // settings.
 func feedOf(sc Scale, seed uint64, n int, cfg SourceConfig) *Feed {
 	if sc.Jitter > 0 {
-		cfg.Rate = JitterRate{Inner: cfg.Rate, Frac: sc.Jitter}
+		cfg.Rate = &JitterRate{Inner: cfg.Rate, Frac: sc.Jitter}
 	}
 	if sc.Spread {
 		return UniformSpread(seed, n, cfg)

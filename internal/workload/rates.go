@@ -7,6 +7,8 @@
 package workload
 
 import (
+	"math"
+
 	"github.com/cameo-stream/cameo/internal/stats"
 	"github.com/cameo-stream/cameo/internal/vtime"
 )
@@ -15,6 +17,39 @@ import (
 // Implementations may draw from rng (deterministic per-source stream).
 type RateSchedule interface {
 	Tuples(t vtime.Time, rng *stats.RNG) int
+}
+
+// Cloneable is implemented by schedules that carry per-source mutable state
+// (the fractional-remainder accumulators of ScaledRate and JitterRate).
+// NewFeed clones such schedules once per source so that sources sharing one
+// SourceConfig stay independent and deterministic.
+type Cloneable interface {
+	CloneSchedule() RateSchedule
+}
+
+// CloneSchedule returns an independent copy of sched when it is stateful
+// and sched itself otherwise. Feed construction applies it to every
+// source's schedule.
+func CloneSchedule(sched RateSchedule) RateSchedule {
+	if c, ok := sched.(Cloneable); ok {
+		return c.CloneSchedule()
+	}
+	return sched
+}
+
+// carryRound converts an exact (possibly fractional) tuple count into an
+// integer emission, banking the remainder in *carry. The emitted running
+// sum tracks the exact running sum to within one tuple at all times, so the
+// realized mean rate converges to the specified mean instead of sitting
+// systematically below it the way per-emission int() truncation does.
+func carryRound(carry *float64, exact float64) int {
+	exact += *carry
+	n := math.Floor(exact)
+	if n < 0 { // defensive: schedules never go negative, but a carry must not
+		n = 0
+	}
+	*carry = exact - n
+	return int(n)
 }
 
 // ConstantRate emits the same tuple count every interval.
@@ -94,32 +129,67 @@ func (o OnOffRate) Tuples(t vtime.Time, _ *stats.RNG) int {
 }
 
 // ScaledRate multiplies another schedule by a constant factor, for sweeping
-// ingestion volume (Fig 8a).
+// ingestion volume (Fig 8a). The fractional part of every scaled count is
+// carried to the next emission (per source — feeds clone the carry state),
+// so the realized mean converges to Factor x the inner mean; truncating
+// each emission independently would sit systematically below spec (Factor
+// 0.5 on a rate of 3 would always yield 1, a 33% shortfall).
 type ScaledRate struct {
 	Inner  RateSchedule
 	Factor float64
+
+	carry float64
 }
 
 // Tuples implements RateSchedule.
-func (s ScaledRate) Tuples(t vtime.Time, rng *stats.RNG) int {
-	return int(float64(s.Inner.Tuples(t, rng)) * s.Factor)
+func (s *ScaledRate) Tuples(t vtime.Time, rng *stats.RNG) int {
+	return carryRound(&s.carry, float64(s.Inner.Tuples(t, rng))*s.Factor)
+}
+
+// CloneSchedule implements Cloneable: the copy starts with a zero carry and
+// an independently cloned inner schedule.
+func (s *ScaledRate) CloneSchedule() RateSchedule {
+	return &ScaledRate{Inner: CloneSchedule(s.Inner), Factor: s.Factor}
 }
 
 // JitterRate multiplies another schedule by a uniform factor in
 // [1-Frac, 1+Frac] per emission — the short-term volume variability every
 // production stream shows (Fig 2c). Without it, evenly-phased constant-rate
-// sources make arrivals deterministic and queueing vanishes.
+// sources make arrivals deterministic and queueing vanishes. Like
+// ScaledRate it carries the fractional remainder across emissions so the
+// realized mean matches the inner schedule's mean.
 type JitterRate struct {
 	Inner RateSchedule
 	Frac  float64
+
+	carry float64
 }
 
 // Tuples implements RateSchedule.
-func (j JitterRate) Tuples(t vtime.Time, rng *stats.RNG) int {
+func (j *JitterRate) Tuples(t vtime.Time, rng *stats.RNG) int {
 	n := float64(j.Inner.Tuples(t, rng))
 	f := 1 + j.Frac*(2*rng.Float64()-1)
 	if f < 0 {
 		f = 0
 	}
-	return int(n * f)
+	return carryRound(&j.carry, n*f)
+}
+
+// CloneSchedule implements Cloneable.
+func (j *JitterRate) CloneSchedule() RateSchedule {
+	return &JitterRate{Inner: CloneSchedule(j.Inner), Frac: j.Frac}
+}
+
+// PoissonRate draws each emission's tuple count from a Poisson distribution
+// with the given mean — the memoryless arrival process of classic queueing
+// models, aggregated per emission interval. It is the replay harness's
+// default open-loop arrival process (capacity questions assume Poisson
+// offered load unless a trace says otherwise).
+type PoissonRate struct {
+	Mean float64
+}
+
+// Tuples implements RateSchedule.
+func (p PoissonRate) Tuples(_ vtime.Time, rng *stats.RNG) int {
+	return int(rng.Poisson(p.Mean))
 }

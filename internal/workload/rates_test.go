@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/cameo-stream/cameo/internal/stats"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// TestRealizedMeanMatchesSpec pins the rate-bias fix: every schedule's
+// realized mean over many intervals must track its specified mean. The old
+// per-emission int() truncation sat systematically below spec — Factor 0.5
+// on ConstantRate(3) yielded a constant 1 (a 33% shortfall), and jitter
+// lost half a tuple per emission on average.
+func TestRealizedMeanMatchesSpec(t *testing.T) {
+	interval := 10 * vtime.Millisecond
+	cases := []struct {
+		name      string
+		sched     RateSchedule
+		mean      float64
+		intervals int
+		tol       float64 // relative tolerance on the realized mean
+	}{
+		{"constant", ConstantRate(7), 7, 10000, 0},
+		{"scaled-half", &ScaledRate{Inner: ConstantRate(3), Factor: 0.5}, 1.5, 10000, 0.001},
+		{"scaled-awkward", &ScaledRate{Inner: ConstantRate(7), Factor: 0.331}, 7 * 0.331, 10000, 0.001},
+		{"bursty", BurstyRate{Base: 10, Spike: 100, Period: 10 * interval, Duty: 0.3},
+			0.3*100 + 0.7*10, 10000, 0.001},
+		{"trace", TraceRate{Counts: []int{5, 0, 12, 3}, Interval: interval}, 5, 10000, 0.001},
+		{"scaled-bursty", &ScaledRate{
+			Inner:  BurstyRate{Base: 10, Spike: 100, Period: 10 * interval, Duty: 0.3},
+			Factor: 0.7}, 0.7 * 37, 10000, 0.001},
+		// Stochastic schedules: the carry bounds rounding error to one
+		// tuple total, so the tolerance is sampling noise only. 100k
+		// intervals push 1-sigma noise well below the 0.5-tuple/emission
+		// truncation bias these cases would show unfixed.
+		{"jitter", &JitterRate{Inner: ConstantRate(50), Frac: 0.9}, 50, 100000, 0.005},
+		{"poisson", PoissonRate{Mean: 40}, 40, 100000, 0.005},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := stats.NewRNG(3)
+			sum := 0
+			for i := 0; i < tc.intervals; i++ {
+				at := vtime.Time(i+1) * interval
+				sum += tc.sched.Tuples(at, rng)
+			}
+			got := float64(sum) / float64(tc.intervals)
+			if tc.tol == 0 {
+				if got != tc.mean {
+					t.Fatalf("realized mean %v, want exactly %v", got, tc.mean)
+				}
+				return
+			}
+			if math.Abs(got-tc.mean) > tc.tol*tc.mean {
+				t.Fatalf("realized mean %v, want %v within %.2f%%",
+					got, tc.mean, tc.tol*100)
+			}
+		})
+	}
+}
+
+// TestCarryBoundsCumulativeError checks the stronger carry invariant: the
+// emitted running sum never drifts more than one tuple from the exact
+// running sum — not just convergence in the mean.
+func TestCarryBoundsCumulativeError(t *testing.T) {
+	sched := &ScaledRate{Inner: ConstantRate(7), Factor: 0.331}
+	exact, emitted := 0.0, 0
+	for i := 0; i < 10000; i++ {
+		emitted += sched.Tuples(vtime.Time(i+1)*vtime.Millisecond, nil)
+		exact += 7 * 0.331
+		if d := math.Abs(exact - float64(emitted)); d >= 1 {
+			t.Fatalf("after %d emissions cumulative error %v >= 1 tuple", i+1, d)
+		}
+	}
+}
+
+// TestNormalizedRowMeanExact checks Heatmap.NormalizedRow's carry: the
+// rescaled row's total must be within one tuple of targetMean * intervals,
+// for bursty rows and for the constant fallback of silent rows.
+func TestNormalizedRowMeanExact(t *testing.T) {
+	h := SynthesizeHeatmap(11, 8, 500, vtime.Second)
+	h.Counts[3] = make([]int, 500) // force one silent row
+	for src := 0; src < h.Sources; src++ {
+		for _, target := range []float64{0.5, 3.7, 250} {
+			row := h.NormalizedRow(src, target)
+			sum := 0
+			for _, c := range row {
+				sum += c
+			}
+			want := target * float64(len(row))
+			// The final carry can round to a whole tuple at float
+			// precision, so allow 1.5; per-cell truncation would be off
+			// by up to half a tuple per interval (hundreds here).
+			if math.Abs(float64(sum)-want) > 1.5 {
+				t.Fatalf("src %d target %v: row sums to %d, want %v within 1.5 tuples",
+					src, target, sum, want)
+			}
+		}
+	}
+}
+
+// TestCloneScheduleIndependence: sources built from one shared stateful
+// schedule must carry independent remainders. With a shared carry, two
+// sources emitting 1.5 tuples/interval would interleave 1,2,1,2 across
+// each other instead of each alternating on its own.
+func TestCloneScheduleIndependence(t *testing.T) {
+	cfg := SourceConfig{
+		Interval: vtime.Second,
+		Rate:     &ScaledRate{Inner: ConstantRate(3), Factor: 0.5},
+		End:      20 * vtime.Second,
+	}
+	f := Uniform(1, 2, cfg)
+	counts := [2][]int{}
+	for step := 0; step < 10; step++ {
+		for src := 0; src < 2; src++ {
+			b, _, _, ok := f.Next(src)
+			if !ok {
+				t.Fatal("stream ended early")
+			}
+			n := 0
+			if b != nil {
+				n = b.Len()
+			}
+			counts[src] = append(counts[src], n)
+		}
+	}
+	for src := 0; src < 2; src++ {
+		sum := 0
+		for i, n := range counts[src] {
+			sum += n
+			// 1.5/interval with an independent carry alternates 1,2,1,2.
+			if want := 1 + i%2; n != want {
+				t.Fatalf("source %d emission %d = %d tuples, want %d (got %v)",
+					src, i, n, want, counts[src])
+			}
+		}
+		if sum != 15 {
+			t.Fatalf("source %d emitted %d tuples over 10 intervals, want 15", src, sum)
+		}
+	}
+}
+
+// TestFeedProgressMonotoneUnderShiftingDelay: a source whose ingestion
+// delay grows mid-stream must still report non-decreasing progress (the
+// clamped lastP path), since progress is a promise no later tuple precedes
+// it.
+func TestFeedProgressMonotoneUnderShiftingDelay(t *testing.T) {
+	f := NewFeed(2, SourceConfig{
+		Interval: vtime.Second,
+		Rate:     ConstantRate(5),
+		Delay:    100 * vtime.Millisecond,
+		End:      30 * vtime.Second,
+	})
+	var last vtime.Time
+	for step := 0; ; step++ {
+		if step == 10 {
+			// The delay jumps by far more than one interval — the raw
+			// t-delay progress would regress by 4 seconds.
+			f.sources[0].cfg.Delay = 5 * vtime.Second
+		}
+		b, p, _, ok := f.Next(0)
+		if !ok {
+			break
+		}
+		if p < last {
+			t.Fatalf("step %d: progress regressed %v -> %v after delay shift", step, last, p)
+		}
+		if b != nil {
+			for i := 0; i < b.Len(); i++ {
+				if b.Times[i] > p {
+					t.Fatalf("step %d: tuple time %v beyond promised progress %v",
+						step, b.Times[i], p)
+				}
+			}
+		}
+		last = p
+	}
+}
+
+// TestFeedEndStaysEnded: once a source's End passes, every further Next
+// must keep returning ok=false (drivers poll sources in loops; a one-shot
+// false that later flipped back would resurrect dead streams).
+func TestFeedEndStaysEnded(t *testing.T) {
+	f := NewFeed(3, SourceConfig{
+		Interval: vtime.Second,
+		Rate:     ConstantRate(1),
+		End:      3 * vtime.Second,
+	})
+	n := 0
+	for {
+		_, _, _, ok := f.Next(0)
+		if !ok {
+			break
+		}
+		n++
+		if n > 100 {
+			t.Fatal("stream never ended")
+		}
+	}
+	if n != 3 {
+		t.Fatalf("expected 3 emissions before end, got %d", n)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, _, ok := f.Next(0); ok {
+			t.Fatalf("Next returned ok=true on call %d after stream end", i+1)
+		}
+	}
+}

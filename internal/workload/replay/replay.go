@@ -1,0 +1,346 @@
+// Package replay runs a workload.Spec on both Cameo engines and renders an
+// SLO verdict — the capacity-planning loop of EXPERIMENTS.md: state a
+// hypothesis as a spec ("2 tenants, this arrival mix, this worker count,
+// these deadlines"), replay it, and read pass/fail per tenant instead of
+// eyeballing latency plots.
+//
+// The two drivers answer different questions with one spec:
+//
+//   - Sim replays on the virtual-time simulator: byte-reproducible under a
+//     fixed seed (the verdict JSON is identical run-to-run), so verdicts can
+//     be diffed in CI.
+//   - Engine replays on the real-time engine with paced, open-loop sources:
+//     statistically comparable to the simulation (same offered load, same
+//     dataflow), plus the admission-layer effects the simulator does not
+//     model — shedding, backpressure rejections.
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/metrics"
+	"github.com/cameo-stream/cameo/internal/runtime"
+	"github.com/cameo-stream/cameo/internal/sim"
+	"github.com/cameo-stream/cameo/internal/vtime"
+	"github.com/cameo-stream/cameo/internal/workload"
+)
+
+// TenantVerdict is one tenant's measured outcome against its SLO. Latency
+// fields are milliseconds (the unit the paper's figures use); counts are
+// engine messages except OfferedBatches/OfferedTuples, which count the
+// source batches the driver offered (before admission).
+type TenantVerdict struct {
+	Tenant      string  `json:"tenant"`
+	DeadlineMS  float64 `json:"deadline_ms"`
+	MaxShedFrac float64 `json:"max_shed_frac"`
+
+	OfferedBatches int64   `json:"offered_batches"`
+	OfferedTuples  int64   `json:"offered_tuples"`
+	Outputs        int64   `json:"outputs"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	SuccessRate    float64 `json:"success_rate"`
+	// Shed counts queued messages discarded by overload shedding; Rejected
+	// counts ingest attempts (batches) refused by backpressure. Both are
+	// zero on the simulator, which has no admission layer.
+	Shed     int64 `json:"shed"`
+	Rejected int64 `json:"rejected"`
+	// ShedFrac is the fraction of offered stage-0 load refused or shed:
+	// (shed + rejected*fan_out) / (offered_batches*fan_out).
+	ShedFrac float64 `json:"shed_frac"`
+
+	PassLatency bool `json:"pass_latency"`
+	PassShed    bool `json:"pass_shed"`
+	Pass        bool `json:"pass"`
+}
+
+// Verdict is a whole replay's outcome: per-tenant verdicts plus engine-wide
+// conservation counters.
+type Verdict struct {
+	// Mode is "sim" or "runtime".
+	Mode string `json:"mode"`
+	// Spec and Seed identify what was replayed.
+	Spec string `json:"spec"`
+	Seed uint64 `json:"seed"`
+	// Messages counts executed messages; Created and Discarded are the
+	// runtime engine's conservation counters (zero on the simulator).
+	Messages  int64 `json:"messages"`
+	Created   int64 `json:"created,omitempty"`
+	Discarded int64 `json:"discarded,omitempty"`
+
+	Tenants []TenantVerdict `json:"tenants"`
+	// Pass is the conjunction of every tenant's Pass.
+	Pass bool `json:"pass"`
+}
+
+// flushTail is how far past the feed horizon a replay runs so queued work
+// and closeable windows drain before measurement stops.
+func flushTail(spec *workload.Spec) vtime.Duration {
+	var maxWin, maxDelay vtime.Duration
+	for _, t := range spec.Tenants {
+		if t.WindowUS > maxWin {
+			maxWin = t.WindowUS
+		}
+		if t.DelayUS > maxDelay {
+			maxDelay = t.DelayUS
+		}
+	}
+	return maxWin + maxDelay + 5*vtime.Second
+}
+
+func schedulerKind(name string) (core.SchedulerKind, error) {
+	switch name {
+	case "cameo":
+		return core.CameoScheduler, nil
+	case "orleans":
+		return core.OrleansScheduler, nil
+	case "fifo":
+		return core.FIFOScheduler, nil
+	}
+	return 0, fmt.Errorf("replay: unknown scheduler %q", name)
+}
+
+func dispatchMode(name string) (runtime.DispatchMode, error) {
+	switch name {
+	case "sharded":
+		return runtime.DispatchSharded, nil
+	case "single-lock":
+		return runtime.DispatchSingleLock, nil
+	}
+	return 0, fmt.Errorf("replay: unknown dispatch %q", name)
+}
+
+func overloadPolicy(name string) (runtime.OverloadPolicy, error) {
+	switch name {
+	case "backpressure":
+		return runtime.OverloadBackpressure, nil
+	case "shed":
+		return runtime.OverloadShed, nil
+	}
+	return 0, fmt.Errorf("replay: unknown overload policy %q", name)
+}
+
+// offered tallies the load a driver presented to an engine for one tenant.
+type offered struct {
+	batches, tuples int64
+}
+
+// countingFeed wraps a workload.Feed to tally offered load on the way into
+// the simulator. Single-threaded (the simulator is sequential), so plain
+// counters suffice.
+type countingFeed struct {
+	feed *workload.Feed
+	off  *offered
+}
+
+func (c *countingFeed) Next(src int) (*dataflow.Batch, vtime.Time, vtime.Time, bool) {
+	b, p, t, ok := c.feed.Next(src)
+	if ok && b != nil {
+		c.off.batches++
+		c.off.tuples += int64(b.Len())
+	}
+	return b, p, t, ok
+}
+
+// Sim replays spec on the virtual-time simulator and returns its verdict.
+// Identical spec and seed produce byte-identical verdicts.
+func Sim(spec *workload.Spec) (*Verdict, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	kind, err := schedulerKind(spec.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	c := sim.New(sim.Config{
+		Nodes: 1, WorkersPerNode: spec.Workers,
+		Scheduler: kind,
+		End:       vtime.Time(spec.DurationUS + flushTail(spec)),
+	})
+	offers := make([]*offered, len(spec.Tenants))
+	for i := range spec.Tenants {
+		feed, err := spec.FeedFor(i)
+		if err != nil {
+			return nil, err
+		}
+		offers[i] = &offered{}
+		if _, err := c.AddJob(spec.Tenants[i].JobSpec(), &countingFeed{feed: feed, off: offers[i]}); err != nil {
+			return nil, err
+		}
+	}
+	res := c.Run()
+	v := &Verdict{Mode: "sim", Spec: spec.Name, Seed: spec.Seed, Messages: res.Messages}
+	for i := range spec.Tenants {
+		v.Tenants = append(v.Tenants, tenantVerdict(&spec.Tenants[i], res.Recorder, offers[i]))
+	}
+	v.Pass = allPass(v.Tenants)
+	return v, nil
+}
+
+// Engine replays spec on the real-time engine: one paced, open-loop source
+// goroutine per (tenant, source), each sleeping until the engine clock
+// reaches the emission's scheduled arrival time. Under backpressure a
+// refused batch is dropped and counted as rejected (open-loop sources do
+// not retry); under shedding the engine's admission layer does the
+// accounting. Returns the verdict once sources finish and the engine
+// drains.
+func Engine(spec *workload.Spec) (*Verdict, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	kind, err := schedulerKind(spec.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := dispatchMode(spec.Dispatch)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := overloadPolicy(spec.Overload)
+	if err != nil {
+		return nil, err
+	}
+	eng := runtime.New(runtime.Config{
+		Workers:    spec.Workers,
+		Scheduler:  kind,
+		Dispatch:   mode,
+		DrainBatch: spec.DrainBatch,
+		MaxPending: spec.MaxPending,
+		Overload:   policy,
+	})
+	feeds := make([]*workload.Feed, len(spec.Tenants))
+	for i := range spec.Tenants {
+		feed, err := spec.FeedFor(i)
+		if err != nil {
+			return nil, err
+		}
+		feeds[i] = feed
+		if _, err := eng.AddJob(spec.Tenants[i].JobSpec()); err != nil {
+			return nil, err
+		}
+	}
+	eng.Start()
+	// One tally per (tenant, source) goroutine — no shared state on the
+	// ingest path — summed per tenant after the sources join.
+	srcOffers := make([][]offered, len(spec.Tenants))
+	errs := make(chan error, 1)
+	done := make(chan struct{})
+	var running int
+	for i := range spec.Tenants {
+		t := &spec.Tenants[i]
+		srcOffers[i] = make([]offered, t.Sources)
+		running += t.Sources
+		for s := 0; s < t.Sources; s++ {
+			go func(name string, feed *workload.Feed, src int, off *offered) {
+				defer func() { done <- struct{}{} }()
+				for {
+					b, p, at, ok := feed.Next(src)
+					if !ok {
+						return
+					}
+					// Pace on the engine clock: the feed's arrival times
+					// are the offered-load schedule.
+					for {
+						now := eng.Now()
+						if now >= at {
+							break
+						}
+						time.Sleep(vtime.Std(at - now))
+					}
+					if b == nil {
+						continue
+					}
+					off.batches++
+					off.tuples += int64(b.Len())
+					if err := eng.Ingest(name, src, b, p); err != nil {
+						if errors.Is(err, runtime.ErrOverloaded) {
+							continue // refused: admission recorded it
+						}
+						select {
+						case errs <- err:
+						default:
+						}
+						return
+					}
+				}
+			}(t.Name, feeds[i], s, &srcOffers[i][s])
+		}
+	}
+	for k := 0; k < running; k++ {
+		<-done
+	}
+	select {
+	case err := <-errs:
+		eng.Stop()
+		return nil, err
+	default:
+	}
+	if !eng.Drain(60 * time.Second) {
+		eng.Stop()
+		return nil, fmt.Errorf("replay: engine failed to drain within 60s")
+	}
+	eng.Stop()
+	offers := make([]*offered, len(spec.Tenants))
+	for i := range srcOffers {
+		offers[i] = &offered{}
+		for s := range srcOffers[i] {
+			offers[i].batches += srcOffers[i][s].batches
+			offers[i].tuples += srcOffers[i][s].tuples
+		}
+	}
+	v := &Verdict{
+		Mode: "runtime", Spec: spec.Name, Seed: spec.Seed,
+		Messages:  eng.Executed(),
+		Created:   eng.Created(),
+		Discarded: eng.Discarded(),
+	}
+	for i := range spec.Tenants {
+		v.Tenants = append(v.Tenants, tenantVerdict(&spec.Tenants[i], eng.Recorder(), offers[i]))
+	}
+	v.Pass = allPass(v.Tenants)
+	return v, nil
+}
+
+// tenantVerdict folds one tenant's recorded stats into its verdict.
+// Quantile panics on empty samples, so zero-output tenants report zeros and
+// fail the latency gate (no outputs cannot demonstrate a met deadline).
+func tenantVerdict(t *workload.TenantSpec, rec *metrics.Recorder, off *offered) TenantVerdict {
+	tv := TenantVerdict{
+		Tenant:         t.Name,
+		DeadlineMS:     float64(t.SLO.DeadlineUS) / 1000,
+		MaxShedFrac:    t.SLO.MaxShedFrac,
+		OfferedBatches: off.batches,
+		OfferedTuples:  off.tuples,
+	}
+	if js := rec.Job(t.Name); js != nil {
+		tv.Outputs = int64(js.Latencies.Len())
+		if tv.Outputs > 0 {
+			tv.P50MS = js.Latencies.Quantile(0.5) / 1000
+			tv.P99MS = js.Latencies.Quantile(0.99) / 1000
+			tv.SuccessRate = js.SuccessRate()
+		}
+		tv.Shed = js.Shed.Load()
+		tv.Rejected = js.Rejected.Load()
+	}
+	if tv.OfferedBatches > 0 {
+		offeredMsgs := tv.OfferedBatches * int64(t.FanOut)
+		tv.ShedFrac = float64(tv.Shed+tv.Rejected*int64(t.FanOut)) / float64(offeredMsgs)
+	}
+	tv.PassLatency = tv.Outputs > 0 && tv.P99MS <= tv.DeadlineMS
+	tv.PassShed = tv.ShedFrac <= t.SLO.MaxShedFrac
+	tv.Pass = tv.PassLatency && tv.PassShed
+	return tv
+}
+
+func allPass(ts []TenantVerdict) bool {
+	for _, t := range ts {
+		if !t.Pass {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+	"github.com/cameo-stream/cameo/internal/workload"
+)
+
+// testSpec is a deliberately small two-tenant spec: seconds of simulated
+// time, sub-second wall time on the real-time engine.
+func testSpec() *workload.Spec {
+	return &workload.Spec{
+		Name:       "replay-test",
+		Seed:       42,
+		DurationUS: 400 * vtime.Millisecond,
+		Workers:    2,
+		Overload:   "shed",
+		MaxPending: 2048,
+		Tenants: []workload.TenantSpec{
+			{
+				Name:       "interactive",
+				Sources:    2,
+				IntervalUS: 10 * vtime.Millisecond,
+				Arrival:    workload.ArrivalSpec{Kind: "poisson", Rate: 30},
+				FanOut:     2,
+				WindowUS:   50 * vtime.Millisecond,
+				Spread:     true,
+				SLO:        workload.SLOSpec{DeadlineUS: 100 * vtime.Millisecond},
+			},
+			{
+				Name:       "bulk",
+				Sources:    2,
+				IntervalUS: 10 * vtime.Millisecond,
+				Arrival: workload.ArrivalSpec{
+					Kind: "bursty", Rate: 50, Spike: 200,
+					PeriodUS: 100 * vtime.Millisecond, Duty: 0.2, Jitter: 0.3,
+				},
+				FanOut:     2,
+				WindowUS:   100 * vtime.Millisecond,
+				MaxPending: 512,
+				SLO:        workload.SLOSpec{DeadlineUS: 500 * vtime.Millisecond, MaxShedFrac: 0.5},
+			},
+		},
+	}
+}
+
+// TestSimVerdictByteIdentical is the acceptance gate for deterministic
+// replay: the same spec and seed must produce byte-identical verdict JSON.
+func TestSimVerdictByteIdentical(t *testing.T) {
+	a, err := Sim(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sim(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("sim verdicts differ across replays:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestSimVerdictShape(t *testing.T) {
+	v, err := Sim(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mode != "sim" || v.Spec != "replay-test" || v.Seed != 42 {
+		t.Fatalf("verdict header wrong: %+v", v)
+	}
+	if len(v.Tenants) != 2 {
+		t.Fatalf("want 2 tenant verdicts, got %d", len(v.Tenants))
+	}
+	for _, tv := range v.Tenants {
+		if tv.OfferedBatches == 0 || tv.OfferedTuples == 0 {
+			t.Fatalf("tenant %s: no offered load counted", tv.Tenant)
+		}
+		if tv.Outputs == 0 {
+			t.Fatalf("tenant %s: no outputs — windows never flushed", tv.Tenant)
+		}
+		if tv.Shed != 0 || tv.Rejected != 0 || tv.ShedFrac != 0 {
+			t.Fatalf("tenant %s: simulator reported admission losses: %+v", tv.Tenant, tv)
+		}
+		if tv.P99MS < tv.P50MS {
+			t.Fatalf("tenant %s: p99 %v < p50 %v", tv.Tenant, tv.P99MS, tv.P50MS)
+		}
+	}
+	// This light spec must pass its SLOs outright.
+	if !v.Pass {
+		t.Fatalf("under-loaded spec failed its SLOs: %+v", v.Tenants)
+	}
+}
+
+// TestEngineVerdictSmoke replays the spec on the real-time engine: the
+// verdict must carry populated per-tenant latency and offered-load fields
+// and conserve messages (created = executed + discarded when nothing is
+// lost).
+func TestEngineVerdictSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time replay paces on the wall clock")
+	}
+	v, err := Engine(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mode != "runtime" {
+		t.Fatalf("mode %q", v.Mode)
+	}
+	if v.Created == 0 || v.Messages == 0 {
+		t.Fatalf("no messages flowed: %+v", v)
+	}
+	if got := v.Messages + v.Discarded; got != v.Created {
+		t.Fatalf("conservation: executed %d + discarded %d != created %d",
+			v.Messages, v.Discarded, v.Created)
+	}
+	if len(v.Tenants) != 2 {
+		t.Fatalf("want 2 tenant verdicts, got %d", len(v.Tenants))
+	}
+	for _, tv := range v.Tenants {
+		if tv.OfferedBatches == 0 || tv.OfferedTuples == 0 {
+			t.Fatalf("tenant %s: no offered load counted", tv.Tenant)
+		}
+		if tv.Outputs == 0 {
+			t.Fatalf("tenant %s: no outputs", tv.Tenant)
+		}
+	}
+}
+
+// TestSpecRoundTrip: a spec marshalled to JSON and parsed back must drive
+// an identical sim replay — the property that makes specs portable between
+// the example programs, the CLI, and CI.
+func TestSpecRoundTrip(t *testing.T) {
+	orig := testSpec()
+	if err := orig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := workload.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := Sim(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := Sim(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(va)
+	jb, _ := json.Marshal(vb)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("round-tripped spec replays differently:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":   `{"name":"x","duration_us":1,"tenants":[],"bogus":1}`,
+		"no tenants":      `{"name":"x","duration_us":1000,"tenants":[]}`,
+		"bad scheduler":   `{"name":"x","duration_us":1000,"scheduler":"cfs","tenants":[{"name":"a","sources":1,"interval_us":1000,"window_us":1000,"slo":{"deadline_us":1000}}]}`,
+		"bad arrival":     `{"name":"x","duration_us":1000,"tenants":[{"name":"a","sources":1,"interval_us":1000,"window_us":1000,"arrival":{"kind":"warp"},"slo":{"deadline_us":1000}}]}`,
+		"no deadline":     `{"name":"x","duration_us":1000,"tenants":[{"name":"a","sources":1,"interval_us":1000,"window_us":1000}]}`,
+		"dup tenant":      `{"name":"x","duration_us":1000,"tenants":[{"name":"a","sources":1,"interval_us":1000,"window_us":1000,"slo":{"deadline_us":1000}},{"name":"a","sources":1,"interval_us":1000,"window_us":1000,"slo":{"deadline_us":1000}}]}`,
+		"shed frac > 1":   `{"name":"x","duration_us":1000,"tenants":[{"name":"a","sources":1,"interval_us":1000,"window_us":1000,"slo":{"deadline_us":1000,"max_shed_frac":1.5}}]}`,
+		"zero sources":    `{"name":"x","duration_us":1000,"tenants":[{"name":"a","sources":0,"interval_us":1000,"window_us":1000,"slo":{"deadline_us":1000}}]}`,
+		"bursty no duty":  `{"name":"x","duration_us":1000,"tenants":[{"name":"a","sources":1,"interval_us":1000,"window_us":1000,"arrival":{"kind":"bursty","rate":10,"period_us":100},"slo":{"deadline_us":1000}}]}`,
+		"trace no counts": `{"name":"x","duration_us":1000,"tenants":[{"name":"a","sources":1,"interval_us":1000,"window_us":1000,"arrival":{"kind":"trace"},"slo":{"deadline_us":1000}}]}`,
+	}
+	for name, data := range cases {
+		if _, err := workload.ParseSpec([]byte(data)); err == nil {
+			t.Errorf("%s: ParseSpec accepted invalid spec", name)
+		}
+	}
+}

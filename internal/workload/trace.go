@@ -103,7 +103,10 @@ func (h *Heatmap) Row(src int) []int { return h.Counts[src] }
 
 // NormalizedRow returns one source's trace rescaled to the given mean
 // tuples per interval, preserving its burst/idle shape. Rows with no
-// traffic come back as a constant targetMean.
+// traffic come back as a constant targetMean. Rounding carries the
+// fractional remainder across intervals, so the row's realized mean tracks
+// targetMean to within one tuple over the whole row (per-cell truncation
+// would under-deliver by up to half a tuple per interval).
 func (h *Heatmap) NormalizedRow(src int, targetMean float64) []int {
 	row := h.Counts[src]
 	sum := 0
@@ -111,15 +114,16 @@ func (h *Heatmap) NormalizedRow(src int, targetMean float64) []int {
 		sum += c
 	}
 	out := make([]int, len(row))
+	carry := 0.0
 	if sum == 0 {
 		for i := range out {
-			out[i] = int(targetMean)
+			out[i] = carryRound(&carry, targetMean)
 		}
 		return out
 	}
 	scale := targetMean * float64(len(row)) / float64(sum)
 	for i, c := range row {
-		out[i] = int(float64(c) * scale)
+		out[i] = carryRound(&carry, float64(c)*scale)
 	}
 	return out
 }
@@ -137,15 +141,22 @@ func (h *Heatmap) TotalTuples() int64 {
 
 // SkewedRates splits a total per-interval tuple budget across n sources
 // with a max/min ratio of skew, geometrically interpolated — the Figure 10
-// Type-2 pattern ("ingestion rate varies by 200x across sources"). The
-// returned rates sum to ~total (rounding aside) and are shuffled so skew
-// doesn't correlate with source index.
+// Type-2 pattern ("ingestion rate varies by 200x across sources"). One
+// tuple per source is reserved up front (no source is silently zeroed) and
+// the rest is apportioned by largest remainder, so the returned rates sum
+// to exactly total with min >= 1; per-source truncation would both
+// undershoot the total and zero the smallest sources. Totals below n are
+// raised to n — the minimum budget that can feed every source. The rates
+// are shuffled so skew doesn't correlate with source index.
 func SkewedRates(seed uint64, n int, total int, skew float64) []int {
 	if n <= 0 {
 		return nil
 	}
 	if skew < 1 {
 		skew = 1
+	}
+	if total < n {
+		total = n
 	}
 	weights := make([]float64, n)
 	sum := 0.0
@@ -157,9 +168,26 @@ func SkewedRates(seed uint64, n int, total int, skew float64) []int {
 		weights[i] = math.Pow(skew, frac)
 		sum += weights[i]
 	}
+	// Largest-remainder apportionment of the budget left after the 1-tuple
+	// floor: integer shares first, then one extra tuple each to the largest
+	// fractional remainders (ties broken by index, for determinism).
+	spare := total - n
 	rates := make([]int, n)
+	rem := make([]float64, n)
+	assigned := 0
 	for i := range rates {
-		rates[i] = int(weights[i] / sum * float64(total))
+		exact := weights[i] / sum * float64(spare)
+		rates[i] = 1 + int(exact)
+		rem[i] = exact - math.Floor(exact)
+		assigned += int(exact)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rem[order[a]] > rem[order[b]] })
+	for k := 0; k < spare-assigned; k++ {
+		rates[order[k]]++
 	}
 	stats.Shuffle(stats.NewRNG(seed), rates)
 	return rates

@@ -234,8 +234,8 @@ func TestSkewedRates(t *testing.T) {
 	if ratio < 100 || ratio > 400 {
 		t.Fatalf("skew ratio = %v, want ~200", ratio)
 	}
-	if total < 14000 || total > 16000 {
-		t.Fatalf("total = %d, want ~16000", total)
+	if total != 16000 {
+		t.Fatalf("total = %d, want exactly 16000 (largest-remainder apportionment)", total)
 	}
 }
 
