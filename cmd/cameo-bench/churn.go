@@ -94,11 +94,8 @@ func churnRun(mode cameo.DispatchMode, workers int, seed uint64) churnResult {
 				}
 			}
 			// Depart with a parked backlog so cancellation's discard path
-			// is part of the measured cost.
-			if err := eng.Pause(name); err != nil {
-				done <- err
-				return
-			}
+			// is part of the measured cost: ingest one more window, then
+			// pause before it drains (a paused query refuses ingest).
 			for src := 0; src < adhoc.sources; src++ {
 				if err := eng.IngestBatch(name, src,
 					rtEvents(adhoc, seed^uint64(c), src, adhoc.windows),
@@ -106,6 +103,10 @@ func churnRun(mode cameo.DispatchMode, workers int, seed uint64) churnResult {
 					done <- err
 					return
 				}
+			}
+			if err := eng.Pause(name); err != nil {
+				done <- err
+				return
 			}
 			if err := eng.Cancel(name); err != nil {
 				done <- err

@@ -33,8 +33,9 @@ func main() {
 		churn      = flag.Bool("churn", false, "benchmark the real-time engine's hot query lifecycle: long-lived jobs + submit/cancel churn")
 		overload   = flag.Bool("overload", false, "benchmark the admission layer: 1x-4x offered load vs a budgeted shedding engine")
 		batch      = flag.Bool("batch", false, "benchmark the batched drain path: DrainBatch sweep on all three dispatch paths")
-		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn, -overload, -batch)")
-		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn/-overload/-batch results to this file (e.g. BENCH_rt.json)")
+		recover    = flag.Bool("recover", false, "benchmark crash recovery: checkpoint size, snapshot pause, and restore time vs state size")
+		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn, -overload, -batch, -recover)")
+		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn/-overload/-batch/-recover results to this file (e.g. BENCH_rt.json)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -70,6 +71,8 @@ func main() {
 	}
 
 	switch {
+	case *recover:
+		runRecoverSweep(*seed, *reps, *jsonOut)
 	case *batch:
 		runBatchSweep(*seed, *reps, *jsonOut)
 	case *overload:

@@ -1,0 +1,190 @@
+package main
+
+// The -recover mode: the crash-recovery cost protocol of EXPERIMENTS.md,
+// driven through the public API. For each state size (distinct keys held
+// in open window accumulators), it builds the state on a live engine,
+// then measures the three recovery costs: the pause (quiesce) time the
+// snapshotted query experiences, the checkpoint capture time and snapshot
+// size, and the restore time onto a second engine. The restored query is
+// resumed and its window closed to verify recovery produced output (no
+// window lost). -json writes the machine-readable sweep (CI uploads it as
+// BENCH_recover.json next to BENCH_rt.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	cameo "github.com/cameo-stream/cameo"
+)
+
+// recoverWindow is deliberately long: every fed event lands in one open
+// window, so the snapshotted state is the per-key accumulators — its size
+// scales with the key count, the swept variable.
+const recoverWindow = 10 * time.Second
+
+func recoverQuery(name string) *cameo.Query {
+	return cameo.NewQuery(name).
+		LatencyTarget(time.Minute).
+		Aggregate("by-key", 4, cameo.Window(recoverWindow), cameo.Sum).
+		AggregateGlobal("total", cameo.Window(recoverWindow), cameo.Sum)
+}
+
+// recoverResult is one measured run: the three recovery costs plus the
+// snapshot size.
+type recoverResult struct {
+	snapshotBytes int
+	pause         time.Duration
+	checkpoint    time.Duration
+	restore       time.Duration
+}
+
+// recoverRun builds `keys` distinct accumulator keys of open-window state
+// on a live engine, then measures pause/checkpoint/restore once.
+func recoverRun(keys int, seed uint64) recoverResult {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "cameo-bench:", err)
+		os.Exit(1)
+	}
+	a := cameo.NewEngine(cameo.EngineConfig{Workers: 2})
+	if err := a.Submit(recoverQuery("job")); err != nil {
+		fail(err)
+	}
+	a.Start()
+	defer a.Stop()
+	// Touch every key once per batch so all `keys` accumulators exist,
+	// advancing progress inside the single open window.
+	const batches = 4
+	state := seed
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for b := 1; b <= batches; b++ {
+		progress := time.Duration(b) * recoverWindow / (batches + 1)
+		events := make([]cameo.Event, keys)
+		for i := range events {
+			events[i] = cameo.Event{
+				Time:  progress - time.Millisecond,
+				Key:   int64(i),
+				Value: float64(next()%1000) / 100,
+			}
+		}
+		if err := a.IngestBatch("job", 0, events, progress); err != nil {
+			fail(err)
+		}
+	}
+	if !a.Drain(time.Minute) {
+		fail(fmt.Errorf("state-building phase did not drain"))
+	}
+
+	var res recoverResult
+	t0 := time.Now()
+	if err := a.Pause("job"); err != nil {
+		fail(err)
+	}
+	res.pause = time.Since(t0)
+	t0 = time.Now()
+	snapshot, err := a.Checkpoint("job")
+	if err != nil {
+		fail(err)
+	}
+	res.checkpoint = time.Since(t0)
+	res.snapshotBytes = len(snapshot)
+
+	b := cameo.NewEngine(cameo.EngineConfig{Workers: 2, StartClock: a.Now()})
+	b.Start()
+	defer b.Stop()
+	t0 = time.Now()
+	if err := b.Restore(recoverQuery("job"), snapshot); err != nil {
+		fail(err)
+	}
+	res.restore = time.Since(t0)
+
+	// Verify: resume, close the window, and demand the output arrives.
+	if err := b.Resume("job"); err != nil {
+		fail(err)
+	}
+	if err := b.AdvanceProgress("job", 0, recoverWindow+time.Second); err != nil {
+		fail(err)
+	}
+	if !b.Drain(time.Minute) {
+		fail(fmt.Errorf("restored engine did not drain"))
+	}
+	if st, err := b.Stats("job"); err != nil || st.Outputs == 0 {
+		fail(fmt.Errorf("restored query produced no output (stats %+v, err %v)", st, err))
+	}
+	return res
+}
+
+// recoverCell is the machine-readable form of one sweep cell (-json).
+type recoverCell struct {
+	Keys          int     `json:"keys"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	PauseUS       float64 `json:"pause_us"`
+	CheckpointUS  float64 `json:"checkpoint_us"`
+	RestoreUS     float64 `json:"restore_us"`
+}
+
+type recoverReport struct {
+	Workload string `json:"workload"`
+	benchEnv
+	Seed  uint64        `json:"seed"`
+	Reps  int           `json:"reps"`
+	Cells []recoverCell `json:"cells"`
+}
+
+func runRecoverSweep(seed uint64, reps int, jsonPath string) {
+	if reps < 1 {
+		reps = 1
+	}
+	fmt.Printf("crash-recovery cost vs state size, pause + checkpoint + restore per cell (GOMAXPROCS=%d, best of %d)\n\n",
+		runtime.GOMAXPROCS(0), reps)
+	fmt.Printf("%8s %14s %12s %14s %12s\n",
+		"keys", "snapshot", "pause", "checkpoint", "restore")
+	report := recoverReport{Workload: "recover", benchEnv: captureEnv(), Seed: seed, Reps: reps}
+	for _, keys := range []int{64, 512, 4096, 32768} {
+		best := recoverRun(keys, seed)
+		for r := 1; r < reps; r++ {
+			res := recoverRun(keys, seed+uint64(r))
+			if res.pause < best.pause {
+				best.pause = res.pause
+			}
+			if res.checkpoint < best.checkpoint {
+				best.checkpoint = res.checkpoint
+			}
+			if res.restore < best.restore {
+				best.restore = res.restore
+			}
+			best.snapshotBytes = res.snapshotBytes // size is seed-stable
+		}
+		fmt.Printf("%8d %13.1fK %12v %14v %12v\n",
+			keys, float64(best.snapshotBytes)/1024,
+			best.pause.Round(time.Microsecond),
+			best.checkpoint.Round(time.Microsecond),
+			best.restore.Round(time.Microsecond))
+		report.Cells = append(report.Cells, recoverCell{
+			Keys:          keys,
+			SnapshotBytes: best.snapshotBytes,
+			PauseUS:       float64(best.pause.Nanoseconds()) / 1000,
+			CheckpointUS:  float64(best.checkpoint.Nanoseconds()) / 1000,
+			RestoreUS:     float64(best.restore.Nanoseconds()) / 1000,
+		})
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-bench: writing json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(machine-readable results written to %s)\n", jsonPath)
+	}
+}

@@ -13,6 +13,7 @@
 //	cameo-replay                              # builtin CI spec, both engines
 //	cameo-replay -mode sim -json BENCH_replay.json
 //	cameo-replay -spec capacity.json -mode runtime -strict
+//	cameo-replay -mode runtime -kill-at-ms 400 # crash-recovery drill
 //	cameo-replay -emit-spec > my-spec.json    # starting point to edit
 package main
 
@@ -46,6 +47,9 @@ func main() {
 		jsonPath = flag.String("json", "", "write the verdict report to this path")
 		emitSpec = flag.Bool("emit-spec", false, "print the builtin spec as JSON and exit")
 		strict   = flag.Bool("strict", false, "exit 1 when any tenant misses its SLO")
+		killAtMS = flag.Int64("kill-at-ms", 0, "crash-recovery drill: kill the runtime engine at this "+
+			"engine-clock time, restore every tenant from its snapshot on a second engine, and "+
+			"hold the verdict to the same SLOs (runtime mode only)")
 	)
 	flag.Parse()
 
@@ -88,14 +92,23 @@ func main() {
 		rep.Verdicts = append(rep.Verdicts, v)
 		rep.Pass = rep.Pass && v.Pass
 	}
+	engineDriver := replay.Engine
+	engineName := "runtime"
+	if *killAtMS > 0 {
+		killAt := vtime.Duration(*killAtMS) * vtime.Millisecond
+		engineDriver = func(s *workload.Spec) (*replay.Verdict, error) {
+			return replay.EngineKillRestore(s, killAt)
+		}
+		engineName = fmt.Sprintf("runtime kill/restore @ %dms", *killAtMS)
+	}
 	switch *mode {
 	case "sim":
 		run("sim", replay.Sim)
 	case "runtime":
-		run("runtime", replay.Engine)
+		run(engineName, engineDriver)
 	case "both":
 		run("sim", replay.Sim)
-		run("runtime", replay.Engine)
+		run(engineName, engineDriver)
 	default:
 		fmt.Fprintf(os.Stderr, "cameo-replay: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -130,6 +143,12 @@ func printVerdict(v *replay.Verdict) {
 	fmt.Printf("  %d messages executed", v.Messages)
 	if v.Mode == "runtime" {
 		fmt.Printf(", %d created, %d discarded", v.Created, v.Discarded)
+	}
+	if v.KilledAtMS > 0 {
+		fmt.Printf(" (engine killed and restored at %.0fms)", v.KilledAtMS)
+	}
+	if v.HandlerPanics > 0 {
+		fmt.Printf(", %d handler panics", v.HandlerPanics)
 	}
 	fmt.Println()
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/cameo-stream/cameo/internal/dataflow"
 	"github.com/cameo-stream/cameo/internal/runtime"
+	"github.com/cameo-stream/cameo/internal/snap"
 	"github.com/cameo-stream/cameo/internal/vtime"
 )
 
@@ -57,6 +58,13 @@ var ErrOverloaded = runtime.ErrOverloaded
 // ErrOverloaded.
 var ErrJobOverloaded = runtime.ErrJobOverloaded
 
+// ErrJobPaused is returned by IngestBatch and TryIngestBatch when the
+// target query is paused (by Pause, or quarantined after a handler
+// panic): new batches are refused, while everything the query accepted
+// before pausing is retained and executes on Resume. Compare with
+// errors.Is.
+var ErrJobPaused = runtime.ErrJobPaused
+
 // EngineConfig parameterizes a real-time Engine.
 type EngineConfig struct {
 	// Workers is the worker-pool size (default 1).
@@ -88,6 +96,20 @@ type EngineConfig struct {
 	// Overload selects the over-budget response: OverloadBackpressure
 	// (default) or OverloadShed.
 	Overload OverloadPolicy
+	// CheckpointDir, together with a positive CheckpointInterval, enables
+	// the background checkpointer: every interval, each live query's state
+	// is snapshotted through its pause/quiesce path and written atomically
+	// to <CheckpointDir>/<query>.ckpt. After a crash, Restore the file's
+	// bytes into a fresh engine.
+	CheckpointDir string
+	// CheckpointInterval is the period of the background checkpointer;
+	// zero disables it even when CheckpointDir is set.
+	CheckpointInterval time.Duration
+	// StartClock advances the new engine's clock origin — pass the source
+	// engine's Now() when restoring a checkpoint taken on another engine,
+	// so the snapshot's in-flight deadlines and window times stay on one
+	// continuous time axis. Zero starts the clock at zero as usual.
+	StartClock time.Duration
 }
 
 // Engine is the real-time execution engine: a single-node worker pool
@@ -106,14 +128,17 @@ type Engine struct {
 func NewEngine(cfg EngineConfig) *Engine {
 	return &Engine{
 		inner: runtime.New(runtime.Config{
-			Workers:    cfg.Workers,
-			Scheduler:  cfg.Scheduler,
-			Policy:     cfg.Policy,
-			Quantum:    vtime.FromStd(cfg.Quantum),
-			DrainBatch: cfg.DrainBatch,
-			Dispatch:   cfg.Dispatch,
-			MaxPending: cfg.MaxPending,
-			Overload:   cfg.Overload,
+			Workers:            cfg.Workers,
+			Scheduler:          cfg.Scheduler,
+			Policy:             cfg.Policy,
+			Quantum:            vtime.FromStd(cfg.Quantum),
+			DrainBatch:         cfg.DrainBatch,
+			Dispatch:           cfg.Dispatch,
+			MaxPending:         cfg.MaxPending,
+			Overload:           cfg.Overload,
+			CheckpointDir:      cfg.CheckpointDir,
+			CheckpointInterval: cfg.CheckpointInterval,
+			StartTime:          vtime.FromStd(cfg.StartClock),
 		}),
 	}
 }
@@ -143,8 +168,10 @@ func (e *Engine) Submit(q *Query) error {
 // own in-flight message.
 func (e *Engine) Cancel(job string) error { return e.inner.CancelJob(job) }
 
-// Pause parks a submitted query: its operators stop being scheduled while
-// retaining queued work and window state, and ingest keeps enqueueing.
+// Pause parks a submitted query: its operators stop being scheduled
+// while retaining queued work and window state. New IngestBatch and
+// TryIngestBatch calls are refused with ErrJobPaused — the retained
+// backlog executes on Resume, but nothing new is admitted while parked.
 // Pausing a paused query is a no-op. Note that the engine-wide Drain
 // counts a paused query's retained messages; use DrainJob for the others
 // or Resume first.
@@ -153,6 +180,57 @@ func (e *Engine) Pause(job string) error { return e.inner.PauseJob(job) }
 // Resume reverses Pause: the query's operators re-enter the run queue
 // (retained messages first, in priority order) and execution continues.
 func (e *Engine) Resume(job string) error { return e.inner.ResumeJob(job) }
+
+// Checkpoint captures a consistent snapshot of one query — window and
+// accumulator state, per-source stream progress, and every queued
+// message — as a versioned, integrity-checked byte string for Restore.
+// A running query is paused for the duration of the capture and resumed
+// after; a query the caller already paused stays paused. Other queries
+// keep executing throughout.
+func (e *Engine) Checkpoint(job string) ([]byte, error) {
+	w := snap.NewWriter()
+	if err := e.inner.CheckpointJob(job, w); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+// Restore instantiates a query from a Checkpoint snapshot — on a fresh
+// engine after a crash, or on a second engine for live migration. The
+// query definition must match the one the snapshot was taken from (the
+// snapshot embeds a topology digest and a CRC; mismatched, torn, or
+// corrupted snapshots are rejected and the engine is left unchanged).
+// The restored query is left paused with its recovered backlog; call
+// Resume to continue execution, then re-feed from the point the
+// snapshot's stream progress had reached. When restoring onto a
+// different engine, construct it with StartClock set to the source
+// engine's Now() so the recovered deadlines stay meaningful.
+func (e *Engine) Restore(q *Query, snapshot []byte) error {
+	spec, err := q.Spec()
+	if err != nil {
+		return err
+	}
+	_, err = e.inner.RestoreJob(spec, snapshot)
+	return err
+}
+
+// Checkpoints reports how many snapshots the background checkpointer has
+// written successfully; CheckpointErrors reports how many attempts
+// failed. Both are zero unless EngineConfig enabled the checkpointer.
+func (e *Engine) Checkpoints() int64 { return e.inner.Checkpoints() }
+
+// CheckpointErrors reports how many background checkpoint attempts
+// failed (snapshot or file-system errors).
+func (e *Engine) CheckpointErrors() int64 { return e.inner.CheckpointErrors() }
+
+// CheckpointFile returns the path of a query's most recent background
+// checkpoint, or "" if none has been written.
+func (e *Engine) CheckpointFile(job string) string { return e.inner.CheckpointFile(job) }
+
+// HandlerPanics reports how many operator invocations have panicked.
+// Each panic quarantines its query — paused and marked failed (see
+// JobStats.Failed) — while other queries keep executing.
+func (e *Engine) HandlerPanics() int64 { return e.inner.HandlerPanics() }
 
 // Start launches the worker pool.
 func (e *Engine) Start() { e.inner.Start() }
@@ -267,6 +345,10 @@ type JobStats struct {
 	// admission layer under overload (OverloadShed); Backpressure is the
 	// number of this job's ingest attempts refused with ErrOverloaded.
 	Shed, Backpressure int64
+	// Failed reports whether a handler panic quarantined this job: it is
+	// paused, refuses ingest with ErrJobPaused, and stays failed until
+	// cancelled (see Engine.HandlerPanics for the engine-wide count).
+	Failed bool
 }
 
 // Stats reports a submitted job's current output statistics.
@@ -280,6 +362,7 @@ func (e *Engine) Stats(job string) (JobStats, error) {
 		SuccessRate:  js.SuccessRate(),
 		Shed:         js.Shed.Load(),
 		Backpressure: js.Rejected.Load(),
+		Failed:       e.inner.JobFailed(job),
 	}
 	if out.Outputs > 0 {
 		out.P50 = vtime.Std(vtime.Time(js.Latencies.Quantile(0.50)))

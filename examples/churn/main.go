@@ -79,10 +79,12 @@ func main() {
 			fmt.Printf("%s: drained and cancelled\n", name)
 		case 1:
 			// Tenant 1 is parked with its backlog retained, resumed later.
+			// The backlog is fed first: a paused query refuses new ingest
+			// with cameo.ErrJobPaused, but keeps what it already accepted.
+			feed(eng, name, 6, 8)
 			if err := eng.Pause(name); err != nil {
 				log.Fatal(err)
 			}
-			feed(eng, name, 6, 8) // ingest into the paused query: retained
 			fmt.Printf("%s: paused with backlog\n", name)
 		case 2:
 			// Tenant 2 is cancelled mid-stream: its backlog is discarded,

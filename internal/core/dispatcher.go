@@ -197,6 +197,17 @@ func (h *MsgHeap) Shed(drop func(*Message) bool, discard func(*Message)) int {
 	return dropped
 }
 
+// Each hands every queued message to visit in backing-array order (NOT
+// priority order — callers needing a deterministic order sort what they
+// collect, typically by message ID). The heap must not be mutated during
+// the walk. It exists for the checkpoint path, which serializes a paused
+// operator's pending messages under the dispatcher's lock.
+func (h *MsgHeap) Each(visit func(*Message)) {
+	for _, m := range h.items {
+		visit(m)
+	}
+}
+
 // PopTail removes and returns the last element of the heap's backing
 // array — a leaf, so never the most urgent message while more than one is
 // queued, and its removal cannot change the head. The shed path uses it as

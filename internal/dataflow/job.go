@@ -76,6 +76,26 @@ type Job struct {
 	// layer checks it against Spec.MaxPending and uses it to pick the
 	// largest-backlog victim when shedding. The simulator leaves it zero.
 	Queued atomic.Int64
+	// SourceProgress records the highest stream progress ingested per
+	// source channel (monotone, maintained by the real-time engine's
+	// ingest path with an atomic max). Checkpoints serialize it so a
+	// restored job knows where each source stream stood at the cut, and
+	// drivers can resume feeding from there instead of regressing the
+	// stage-0 frontiers. The simulator leaves it zero.
+	SourceProgress []atomic.Int64
+}
+
+// NoteSourceProgress folds progress p on source channel src into
+// SourceProgress with an atomic max — safe against concurrent ingests on
+// the same channel and free of allocation.
+func (j *Job) NoteSourceProgress(src int, p vtime.Time) {
+	slot := &j.SourceProgress[src]
+	for {
+		cur := slot.Load()
+		if int64(p) <= cur || slot.CompareAndSwap(cur, int64(p)) {
+			return
+		}
+	}
 }
 
 // DefaultEWMAAlpha is the default smoothing factor of operator cost
@@ -89,6 +109,7 @@ func NewJob(spec JobSpec) (*Job, error) {
 		return nil, err
 	}
 	j := &Job{Spec: spec, SourceTracker: profile.NewPathTracker()}
+	j.SourceProgress = make([]atomic.Int64, spec.Sources)
 	j.Stages = make([][]*Operator, len(spec.Stages))
 	for s := range spec.Stages {
 		st := &j.Spec.Stages[s]

@@ -1,0 +1,26 @@
+package dataflow
+
+import (
+	"github.com/cameo-stream/cameo/internal/snap"
+)
+
+// Snapshotter is the optional state-capture half of the operator contract:
+// a Handler that owns state which must survive process loss (window
+// accumulators, join tables, frontiers) implements it, and the engine's
+// checkpoint path captures and reinstates that state through it.
+//
+// SnapshotState must write a deterministic encoding — iterate maps in
+// sorted key order — so the same handler state always produces the same
+// bytes (the property the checkpoint-determinism gate pins). RestoreState
+// is called on a freshly constructed handler (NewHandler output) before
+// the operator executes any message; it returns an error rather than
+// panicking on malformed input, because snapshots cross process
+// boundaries.
+//
+// Both methods are invoked under the actor guarantee: never concurrently
+// with OnMessage or each other. Stateless handlers simply don't implement
+// the interface and are skipped by the checkpoint path.
+type Snapshotter interface {
+	SnapshotState(w *snap.Writer)
+	RestoreState(r *snap.Reader) error
+}

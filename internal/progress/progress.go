@@ -6,6 +6,7 @@
 package progress
 
 import (
+	"sort"
 	"sync"
 
 	"github.com/cameo-stream/cameo/internal/stats"
@@ -124,6 +125,35 @@ func (f *Frontier) Advance(ch int, p vtime.Time) (vtime.Time, bool) {
 	}
 	f.channels[ch] = p
 	return f.Min()
+}
+
+// Snapshot hands every (channel, progress) pair to visit in ascending
+// channel order — the deterministic iteration checkpoint encoders need
+// (map order would make snapshot bytes run-dependent).
+func (f *Frontier) Snapshot(visit func(ch int, p vtime.Time)) {
+	chans := make([]int, 0, len(f.channels))
+	for ch := range f.channels {
+		chans = append(chans, ch)
+	}
+	sort.Ints(chans)
+	for _, ch := range chans {
+		visit(ch, f.channels[ch])
+	}
+}
+
+// Len reports how many channels have reported.
+func (f *Frontier) Len() int { return len(f.channels) }
+
+// Restore reinstates a snapshotted (channel, progress) pair. Unlike
+// Advance it tolerates being applied to a fresh frontier in any order, but
+// it keeps the monotonicity invariant: restoring below already-recorded
+// progress panics like a regressed Advance would, so a stale snapshot can
+// never rewind a live frontier.
+func (f *Frontier) Restore(ch int, p vtime.Time) {
+	if prev, seen := f.channels[ch]; seen && p < prev {
+		panic("progress: snapshot would regress channel progress")
+	}
+	f.channels[ch] = p
 }
 
 // Min returns the minimum progress across channels; ok=false until all

@@ -226,16 +226,18 @@ func BenchmarkDispatchChurn(b *testing.B) {
 								}
 							}
 							// Depart with retained backlog so cancellation's
-							// discard path is part of the measured cost.
-							if err := e.PauseJob(name); err != nil {
-								b.Error(err)
-								return
-							}
+							// discard path is part of the measured cost: ingest
+							// one more window, then pause before it drains (a
+							// paused job refuses ingest, so the order matters).
 							for src := 0; src < cwl.Sources; src++ {
 								if err := e.Ingest(name, src, churnBatches[3][src], cwl.Progress(3)); err != nil {
 									b.Error(err)
 									return
 								}
+							}
+							if err := e.PauseJob(name); err != nil {
+								b.Error(err)
+								return
 							}
 							if err := e.CancelJob(name); err != nil {
 								b.Error(err)

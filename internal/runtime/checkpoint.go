@@ -1,0 +1,454 @@
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
+	"github.com/cameo-stream/cameo/internal/snap"
+)
+
+// This file is the engine's checkpoint/restore subsystem: CheckpointJob
+// captures one job's complete dynamic state — handler state through the
+// dataflow.Snapshotter contract, per-source stream progress, and every
+// queued (admitted, not yet executed) message — into a snap-encoded
+// snapshot; RestoreJob reinstates that state on a fresh engine (crash
+// recovery) or a second live engine (migration). The background
+// checkpointer periodically snapshots every live job to disk.
+//
+// A snapshot is taken at a *consistent cut*: the job is paused (other jobs
+// keep running — pause is per-job, the paper's stateless-scheduler
+// property), in-flight messages settle back into the queues, and only then
+// is state read. Conservation extends across the boundary by construction:
+//
+//   - On the source engine, the serialized backlog is eventually discarded
+//     by CancelJob (counted in Discarded), so Created == Executed +
+//     Discarded still holds there.
+//   - On the target engine, restored messages are created fresh — they
+//     draw new IDs from the target's allocator and count toward its
+//     Created — so the target's conservation holds independently.
+//
+// Restored messages get fresh IDs assigned in ascending order of their
+// original IDs (per operator), preserving the (PriLocal, ID) tie-break
+// order inside each queue.
+
+// snapshotJob serializes j's dynamic state into w. Caller guarantees the
+// job is paused and quiesced (no in-flight messages); the dispatch path's
+// eachQueued still takes the per-queue locks, which is what publishes the
+// queue contents to this goroutine.
+//
+// Layout (after the snap header): job name; topology digest (sources,
+// source ports, time domain, per-stage name/parallelism/slide); per-source
+// progress; then per operator in stage-major order: handler state (flagged;
+// only for Snapshotter handlers) and the queued messages sorted by ID.
+func (e *Engine) snapshotJob(j *dataflow.Job, w *snap.Writer) {
+	spec := &j.Spec
+	w.String(spec.Name)
+	w.U32(uint32(spec.Sources))
+	w.U32(uint32(spec.SourcePorts))
+	w.U8(uint8(spec.Domain))
+	w.U32(uint32(len(spec.Stages)))
+	for i := range spec.Stages {
+		w.String(spec.Stages[i].Name)
+		w.U32(uint32(spec.Stages[i].Parallelism))
+		w.Dur(spec.Stages[i].Slide)
+	}
+	for i := range j.SourceProgress {
+		w.I64(j.SourceProgress[i].Load())
+	}
+	for _, op := range j.Operators() {
+		if s, ok := op.Handler.(dataflow.Snapshotter); ok {
+			w.Bool(true)
+			s.SnapshotState(w)
+		} else {
+			w.Bool(false)
+		}
+		e.snapshotQueue(op, w)
+	}
+}
+
+// snapshotQueue serializes op's queued messages, sorted ascending by ID so
+// the encoding is independent of heap/ring layout and restore re-assigns
+// fresh IDs in the same relative order.
+func (e *Engine) snapshotQueue(op *dataflow.Operator, w *snap.Writer) {
+	var msgs []*core.Message
+	e.path.eachQueued(op, func(m *core.Message) { msgs = append(msgs, m) })
+	sort.Slice(msgs, func(a, b int) bool { return msgs[a].ID < msgs[b].ID })
+	w.U32(uint32(len(msgs)))
+	for _, m := range msgs {
+		writeMessage(w, m)
+	}
+}
+
+func writeMessage(w *snap.Writer, m *core.Message) {
+	w.Time(m.P)
+	w.Time(m.T)
+	w.I64(int64(m.Channel))
+	w.I64(int64(m.Port))
+	w.Time(m.Enqueued)
+	w.Time(m.PC.PriLocal)
+	w.Time(m.PC.PriGlobal)
+	w.Time(m.PC.PMF)
+	w.Time(m.PC.TMF)
+	w.Dur(m.PC.L)
+	b, _ := m.Payload.(*dataflow.Batch)
+	writeBatch(w, b)
+}
+
+// writeBatch encodes a columnar payload batch: tuple count, the Times
+// column, then Keys and Vals behind presence flags (nil columns — unkeyed
+// or value-less streams — stay nil on restore, which partitioning and
+// handlers rely on).
+func writeBatch(w *snap.Writer, b *dataflow.Batch) {
+	if b == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.U32(uint32(b.Len()))
+	for _, t := range b.Times {
+		w.Time(t)
+	}
+	w.Bool(b.Keys != nil)
+	if b.Keys != nil {
+		for _, k := range b.Keys {
+			w.I64(k)
+		}
+	}
+	w.Bool(b.Vals != nil)
+	if b.Vals != nil {
+		for _, v := range b.Vals {
+			w.F64(v)
+		}
+	}
+}
+
+// readMessage materializes one serialized message on this engine: a pooled
+// message with a FRESH ID from the engine's allocator — the restored
+// message counts as created here, which is what keeps per-engine
+// conservation (Created == Executed + Discarded) intact across a restore
+// boundary. If the reader is already poisoned the fields decode as zeros;
+// the caller checks r.Err() once and discards everything it created.
+func (e *Engine) readMessage(r *snap.Reader) *core.Message {
+	m := e.msgs.Get(-1)
+	m.ID = e.nextID()
+	m.P = r.Time()
+	m.T = r.Time()
+	m.Channel = int(r.I64())
+	m.Port = int(r.I64())
+	m.Enqueued = r.Time()
+	m.PC.PriLocal = r.Time()
+	m.PC.PriGlobal = r.Time()
+	m.PC.PMF = r.Time()
+	m.PC.TMF = r.Time()
+	m.PC.L = r.Dur()
+	m.Payload = e.readBatch(r)
+	return m
+}
+
+func (e *Engine) readBatch(r *snap.Reader) *dataflow.Batch {
+	if !r.Bool() {
+		return nil
+	}
+	n := int(r.U32())
+	if n > r.Remaining() { // each tuple needs ≥ 8 bytes; cheap bound check
+		n = 0
+	}
+	b := e.batches.Get(-1, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		b.Times = append(b.Times, r.Time())
+	}
+	if r.Bool() {
+		for i := 0; i < n && r.Err() == nil; i++ {
+			b.Keys = append(b.Keys, r.I64())
+		}
+	} else {
+		b.Keys = nil
+	}
+	if r.Bool() {
+		for i := 0; i < n && r.Err() == nil; i++ {
+			b.Vals = append(b.Vals, r.F64())
+		}
+	} else {
+		b.Vals = nil
+	}
+	return b
+}
+
+// quiesceJob waits until a paused job has no in-flight messages: everything
+// that exists for the job is sitting in an operator queue. The test reads
+// Queued BEFORE Outstanding: for a paused job nothing pops (workers skip
+// non-live operators), so Queued is non-decreasing, and Outstanding ≥
+// Queued holds at every instant (children register before they are
+// pushed). Queued(t1) == Outstanding(t2) with t1 < t2 therefore forces
+// Queued(t2) = Outstanding(t2) — a consistent quiesce despite the two
+// counters being separate atomics. Bounded by one handler invocation per
+// worker once the pause lands, like CancelJob's quiesce.
+func quiesceJob(j *dataflow.Job) {
+	for {
+		q := j.Queued.Load()
+		if j.Outstanding.Load() == q {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// CheckpointJob snapshots one job's complete dynamic state into w (which is
+// Reset first; seal with w.Bytes). The job is paused for the duration of
+// the capture — a consistent cut through the PR 3 quiesce path — and
+// resumed afterwards if it was running; a job the caller had already paused
+// stays paused, so checkpoint-then-migrate can hold the cut open. Other
+// jobs are unaffected throughout. Concurrent lifecycle calls for the SAME
+// job (pause/resume/cancel from other goroutines) are the caller's
+// coordination problem, exactly as they are for PauseJob itself.
+func (e *Engine) CheckpointJob(name string, w *snap.Writer) error {
+	e.jobsMu.RLock()
+	j, ok := e.jobs[name]
+	wasPaused := e.paused[name]
+	e.jobsMu.RUnlock()
+	if !ok {
+		return fmt.Errorf("runtime: unknown job %q", name)
+	}
+	if !wasPaused {
+		if err := e.PauseJob(name); err != nil {
+			return err
+		}
+	}
+	quiesceJob(j)
+	w.Reset()
+	e.snapshotJob(j, w)
+	if !wasPaused {
+		return e.ResumeJob(name)
+	}
+	return nil
+}
+
+// RestoreJob reinstates a checkpointed job on this engine: the spec is
+// validated against the snapshot's topology digest, the job is registered
+// paused (nothing schedules mid-restore), handler state is reinstated
+// through RestoreState on the freshly constructed handlers, per-source
+// progress is reloaded, and the serialized backlog is re-created as fresh
+// messages and re-enqueued with full admission accounting. The job is left
+// PAUSED: call ResumeJob once the feeder is wired up (it should resume
+// from the offsets in Job.SourceProgress rather than regressing stage-0
+// frontiers).
+//
+// Unlike AddJob, restoring does not drop the name's recorded statistics —
+// a migration hands the source engine's recorder across (Config.Recorder)
+// so a job's outputs accumulate over the move. On any decode or mismatch
+// error the half-registered job is cancelled and the engine is left as if
+// RestoreJob had never been called.
+func (e *Engine) RestoreJob(spec dataflow.JobSpec, data []byte) (*dataflow.Job, error) {
+	r, err := snap.NewReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: restore %q: %w", spec.Name, err)
+	}
+	// Fill the spec's defaults (source ports, stage names) before digest
+	// comparison — the snapshot was taken from a normalized spec.
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: restore %q: %w", spec.Name, err)
+	}
+	if err := readDigest(r, &spec); err != nil {
+		return nil, fmt.Errorf("runtime: restore %q: %w", spec.Name, err)
+	}
+
+	e.jobsMu.Lock()
+	j, err := e.addJobLocked(spec, true)
+	e.jobsMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	var msgs []dataflow.ChildMessage
+	fail := func(err error) (*dataflow.Job, error) {
+		// Created-but-not-enqueued messages are discarded to re-balance the
+		// conservation counters, then the registration is rolled back.
+		for _, cm := range msgs {
+			e.discardMessage(j, cm.Msg)
+		}
+		_ = e.CancelJob(spec.Name)
+		return nil, fmt.Errorf("runtime: restore %q: %w", spec.Name, err)
+	}
+
+	for i := range j.SourceProgress {
+		j.SourceProgress[i].Store(r.I64())
+	}
+	for _, op := range j.Operators() {
+		if r.Bool() {
+			s, ok := op.Handler.(dataflow.Snapshotter)
+			if !ok {
+				return fail(fmt.Errorf("snapshot has handler state for %s but its handler cannot restore", op.Name))
+			}
+			if err := s.RestoreState(r); err != nil {
+				return fail(fmt.Errorf("handler state of %s: %w", op.Name, err))
+			}
+		}
+		n := int(r.U32())
+		for k := 0; k < n && r.Err() == nil; k++ {
+			m := e.readMessage(r)
+			e.outstanding.Add(1)
+			j.Outstanding.Add(1)
+			msgs = append(msgs, dataflow.ChildMessage{Target: op, Msg: m})
+		}
+	}
+	if r.Err() != nil {
+		return fail(r.Err())
+	}
+	if r.Remaining() != 0 {
+		return fail(fmt.Errorf("%d trailing bytes after job state", r.Remaining()))
+	}
+	// Pushes to the paused operators enqueue without scheduling — on every
+	// dispatch path — with the usual admission accounting, so the restored
+	// backlog is indistinguishable from one that was retained by PauseJob.
+	e.path.ingest(msgs)
+	return j, nil
+}
+
+// readDigest validates the snapshot's topology digest against spec: same
+// name, source layout, time domain, and per-stage name/parallelism/slide.
+// Restoring into a structurally different job would scatter keyed state
+// across the wrong partitions, so this fails loudly instead.
+func readDigest(r *snap.Reader, spec *dataflow.JobSpec) error {
+	name := r.String()
+	sources := int(r.U32())
+	ports := int(r.U32())
+	domain := dataflow.TimeDomain(r.U8())
+	nstages := int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if name != spec.Name {
+		return fmt.Errorf("snapshot is of job %q", name)
+	}
+	if sources != spec.Sources || ports != spec.SourcePorts || domain != spec.Domain || nstages != len(spec.Stages) {
+		return fmt.Errorf("topology mismatch: snapshot %d sources/%d ports/domain %d/%d stages, spec %d/%d/%d/%d",
+			sources, ports, domain, nstages, spec.Sources, spec.SourcePorts, spec.Domain, len(spec.Stages))
+	}
+	for i := 0; i < nstages; i++ {
+		sname := r.String()
+		par := int(r.U32())
+		slide := r.Dur()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		st := &spec.Stages[i]
+		if sname != st.Name || par != st.Parallelism || slide != st.Slide {
+			return fmt.Errorf("stage %d mismatch: snapshot %s/%d/%v, spec %s/%d/%v",
+				i, sname, par, slide, st.Name, st.Parallelism, st.Slide)
+		}
+	}
+	return nil
+}
+
+// checkpointer is the background periodic-checkpoint goroutine: every
+// interval it snapshots each live (not paused, not failed, not
+// mid-cancel) job and atomically replaces <dir>/<job>.ckpt (write to a
+// temp file, then rename — a crash mid-write leaves the previous
+// checkpoint intact, and the torn temp file is rejected by snap's CRC on
+// any attempt to read it). The snap.Writer is reused across ticks, so
+// steady-state checkpoints don't grow the heap; when no tick fires the
+// checkpointer adds zero work and zero allocations to the engine.
+type checkpointer struct {
+	e        *Engine
+	dir      string
+	interval time.Duration
+	stopCh   chan struct{}
+	w        *snap.Writer
+
+	completed atomic.Int64
+	failed    atomic.Int64
+}
+
+func newCheckpointer(e *Engine, dir string, interval time.Duration) *checkpointer {
+	return &checkpointer{
+		e:        e,
+		dir:      dir,
+		interval: interval,
+		stopCh:   make(chan struct{}),
+		w:        snap.NewWriter(),
+	}
+}
+
+func (c *checkpointer) run() {
+	defer c.e.wg.Done()
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			c.tick()
+		}
+	}
+}
+
+func (c *checkpointer) stop() { close(c.stopCh) }
+
+func (c *checkpointer) tick() {
+	e := c.e
+	e.jobsMu.RLock()
+	names := make([]string, 0, len(e.jobs))
+	for name := range e.jobs {
+		// A paused job is skipped rather than checkpointed: pausing it again
+		// would be a no-op, but resuming it afterwards would override the
+		// owner's pause. Failed (quarantined) jobs are excluded so a
+		// checkpoint never captures post-panic handler state.
+		if !e.paused[name] && !e.failed[name] && !e.cancelling[name] {
+			names = append(names, name)
+		}
+	}
+	e.jobsMu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		if err := c.checkpointOne(name); err != nil {
+			c.failed.Add(1)
+		} else {
+			c.completed.Add(1)
+		}
+	}
+}
+
+func (c *checkpointer) checkpointOne(name string) error {
+	if err := c.e.CheckpointJob(name, c.w); err != nil {
+		return err
+	}
+	data := c.w.Bytes()
+	tmp := filepath.Join(c.dir, name+".ckpt.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.dir, name+".ckpt"))
+}
+
+// Checkpoints reports how many background checkpoints have completed (0
+// when the checkpointer is not configured).
+func (e *Engine) Checkpoints() int64 {
+	if e.ckpt == nil {
+		return 0
+	}
+	return e.ckpt.completed.Load()
+}
+
+// CheckpointErrors reports how many background checkpoint attempts failed.
+func (e *Engine) CheckpointErrors() int64 {
+	if e.ckpt == nil {
+		return 0
+	}
+	return e.ckpt.failed.Load()
+}
+
+// CheckpointFile returns the path the background checkpointer writes for
+// the named job ("" when the checkpointer is not configured).
+func (e *Engine) CheckpointFile(name string) string {
+	if e.ckpt == nil {
+		return ""
+	}
+	return filepath.Join(e.ckpt.dir, name+".ckpt")
+}

@@ -5,10 +5,12 @@ package runtime_test
 // set; these extend the pin to a scripted sequence of submit, pause,
 // resume, and cancel events on a LIVE engine. The same determinism knobs
 // apply (progress-only policy, infinite quantum, 1 worker), plus one new
-// one: every chunk of work is ingested while its job is paused and
-// released by a resume, with a drain barrier before the next lifecycle
-// event — so the worker races nothing and the trace is a pure function of
-// priorities and the script.
+// one: every chunk of work is staged in full while a gate job holds the
+// single worker inside its handler (a paused job refuses ingest with
+// ErrJobPaused, so parking chunks behind a pause is no longer possible),
+// then released with a drain barrier before the next lifecycle event — so
+// the worker races nothing and the trace is a pure function of priorities
+// and the script.
 //
 // Two properties are pinned, per scheduler kind:
 //
@@ -25,10 +27,59 @@ import (
 	"time"
 
 	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/dataflow"
 	"github.com/cameo-stream/cameo/internal/runtime"
 	"github.com/cameo-stream/cameo/internal/testkit"
 	"github.com/cameo-stream/cameo/internal/vtime"
 )
+
+// gate occupies the script engine's single worker on demand: its job's
+// handler announces entry and then blocks until released, so a chunk of
+// work can be ingested in full — queued but unexecuted — before the
+// worker is handed back. The gate's own executions appear identically in
+// every run of the same script, so trace comparisons are unaffected.
+type gate struct {
+	entered chan struct{}
+	release chan struct{}
+	n       int
+}
+
+func newGate(t *testing.T, e *runtime.Engine) *gate {
+	t.Helper()
+	g := &gate{entered: make(chan struct{}), release: make(chan struct{})}
+	spec := dataflow.JobSpec{
+		Name: "gate", Latency: vtime.Hour, Sources: 1,
+		Stages: []dataflow.StageSpec{{
+			Name: "g", Parallelism: 1,
+			NewHandler: func(int) dataflow.Handler {
+				return dataflow.HandlerFunc(func(*dataflow.Context, *core.Message) []dataflow.Emission {
+					g.entered <- struct{}{}
+					<-g.release
+					return nil
+				})
+			},
+		}},
+	}
+	if _, err := e.AddJob(spec); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// block ingests one gate message and waits until the worker is inside the
+// gate handler — from here until unblock, nothing else executes.
+func (g *gate) block(t *testing.T, e *runtime.Engine) {
+	t.Helper()
+	g.n++
+	b := dataflow.NewBatch(1)
+	b.Append(vtime.Time(g.n), 0, 1)
+	if err := e.Ingest("gate", 0, b, vtime.Time(g.n)); err != nil {
+		t.Fatal(err)
+	}
+	<-g.entered
+}
+
+func (g *gate) unblock() { g.release <- struct{}{} }
 
 func keepWorkload() testkit.Workload {
 	return testkit.Workload{Seed: 42, Sources: 2, Windows: 12, Tuples: 6, Keys: 8, Win: vtime.Second}
@@ -58,18 +109,15 @@ func ingestRange(t *testing.T, e *runtime.Engine, wl testkit.Workload, job strin
 	}
 }
 
-// step runs one deterministic lifecycle step: pause the job, ingest a
-// chunk into the parked backlog, resume, and drain the job — the barrier
-// that keeps the 1-worker schedule a pure function of priorities.
-func step(t *testing.T, e *runtime.Engine, wl testkit.Workload, job string, from, to int, close bool) {
+// step runs one deterministic lifecycle step: park the worker behind the
+// gate, ingest a chunk in full, release the worker, and drain the job —
+// the barrier that keeps the 1-worker schedule a pure function of
+// priorities.
+func step(t *testing.T, e *runtime.Engine, g *gate, wl testkit.Workload, job string, from, to int, close bool) {
 	t.Helper()
-	if err := e.PauseJob(job); err != nil {
-		t.Fatal(err)
-	}
+	g.block(t, e)
 	ingestRange(t, e, wl, job, from, to, close)
-	if err := e.ResumeJob(job); err != nil {
-		t.Fatal(err)
-	}
+	g.unblock()
 	drained, err := e.DrainJob(job, 10*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -97,33 +145,36 @@ func churnScript(t *testing.T, kind core.SchedulerKind, mode runtime.DispatchMod
 	if _, err := e.AddJob(testkit.AggSpec("keep", keep.Sources, 2, keep.Win, vtime.Second)); err != nil {
 		t.Fatal(err)
 	}
+	g := newGate(t, e)
 	e.Start()
 
-	step(t, e, keep, "keep", 1, 4, false)
+	step(t, e, g, keep, "keep", 1, 4, false)
 	if churn {
-		// Live submit, run a chunk, then leave a parked backlog behind and
+		// Live submit, run a chunk, then leave a staged backlog behind and
 		// cancel it — the discard path.
 		if _, err := e.AddJob(testkit.AggSpec("adhoc", adhoc.Sources, 2, adhoc.Win, vtime.Second)); err != nil {
 			t.Fatal(err)
 		}
-		step(t, e, adhoc, "adhoc", 1, 4, false)
+		step(t, e, g, adhoc, "adhoc", 1, 4, false)
 	}
-	step(t, e, keep, "keep", 5, 8, false)
+	step(t, e, g, keep, "keep", 5, 8, false)
 	if churn {
-		if err := e.PauseJob("adhoc"); err != nil {
-			t.Fatal(err)
-		}
+		// Stage a backlog behind the gate and cancel before any of it can
+		// execute: every message of windows 5-6 is discarded, so the
+		// discard count is deterministic across dispatch paths.
+		g.block(t, e)
 		ingestRange(t, e, adhoc, "adhoc", 5, 6, false)
 		if err := e.CancelJob("adhoc"); err != nil {
 			t.Fatal(err)
 		}
+		g.unblock()
 		// Name reuse after cancel: a fresh job under the old name.
 		if _, err := e.AddJob(testkit.AggSpec("adhoc", adhoc.Sources, 2, adhoc.Win, vtime.Second)); err != nil {
 			t.Fatal(err)
 		}
-		step(t, e, adhoc, "adhoc", 1, 2, false)
+		step(t, e, g, adhoc, "adhoc", 1, 2, false)
 	}
-	step(t, e, keep, "keep", 9, 12, true)
+	step(t, e, g, keep, "keep", 9, 12, true)
 	e.Stop()
 	return e
 }

@@ -9,6 +9,7 @@ package runtime
 // discarded, and no goroutine leaks.
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -69,16 +70,17 @@ func TestEnginePauseResume(t *testing.T) {
 			if _, err := e.AddJob(lsSpec("j")); err != nil {
 				t.Fatal(err)
 			}
-			e.Start()
-			defer e.Stop()
 
-			// Ingest the whole load into a paused job: nothing may execute,
-			// so a per-job drain must time out with the backlog intact.
+			// Ingest the whole load, then pause before starting the workers:
+			// nothing may execute, so a per-job drain must time out with the
+			// backlog intact.
+			wl := testLoad(10)
+			wl.IngestAll(t, e, "j")
 			if err := e.PauseJob("j"); err != nil {
 				t.Fatal(err)
 			}
-			wl := testLoad(10)
-			wl.IngestAll(t, e, "j")
+			e.Start()
+			defer e.Stop()
 			if drained, _ := e.DrainJob("j", 50*time.Millisecond); drained {
 				t.Fatal("paused job drained")
 			}
@@ -87,6 +89,16 @@ func TestEnginePauseResume(t *testing.T) {
 			}
 			if !e.JobPaused("j") {
 				t.Fatal("JobPaused = false for a paused job")
+			}
+
+			// A paused job refuses new ingest with the typed error on every
+			// dispatch path — the retained backlog stays as it was (ISSUE
+			// satellite: ErrJobPaused).
+			if err := e.Ingest("j", 0, wl.Batch(0, 1), wl.Progress(11)); !errors.Is(err, ErrJobPaused) {
+				t.Fatalf("Ingest on paused job = %v, want ErrJobPaused", err)
+			}
+			if err := e.TryIngest("j", 0, wl.Batch(0, 1), wl.Progress(11)); !errors.Is(err, ErrJobPaused) {
+				t.Fatalf("TryIngest on paused job = %v, want ErrJobPaused", err)
 			}
 
 			// Resume releases the retained backlog in full.
@@ -251,7 +263,14 @@ func TestEnginePauseResumeStorm(t *testing.T) {
 				go func(src int) {
 					defer wg.Done()
 					for w := 1; w <= wl.Windows; w++ {
-						if err := e.Ingest("j", src, wl.Batch(src, w), wl.Progress(w)); err != nil {
+						err := e.Ingest("j", src, wl.Batch(src, w), wl.Progress(w))
+						if errors.Is(err, ErrJobPaused) {
+							// The storm goroutine paused the job under us;
+							// retry the same window once it resumes.
+							w--
+							continue
+						}
+						if err != nil {
 							t.Error(err)
 							return
 						}
@@ -342,12 +361,12 @@ func TestEngineCancelPausedBacklog(t *testing.T) {
 			if _, err := e.AddJob(lsSpec("j")); err != nil {
 				t.Fatal(err)
 			}
-			e.Start()
-			defer e.Stop()
+			testLoad(6).IngestAll(t, e, "j")
 			if err := e.PauseJob("j"); err != nil {
 				t.Fatal(err)
 			}
-			testLoad(6).IngestAll(t, e, "j")
+			e.Start()
+			defer e.Stop()
 			if e.Drain(50 * time.Millisecond) {
 				t.Fatal("Drain reported idle with a paused backlog")
 			}

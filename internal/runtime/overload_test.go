@@ -62,15 +62,11 @@ func TestBackpressureRoundTrip(t *testing.T) {
 			if _, err := e.AddJob(lsSpec("j")); err != nil {
 				t.Fatal(err)
 			}
-			e.Start()
-			defer e.Stop()
 
-			// Pause so nothing drains, then fill to the budget. lsSpec fans
-			// each batch out to 2 stage-0 instances, so the budget admits
-			// exactly budget/2 ingests.
-			if err := e.PauseJob("j"); err != nil {
-				t.Fatal(err)
-			}
+			// Fill to the budget before Start so nothing drains (a paused
+			// job would refuse ingest outright with ErrJobPaused). lsSpec
+			// fans each batch out to 2 stage-0 instances, so the budget
+			// admits exactly budget/2 ingests.
 			wl := testLoad(budget)
 			accepted := 0
 			var rejection error
@@ -104,10 +100,9 @@ func TestBackpressureRoundTrip(t *testing.T) {
 				t.Errorf("backpressure engine shed %d messages", e.Shed())
 			}
 
-			// Drain and the same source is welcome again.
-			if err := e.ResumeJob("j"); err != nil {
-				t.Fatal(err)
-			}
+			// Start the workers, drain, and the same source is welcome again.
+			e.Start()
+			defer e.Stop()
 			testkit.DrainOrFail(t, e, 10*time.Second)
 			if err := e.Ingest("j", 0, wl.Batch(0, 1), wl.Progress(budget+1)); err != nil {
 				t.Fatalf("ingest after drain refused: %v", err)
@@ -132,13 +127,8 @@ func TestPerJobBudget(t *testing.T) {
 	if _, err := e.AddJob(lsSpec("free")); err != nil {
 		t.Fatal(err)
 	}
-	e.Start()
-	defer e.Stop()
-	for _, job := range []string{"capped", "free"} {
-		if err := e.PauseJob(job); err != nil {
-			t.Fatal(err)
-		}
-	}
+	// Fill before Start so the single worker can't drain the capped job's
+	// backlog out from under the budget check.
 	wl := testLoad(10)
 	var cappedErr error
 	for w := 1; w <= 10; w++ {
@@ -158,11 +148,8 @@ func TestPerJobBudget(t *testing.T) {
 	if q, err := e.JobPending("capped"); err != nil || q > 4 {
 		t.Errorf("capped job pending = %d (err %v), budget 4", q, err)
 	}
-	for _, job := range []string{"capped", "free"} {
-		if err := e.ResumeJob(job); err != nil {
-			t.Fatal(err)
-		}
-	}
+	e.Start()
+	defer e.Stop()
 	testkit.DrainOrFail(t, e, 10*time.Second)
 }
 
@@ -175,11 +162,7 @@ func TestTryIngestNeverSheds(t *testing.T) {
 	if _, err := e.AddJob(lsSpec("j")); err != nil {
 		t.Fatal(err)
 	}
-	e.Start()
-	defer e.Stop()
-	if err := e.PauseJob("j"); err != nil {
-		t.Fatal(err)
-	}
+	// Fill before Start so the backlog can't drain between TryIngests.
 	wl := testLoad(2 * budget)
 	var rejection error
 	for w := 1; w <= 2*budget; w++ {
@@ -193,9 +176,8 @@ func TestTryIngestNeverSheds(t *testing.T) {
 	if e.Shed() != 0 {
 		t.Errorf("TryIngest triggered shedding (%d messages)", e.Shed())
 	}
-	if err := e.ResumeJob("j"); err != nil {
-		t.Fatal(err)
-	}
+	e.Start()
+	defer e.Stop()
 	testkit.DrainOrFail(t, e, 10*time.Second)
 }
 

@@ -29,6 +29,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -72,6 +73,13 @@ func (m DispatchMode) String() string {
 	return fmt.Sprintf("dispatch(%d)", int(m))
 }
 
+// ErrJobPaused is returned by Ingest/TryIngest when the target job is
+// paused (explicitly, by a checkpoint in progress, or by quarantine after
+// a handler panic). The job's already-admitted backlog is retained —
+// nothing is dropped — but new work is refused until ResumeJob; compare
+// with errors.Is.
+var ErrJobPaused = errors.New("runtime: job is paused")
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Workers is the worker-pool size (defaults to 1).
@@ -110,6 +118,24 @@ type Config struct {
 	// backpressure (default — Ingest returns ErrOverloaded) or
 	// deadline-aware shedding (see OverloadPolicy).
 	Overload OverloadPolicy
+	// CheckpointDir, when non-empty together with a positive
+	// CheckpointInterval, enables the background checkpointer: every
+	// interval each live (not paused, not failed) job is snapshotted via
+	// CheckpointJob and atomically written to <dir>/<job>.ckpt. The
+	// checkpointer runs between Start and Stop.
+	CheckpointDir string
+	// CheckpointInterval is the period of the background checkpointer.
+	CheckpointInterval time.Duration
+	// StartTime advances the engine clock at construction — a restored
+	// engine sets it to the crashed/migrated-from engine's last Now() so
+	// deadlines, laxity, and recorded latencies stay on one time axis
+	// across the restore boundary.
+	StartTime vtime.Duration
+	// Recorder, when non-nil, is used instead of a fresh metrics recorder.
+	// Migration hands the source engine's recorder to the target so a
+	// job's outputs accumulate across the move (DeclareJob is idempotent
+	// for an unchanged constraint).
+	Recorder *metrics.Recorder
 }
 
 func (c *Config) fill() {
@@ -149,8 +175,15 @@ type Engine struct {
 	jobs       map[string]*dataflow.Job
 	paused     map[string]bool
 	cancelling map[string]bool
-	started    atomic.Bool
-	stopped    atomic.Bool
+	// failed marks jobs quarantined after a handler panic: paused, held
+	// out of the background checkpointer, and reported via JobFailed.
+	// Cleared when the job is cancelled (its name leaves all maps).
+	failed  map[string]bool
+	started atomic.Bool
+	stopped atomic.Bool
+
+	// ckpt is the background checkpointer (nil unless configured).
+	ckpt *checkpointer
 
 	path dispatchPath
 	// adm is the admission layer: pending-message budgets, overload
@@ -234,6 +267,11 @@ type dispatchPath interface {
 	// resume makes every parked operator of job with pending messages
 	// runnable again and wakes workers.
 	resume(job *dataflow.Job)
+	// eachQueued hands every queued (admitted, not yet popped) message of
+	// op to visit, under the lock domain guarding op's queue, in no
+	// particular order. The checkpoint path calls it on paused, quiesced
+	// operators; visit must not mutate the queue or block on engine locks.
+	eachQueued(op *dataflow.Operator, visit func(*core.Message))
 }
 
 // New returns an engine. Jobs may be added before or after Start; the
@@ -246,8 +284,18 @@ func New(cfg Config) *Engine {
 		jobs:       make(map[string]*dataflow.Job),
 		paused:     make(map[string]bool),
 		cancelling: make(map[string]bool),
-		rec:        metrics.NewRecorder(),
+		failed:     make(map[string]bool),
+		rec:        cfg.Recorder,
 		overhead:   &metrics.Overhead{},
+	}
+	if e.rec == nil {
+		e.rec = metrics.NewRecorder()
+	}
+	if cfg.StartTime > 0 {
+		e.clock.Advance(cfg.StartTime)
+	}
+	if cfg.CheckpointDir != "" && cfg.CheckpointInterval > 0 {
+		e.ckpt = newCheckpointer(e, cfg.CheckpointDir, cfg.CheckpointInterval)
 	}
 	if cfg.TraceLimit > 0 {
 		e.trace = metrics.NewScheduleTrace(cfg.TraceLimit)
@@ -320,10 +368,43 @@ func (e *Engine) Shed() int64 { return e.adm.shed.Load() }
 // the metrics recorder.
 func (e *Engine) Rejected() int64 { return e.adm.rejected.Load() }
 
-// HandlerPanics reports how many handler invocations panicked. Panicking
-// messages are dropped (their operator keeps running); a nonzero count
-// indicates a bug in user handler code.
+// HandlerPanics reports how many handler invocations panicked. A panic
+// drops the message and quarantines its job — paused and marked failed
+// (see JobFailed) — instead of letting a corrupted handler keep
+// executing; a nonzero count indicates a bug in user handler code.
 func (e *Engine) HandlerPanics() int64 { return e.handlerPanics.Load() }
+
+// JobFailed reports whether the named job has been quarantined after a
+// handler panic: it is paused (backlog retained, ingest refused with
+// ErrJobPaused) and stays failed until cancelled. Resuming a failed job
+// is permitted — the caller is asserting the panic was transient — but
+// does not clear the failed mark.
+func (e *Engine) JobFailed(name string) bool {
+	e.jobsMu.RLock()
+	defer e.jobsMu.RUnlock()
+	return e.failed[name]
+}
+
+// quarantineJob pauses and marks failed the job whose handler panicked.
+// Called from a worker with no scheduling locks held (execMessage's
+// contract). Races benignly with lifecycle calls: a cancelled or already-
+// paused job keeps its state, and the failed mark is set regardless so
+// the panic is never silently absorbed by a concurrent pause.
+func (e *Engine) quarantineJob(name string) {
+	e.jobsMu.Lock()
+	defer e.jobsMu.Unlock()
+	j, ok := e.jobs[name]
+	if !ok || e.cancelling[name] {
+		return
+	}
+	e.failed[name] = true
+	if e.paused[name] {
+		return
+	}
+	e.paused[name] = true
+	e.path.pause(j)
+	e.lifeEpoch.Add(1) // after the phases are set; see lifeEpoch
+}
 
 // AddJob instantiates a job on this engine — before Start or on a live,
 // running engine. A live submit is pure registration: the new operators
@@ -339,6 +420,17 @@ func (e *Engine) HandlerPanics() int64 { return e.handlerPanics.Load() }
 func (e *Engine) AddJob(spec dataflow.JobSpec) (*dataflow.Job, error) {
 	e.jobsMu.Lock()
 	defer e.jobsMu.Unlock()
+	return e.addJobLocked(spec, false)
+}
+
+// addJobLocked registers spec under jobsMu (held exclusively by the
+// caller). restored marks a RestoreJob registration, which differs from a
+// fresh submit in two ways: the job enters PAUSED — its operators are
+// flipped before the map insert publishes them, so nothing can schedule
+// until its state is reinstated — and the name's recorded statistics are
+// kept rather than dropped, so a migrated job's outputs accumulate across
+// the move on a shared recorder.
+func (e *Engine) addJobLocked(spec dataflow.JobSpec, restored bool) (*dataflow.Job, error) {
 	if e.stopped.Load() {
 		return nil, fmt.Errorf("runtime: AddJob on stopped engine")
 	}
@@ -358,9 +450,17 @@ func (e *Engine) AddJob(spec dataflow.JobSpec) (*dataflow.Job, error) {
 		st := op.Sched()
 		st.Lane = laneNone
 		st.Home = int32(homeIdx(op.Name, e.cfg.Workers))
+		if restored {
+			st.Phase = core.OpPaused
+		}
+	}
+	if restored {
+		e.paused[spec.Name] = true
 	}
 	e.jobs[spec.Name] = job
-	e.rec.DropJob(spec.Name) // stale stats from a cancelled incarnation, if any
+	if !restored {
+		e.rec.DropJob(spec.Name) // stale stats from a cancelled incarnation, if any
+	}
 	e.rec.DeclareJob(spec.Name, spec.Latency)
 	return job, nil
 }
@@ -423,6 +523,7 @@ func (e *Engine) CancelJob(name string) error {
 	e.jobsMu.Lock()
 	delete(e.jobs, name)
 	delete(e.paused, name)
+	delete(e.failed, name)
 	delete(e.cancelling, name)
 	e.jobsMu.Unlock()
 	j.Teardown()
@@ -430,9 +531,10 @@ func (e *Engine) CancelJob(name string) error {
 }
 
 // PauseJob parks a running job: its operators stop being eligible for
-// scheduling while retaining queued messages, and ingest keeps enqueueing
-// (nothing is dropped). Workers holding one of its operators finish only
-// the current message. Pausing a paused job is a no-op. Note that the
+// scheduling while retaining queued messages (nothing already admitted is
+// dropped), and NEW ingests are refused with ErrJobPaused until the job
+// is resumed. Workers holding one of its operators finish only the
+// current message. Pausing a paused job is a no-op. Note that the
 // engine-wide Drain counts a paused job's retained messages, so it will
 // not report idle until the job is resumed or cancelled; DrainJob targets
 // live jobs individually.
@@ -550,7 +652,8 @@ func (e *Engine) noteShed(j *dataflow.Job, n int) {
 	e.rec.AddShed(j.Spec.Name, int64(n))
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool (and the background checkpointer when
+// configured).
 func (e *Engine) Start() {
 	if e.started.Swap(true) {
 		return
@@ -559,6 +662,10 @@ func (e *Engine) Start() {
 		e.wg.Add(1)
 		go e.path.worker(i)
 	}
+	if e.ckpt != nil {
+		e.wg.Add(1)
+		go e.ckpt.run()
+	}
 }
 
 // Stop shuts the workers down and waits for them to exit. Pending messages
@@ -566,6 +673,9 @@ func (e *Engine) Start() {
 func (e *Engine) Stop() {
 	if !e.started.Load() || e.stopped.Swap(true) {
 		return
+	}
+	if e.ckpt != nil {
+		e.ckpt.stop()
 	}
 	e.path.stopAll()
 	e.wg.Wait()
@@ -599,9 +709,20 @@ func (e *Engine) TryIngest(job string, src int, b *dataflow.Batch, p vtime.Time)
 func (e *Engine) ingest(job string, src int, b *dataflow.Batch, p vtime.Time, try bool) error {
 	e.jobsMu.RLock()
 	j, ok := e.jobs[job]
+	pausedJob := e.paused[job]
 	e.jobsMu.RUnlock()
 	if !ok {
 		return fmt.Errorf("runtime: unknown job %q", job)
+	}
+	if pausedJob {
+		// A paused job retains its already-admitted backlog but refuses new
+		// work — growing an unschedulable queue without bound would turn
+		// pause into a memory leak, and checkpoint/migration rely on a
+		// paused job's queues being frozen. The check races a concurrent
+		// PauseJob by design (a batch admitted just before the pause lands
+		// is retained like the rest of the backlog); once PauseJob has
+		// returned, every subsequent ingest observes the pause.
+		return fmt.Errorf("%w: job %q", ErrJobPaused, job)
 	}
 	if src < 0 || src >= j.Spec.Sources {
 		return fmt.Errorf("runtime: job %q: source %d out of range [0,%d)",
@@ -620,6 +741,10 @@ func (e *Engine) ingest(job string, src int, b *dataflow.Batch, p vtime.Time, tr
 			return err
 		}
 	}
+	// Record the channel's stream progress for checkpointing: a snapshot
+	// carries where every source stood at the cut, so a restored job's
+	// feeder can resume from there instead of regressing stage-0 frontiers.
+	j.NoteSourceProgress(src, p)
 	now := e.clock.Now()
 	env := e.ingestEnvs.Get().(*dataflow.Env)
 	msgs := dataflow.SourceMessages(j, src, b, p, now, env)
@@ -709,11 +834,16 @@ func (e *Engine) execMessage(op *dataflow.Operator, m *core.Message, env *datafl
 		cost = 1
 	}
 	if panicked {
-		// The message is dropped but the operator, its profile, and the
-		// worker all keep going — one bad tuple must not take the engine
-		// down.
+		// The message is dropped and the job is quarantined: a handler that
+		// panicked may have corrupted its own state mid-update, so letting
+		// the operator keep executing would silently produce wrong windows.
+		// The panic must not take the engine down either — the job is
+		// paused (backlog retained, ingest refused) and marked failed, while
+		// every other job keeps running. execMessage holds no scheduling
+		// locks here, so the lifecycle call is safe from worker context.
 		e.handlerPanics.Add(1)
 		emissions = nil
+		e.quarantineJob(op.Job.Spec.Name)
 	}
 	outcome := dataflow.Finish(op, m, emissions, cost, env)
 	// Three clock reads bracket the whole execution — invoke cost is

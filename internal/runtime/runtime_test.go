@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -161,20 +162,18 @@ func TestEngineDrainTimeout(t *testing.T) {
 }
 
 func TestEnginePanicIsolation(t *testing.T) {
-	// A handler that panics on every third message: the engine must drop
-	// those messages, count the panics, and keep processing the rest.
-	var calls int
+	// A handler panic quarantines its job — paused, marked failed, backlog
+	// retained — while a healthy neighbor keeps executing. The panicked
+	// message is dropped (counted executed, no emissions) and the engine
+	// survives with conservation intact once the quarantined job is
+	// cancelled.
 	spec := dataflow.JobSpec{
 		Name: "panicky", Latency: vtime.Second, Sources: 1,
 		Stages: []dataflow.StageSpec{{
 			Name: "p", Parallelism: 1,
 			NewHandler: func(int) dataflow.Handler {
 				return dataflow.HandlerFunc(func(*dataflow.Context, *core.Message) []dataflow.Emission {
-					calls++
-					if calls%3 == 0 {
-						panic("handler bug")
-					}
-					return nil
+					panic("handler bug")
 				})
 			},
 		}},
@@ -183,23 +182,62 @@ func TestEnginePanicIsolation(t *testing.T) {
 	if _, err := e.AddJob(spec); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := e.AddJob(lsSpec("healthy")); err != nil {
+		t.Fatal(err)
+	}
 	e.Start()
 	defer e.Stop()
 	for i := 1; i <= 9; i++ {
 		b := dataflow.NewBatch(1)
 		b.Append(vtime.Time(i), 0, 1)
-		if err := e.Ingest("panicky", 0, b, vtime.Time(i)); err != nil {
+		err := e.Ingest("panicky", 0, b, vtime.Time(i))
+		if errors.Is(err, ErrJobPaused) {
+			break // quarantine landed mid-ingest: also fine
+		}
+		if err != nil {
 			t.Fatal(err)
 		}
 	}
-	if !e.Drain(5 * time.Second) {
-		t.Fatal("engine did not drain after handler panics")
+	deadline := time.Now().Add(5 * time.Second)
+	for !e.JobFailed("panicky") {
+		if time.Now().After(deadline) {
+			t.Fatal("job never quarantined after handler panic")
+		}
+		time.Sleep(time.Millisecond)
 	}
-	if e.Executed() != 9 {
-		t.Fatalf("executed %d messages, want 9", e.Executed())
+	if !e.JobPaused("panicky") {
+		t.Fatal("quarantined job is not paused")
 	}
-	if e.HandlerPanics() != 3 {
-		t.Fatalf("recorded %d panics, want 3", e.HandlerPanics())
+	if e.HandlerPanics() == 0 {
+		t.Fatal("HandlerPanics = 0 after a handler panic")
+	}
+	if err := e.Ingest("panicky", 0, nil, vtime.Time(100)); !errors.Is(err, ErrJobPaused) {
+		t.Fatalf("ingest into quarantined job = %v, want ErrJobPaused", err)
+	}
+
+	// The healthy neighbor is unaffected by the quarantine.
+	testLoad(5).IngestAll(t, e, "healthy")
+	if drained, err := e.DrainJob("healthy", 10*time.Second); err != nil || !drained {
+		t.Fatalf("healthy job did not drain (drained=%v err=%v)", drained, err)
+	}
+	if e.Recorder().Job("healthy").Latencies.Len() < 4 {
+		t.Fatalf("healthy outputs = %d, want >= 4", e.Recorder().Job("healthy").Latencies.Len())
+	}
+	if e.JobFailed("healthy") {
+		t.Fatal("healthy job marked failed")
+	}
+
+	// Cancelling the quarantined job discards its retained backlog and
+	// settles conservation: created == executed + discarded.
+	if err := e.CancelJob("panicky"); err != nil {
+		t.Fatal(err)
+	}
+	if e.JobFailed("panicky") {
+		t.Fatal("failed mark survived CancelJob")
+	}
+	if created, executed, discarded := e.msgID.Load(), e.Executed(), e.Discarded(); created != executed+discarded {
+		t.Fatalf("created %d != executed %d + discarded %d after quarantine + cancel",
+			created, executed, discarded)
 	}
 }
 

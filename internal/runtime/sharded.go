@@ -379,6 +379,18 @@ func (p *shardedPath) resume(job *dataflow.Job) {
 	}
 }
 
+// eachQueued implements dispatchPath: walk op's queued messages under its
+// home shard lock. Callers (the checkpoint path) see a frozen queue — the
+// operator is paused and its job quiesced, so nothing pops concurrently —
+// but the lock is still what publishes the queue contents to this
+// goroutine.
+func (p *shardedPath) eachQueued(op *dataflow.Operator, visit func(*core.Message)) {
+	hs := p.home(op)
+	hs.mu.Lock()
+	op.Sched().Q.Each(visit)
+	hs.mu.Unlock()
+}
+
 // shedDoomed implements dispatchPath: sweep each of job's live operators
 // for queued messages that can no longer meet their deadline.
 func (p *shardedPath) shedDoomed(job *dataflow.Job, now vtime.Time) int {

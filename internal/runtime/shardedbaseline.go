@@ -293,6 +293,20 @@ func (p *shardedBaselinePath) resume(job *dataflow.Job) {
 	}
 }
 
+// eachQueued implements dispatchPath: walk op's FIFO ring in arrival order
+// under its home shard lock. Used by the checkpoint path on paused,
+// quiesced operators, where the lock publishes the ring contents rather
+// than excluding concurrent pops.
+func (p *shardedBaselinePath) eachQueued(op *dataflow.Operator, visit func(*core.Message)) {
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	for i := 0; i < st.FIFO.Len(); i++ {
+		visit(st.FIFO.At(i))
+	}
+	hs.mu.Unlock()
+}
+
 // shedDoomed implements dispatchPath: sweep each of job's live operators'
 // FIFO rings for messages that can no longer meet their deadline (for the
 // baselines' arrival policies that is an exhausted latency budget — see

@@ -130,6 +130,21 @@ func (p *singleLockPath) resume(job *dataflow.Job) {
 	p.mu.Unlock()
 }
 
+// eachQueued implements dispatchPath: walk op's queued messages under the
+// engine mutex. Which container holds them depends on the scheduler kind
+// (Cameo keeps a priority heap in SchedState.Q, the baselines a FIFO ring
+// in SchedState.FIFO); exactly one is ever populated, so visiting both is
+// safe and keeps this path scheduler-agnostic.
+func (p *singleLockPath) eachQueued(op *dataflow.Operator, visit func(*core.Message)) {
+	p.mu.Lock()
+	st := op.Sched()
+	st.Q.Each(visit)
+	for i := 0; i < st.FIFO.Len(); i++ {
+		visit(st.FIFO.At(i))
+	}
+	p.mu.Unlock()
+}
+
 // shedDoomed implements dispatchPath: under the engine mutex, sweep each
 // of job's live operators through the dispatcher's Shed (which keeps the
 // run queue re-keyed/descheduled as queues change).

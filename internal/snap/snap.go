@@ -1,0 +1,220 @@
+// Package snap is the versioned, deterministic binary encoding for
+// operator-state snapshots. It is deliberately tiny and self-contained —
+// fixed-width little-endian scalars, length-prefixed strings, a magic/
+// version header, and a CRC32 trailer — so a snapshot's bytes are a pure
+// function of the values written (no maps, no reflection, no varints whose
+// width depends on history) and torn or truncated files are rejected up
+// front instead of half-restoring state.
+//
+// Writers append; Readers validate the whole envelope (magic, version,
+// length, checksum) at construction and then carry a sticky error: the
+// first failed read poisons every subsequent one, so restore code can
+// decode an entire section and check r.Err() once.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// Magic identifies a Cameo snapshot ("CAMS" little-endian).
+const Magic uint32 = 0x534d4143
+
+// Version is the current encoding version. Readers refuse snapshots with a
+// different version — forward compatibility is handled by the caller
+// keeping old decoders around, not by skipping unknown fields.
+const Version uint32 = 1
+
+// trailerLen is the CRC32 suffix length.
+const trailerLen = 4
+
+// headerLen is magic + version.
+const headerLen = 8
+
+// Writer accumulates a snapshot body. The zero value is NOT ready; use
+// NewWriter, which stamps the header.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with the magic/version header stamped.
+func NewWriter() *Writer {
+	w := &Writer{buf: make([]byte, 0, 512)}
+	w.U32(Magic)
+	w.U32(Version)
+	return w
+}
+
+// Reset truncates the writer back to a fresh header, reusing the buffer —
+// the periodic checkpointer calls it so steady-state checkpoints do not
+// reallocate.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.U32(Magic)
+	w.U32(Version)
+}
+
+// Len reports the current body length (header included, trailer not).
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// I64 appends an int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// F64 appends a float64 by bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Time appends a vtime.Time.
+func (w *Writer) Time(v vtime.Time) { w.I64(int64(v)) }
+
+// Dur appends a vtime.Duration.
+func (w *Writer) Dur(v vtime.Duration) { w.I64(int64(v)) }
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes seals the snapshot: it returns the header+body with the CRC32
+// trailer appended. The writer may keep being used afterwards only via
+// Reset (Bytes does not copy; the caller owns persisting the result before
+// the next Reset).
+func (w *Writer) Bytes() []byte {
+	sum := crc32.ChecksumIEEE(w.buf)
+	return binary.LittleEndian.AppendUint32(w.buf, sum)
+}
+
+// Reader decodes a snapshot produced by Writer. Construction validates the
+// envelope; reads never panic — the first failure sets a sticky error and
+// every subsequent read returns zero values.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewReader validates data's envelope (length, magic, version, CRC32) and
+// returns a reader positioned after the header. A torn, truncated, or
+// corrupted snapshot fails here, before any state is touched.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("snap: truncated snapshot (%d bytes)", len(data))
+	}
+	body, trailer := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("snap: checksum mismatch (%08x != %08x): torn or corrupted snapshot", got, want)
+	}
+	if magic := binary.LittleEndian.Uint32(body); magic != Magic {
+		return nil, fmt.Errorf("snap: bad magic %08x", magic)
+	}
+	if ver := binary.LittleEndian.Uint32(body[4:]); ver != Version {
+		return nil, fmt.Errorf("snap: unsupported snapshot version %d (want %d)", ver, Version)
+	}
+	return &Reader{buf: body, pos: headerLen}, nil
+}
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports how many undecoded bytes are left.
+func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snap: truncated %s at offset %d", what, r.pos)
+	}
+}
+
+func (r *Reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.buf) {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1, "u8")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4, "u32")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8, "u64")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Time reads a vtime.Time.
+func (r *Reader) Time() vtime.Time { return vtime.Time(r.I64()) }
+
+// Dur reads a vtime.Duration.
+func (r *Reader) Dur() vtime.Duration { return vtime.Duration(r.I64()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if r.err != nil {
+		return ""
+	}
+	if n > r.Remaining() {
+		r.fail("string")
+		return ""
+	}
+	return string(r.take(n, "string"))
+}

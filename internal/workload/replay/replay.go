@@ -18,6 +18,7 @@ package replay
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/cameo-stream/cameo/internal/core"
@@ -25,6 +26,7 @@ import (
 	"github.com/cameo-stream/cameo/internal/metrics"
 	"github.com/cameo-stream/cameo/internal/runtime"
 	"github.com/cameo-stream/cameo/internal/sim"
+	"github.com/cameo-stream/cameo/internal/snap"
 	"github.com/cameo-stream/cameo/internal/vtime"
 	"github.com/cameo-stream/cameo/internal/workload"
 )
@@ -67,10 +69,18 @@ type Verdict struct {
 	Spec string `json:"spec"`
 	Seed uint64 `json:"seed"`
 	// Messages counts executed messages; Created and Discarded are the
-	// runtime engine's conservation counters (zero on the simulator).
+	// runtime engine's conservation counters (zero on the simulator). After
+	// a kill/restore drill they are summed across both engine incarnations
+	// — conservation (created == messages + discarded) must still hold.
 	Messages  int64 `json:"messages"`
 	Created   int64 `json:"created,omitempty"`
 	Discarded int64 `json:"discarded,omitempty"`
+	// HandlerPanics counts operator invocations that panicked (each one
+	// quarantines its tenant); zero on the simulator.
+	HandlerPanics int64 `json:"handler_panics,omitempty"`
+	// KilledAtMS is the engine-clock time at which a kill/restore drill
+	// killed the first engine incarnation; zero when no drill ran.
+	KilledAtMS float64 `json:"killed_at_ms,omitempty"`
 
 	Tenants []TenantVerdict `json:"tenants"`
 	// Pass is the conjunction of every tenant's Pass.
@@ -189,6 +199,25 @@ func Sim(spec *workload.Spec) (*Verdict, error) {
 // accounting. Returns the verdict once sources finish and the engine
 // drains.
 func Engine(spec *workload.Spec) (*Verdict, error) {
+	return engineRun(spec, 0)
+}
+
+// EngineKillRestore replays spec like Engine, but runs the crash-recovery
+// drill mid-stream: when the engine clock reaches killAt, every tenant is
+// quiesced and checkpointed, the first engine is killed without draining,
+// and a second engine — constructed on the same clock axis and metrics
+// recorder — restores the snapshots and resumes. The paced sources keep
+// offering load throughout, retrying batches the failover window refuses,
+// so the verdict measures recovery as the tenants experience it: the SLO
+// gates still apply and conservation is summed across both incarnations.
+func EngineKillRestore(spec *workload.Spec, killAt vtime.Duration) (*Verdict, error) {
+	if killAt <= 0 {
+		return nil, fmt.Errorf("replay: kill/restore drill needs a positive kill time")
+	}
+	return engineRun(spec, killAt)
+}
+
+func engineRun(spec *workload.Spec, killAt vtime.Duration) (*Verdict, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -204,14 +233,23 @@ func Engine(spec *workload.Spec) (*Verdict, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := runtime.New(runtime.Config{
-		Workers:    spec.Workers,
-		Scheduler:  kind,
-		Dispatch:   mode,
-		DrainBatch: spec.DrainBatch,
-		MaxPending: spec.MaxPending,
-		Overload:   policy,
-	})
+	newEngine := func(start vtime.Duration, rec *metrics.Recorder) *runtime.Engine {
+		return runtime.New(runtime.Config{
+			Workers:    spec.Workers,
+			Scheduler:  kind,
+			Dispatch:   mode,
+			DrainBatch: spec.DrainBatch,
+			MaxPending: spec.MaxPending,
+			Overload:   policy,
+			StartTime:  start,
+			Recorder:   rec,
+		})
+	}
+	first := newEngine(0, nil)
+	// Sources address the engine through this pointer; the failover
+	// controller swaps it to the restored incarnation mid-run.
+	var cur atomic.Pointer[runtime.Engine]
+	cur.Store(first)
 	feeds := make([]*workload.Feed, len(spec.Tenants))
 	for i := range spec.Tenants {
 		feed, err := spec.FeedFor(i)
@@ -219,11 +257,16 @@ func Engine(spec *workload.Spec) (*Verdict, error) {
 			return nil, err
 		}
 		feeds[i] = feed
-		if _, err := eng.AddJob(spec.Tenants[i].JobSpec()); err != nil {
+		if _, err := first.AddJob(spec.Tenants[i].JobSpec()); err != nil {
 			return nil, err
 		}
 	}
-	eng.Start()
+	first.Start()
+	var failoverErr chan error
+	if killAt > 0 {
+		failoverErr = make(chan error, 1)
+		go func() { failoverErr <- failover(spec, &cur, killAt, newEngine) }()
+	}
 	// One tally per (tenant, source) goroutine — no shared state on the
 	// ingest path — summed per tenant after the sources join.
 	srcOffers := make([][]offered, len(spec.Tenants))
@@ -243,9 +286,10 @@ func Engine(spec *workload.Spec) (*Verdict, error) {
 						return
 					}
 					// Pace on the engine clock: the feed's arrival times
-					// are the offered-load schedule.
+					// are the offered-load schedule. The clock axis is
+					// continuous across a failover (StartTime).
 					for {
-						now := eng.Now()
+						now := cur.Load().Now()
 						if now >= at {
 							break
 						}
@@ -256,10 +300,7 @@ func Engine(spec *workload.Spec) (*Verdict, error) {
 					}
 					off.batches++
 					off.tuples += int64(b.Len())
-					if err := eng.Ingest(name, src, b, p); err != nil {
-						if errors.Is(err, runtime.ErrOverloaded) {
-							continue // refused: admission recorded it
-						}
+					if err := ingestRetry(&cur, name, src, b, p); err != nil {
 						select {
 						case errs <- err:
 						default:
@@ -273,15 +314,24 @@ func Engine(spec *workload.Spec) (*Verdict, error) {
 	for k := 0; k < running; k++ {
 		<-done
 	}
-	select {
-	case err := <-errs:
+	if failoverErr != nil {
+		if err := <-failoverErr; err != nil {
+			cur.Load().Stop()
+			return nil, err
+		}
+	}
+	eng := cur.Load()
+	fail := func(err error) (*Verdict, error) {
 		eng.Stop()
 		return nil, err
+	}
+	select {
+	case err := <-errs:
+		return fail(err)
 	default:
 	}
 	if !eng.Drain(60 * time.Second) {
-		eng.Stop()
-		return nil, fmt.Errorf("replay: engine failed to drain within 60s")
+		return fail(fmt.Errorf("replay: engine failed to drain within 60s"))
 	}
 	eng.Stop()
 	offers := make([]*offered, len(spec.Tenants))
@@ -294,15 +344,107 @@ func Engine(spec *workload.Spec) (*Verdict, error) {
 	}
 	v := &Verdict{
 		Mode: "runtime", Spec: spec.Name, Seed: spec.Seed,
-		Messages:  eng.Executed(),
-		Created:   eng.Created(),
-		Discarded: eng.Discarded(),
+		Messages:      eng.Executed(),
+		Created:       eng.Created(),
+		Discarded:     eng.Discarded(),
+		HandlerPanics: eng.HandlerPanics(),
+	}
+	if eng != first {
+		// Fold the killed incarnation's conservation counters in: its
+		// discarded backlog was re-created on the restored engine, and the
+		// sum must still conserve.
+		v.Messages += first.Executed()
+		v.Created += first.Created()
+		v.Discarded += first.Discarded()
+		v.HandlerPanics += first.HandlerPanics()
+		v.KilledAtMS = float64(killAt) / float64(vtime.Millisecond)
 	}
 	for i := range spec.Tenants {
 		v.Tenants = append(v.Tenants, tenantVerdict(&spec.Tenants[i], eng.Recorder(), offers[i]))
 	}
 	v.Pass = allPass(v.Tenants)
 	return v, nil
+}
+
+// ingestRetry offers one batch to the current engine, riding out a
+// failover: ErrJobPaused (the tenant is quiesced for its snapshot, or
+// restored but not yet resumed) and errors from a stale engine pointer
+// are retried against the freshly loaded engine. ErrOverloaded is not
+// retried — open-loop sources drop the batch and the admission layer has
+// recorded the rejection.
+func ingestRetry(cur *atomic.Pointer[runtime.Engine], job string, src int, b *dataflow.Batch, p vtime.Time) error {
+	const patience = 30 * time.Second
+	for waited := time.Duration(0); ; {
+		eng := cur.Load()
+		err := eng.Ingest(job, src, b, p)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, runtime.ErrOverloaded):
+			return nil // refused: admission recorded it
+		case errors.Is(err, runtime.ErrJobPaused) || cur.Load() != eng:
+			if waited >= patience {
+				return fmt.Errorf("replay: tenant %q still unavailable after %v: %w", job, patience, err)
+			}
+			time.Sleep(200 * time.Microsecond)
+			waited += 200 * time.Microsecond
+		default:
+			return err
+		}
+	}
+}
+
+// failover is the kill/restore drill: wait for killAt on the first
+// engine's clock, quiesce and snapshot every tenant through the pause
+// path, stand up a second engine on the same clock axis and recorder,
+// restore, swap the source-facing pointer, resume, and only then cancel
+// the killed incarnation (settling its conservation counters) and stop
+// it. Sources observe at most a brief ErrJobPaused window.
+func failover(spec *workload.Spec, cur *atomic.Pointer[runtime.Engine], killAt vtime.Duration,
+	newEngine func(vtime.Duration, *metrics.Recorder) *runtime.Engine) error {
+	a := cur.Load()
+	for {
+		now := a.Now()
+		if vtime.Duration(now) >= killAt {
+			break
+		}
+		time.Sleep(vtime.Std(killAt - vtime.Duration(now)))
+	}
+	snaps := make([][]byte, len(spec.Tenants))
+	w := snap.NewWriter()
+	for i := range spec.Tenants {
+		name := spec.Tenants[i].Name
+		if err := a.PauseJob(name); err != nil {
+			return fmt.Errorf("replay: failover pause %q: %w", name, err)
+		}
+		w.Reset()
+		if err := a.CheckpointJob(name, w); err != nil {
+			return fmt.Errorf("replay: failover checkpoint %q: %w", name, err)
+		}
+		snaps[i] = append([]byte(nil), w.Bytes()...)
+	}
+	b := newEngine(vtime.Duration(a.Now()), a.Recorder())
+	b.Start()
+	for i := range spec.Tenants {
+		if _, err := b.RestoreJob(spec.Tenants[i].JobSpec(), snaps[i]); err != nil {
+			return fmt.Errorf("replay: failover restore: %w", err)
+		}
+	}
+	cur.Store(b) // sources now target the restored engine (still paused)
+	for i := range spec.Tenants {
+		if err := b.ResumeJob(spec.Tenants[i].Name); err != nil {
+			return fmt.Errorf("replay: failover resume: %w", err)
+		}
+	}
+	// The snapshots own the backlog now; cancelling on the killed engine
+	// discards its copy so created == executed + discarded settles there.
+	for i := range spec.Tenants {
+		if err := a.CancelJob(spec.Tenants[i].Name); err != nil {
+			return fmt.Errorf("replay: failover cancel: %w", err)
+		}
+	}
+	a.Stop()
+	return nil
 }
 
 // tenantVerdict folds one tenant's recorded stats into its verdict.

@@ -47,6 +47,70 @@ func testSpec() *workload.Spec {
 	}
 }
 
+// equivSpec is testSpec with admission losses disabled (no budgets, so
+// nothing is shed or rejected): every offered batch is admitted, which
+// makes offered load and output-window counts deterministic functions of
+// the seed — comparable across the simulator, the real-time engine, and
+// a kill/restore drill.
+func equivSpec() *workload.Spec {
+	s := testSpec()
+	s.Name = "replay-equiv"
+	s.Overload = "backpressure"
+	s.MaxPending = 0
+	for i := range s.Tenants {
+		s.Tenants[i].MaxPending = 0
+	}
+	return s
+}
+
+// TestVerdictEquivalenceAcrossRestore extends the determinism gate of
+// TestSimVerdictByteIdentical across the restore boundary: with admission
+// losses disabled, the sim replay, the straight-through runtime replay,
+// and the runtime replay that is killed and restored mid-run must all
+// report identical offered load and identical per-tenant output-window
+// counts — the kill loses no completed window and duplicates none — and
+// the drill's summed conservation counters must still settle.
+func TestVerdictEquivalenceAcrossRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time replay paces on the wall clock")
+	}
+	sv, err := Sim(equivSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := Engine(equivSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv, err := EngineKillRestore(equivSpec(), 200*vtime.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dv.KilledAtMS == 0 {
+		t.Fatal("drill verdict does not record the kill time")
+	}
+	if got := dv.Messages + dv.Discarded; got != dv.Created {
+		t.Fatalf("drill conservation: executed %d + discarded %d != created %d",
+			dv.Messages, dv.Discarded, dv.Created)
+	}
+	for i := range sv.Tenants {
+		st, pt, dt := sv.Tenants[i], pv.Tenants[i], dv.Tenants[i]
+		if st.OfferedBatches != pt.OfferedBatches || st.OfferedBatches != dt.OfferedBatches ||
+			st.OfferedTuples != pt.OfferedTuples || st.OfferedTuples != dt.OfferedTuples {
+			t.Errorf("tenant %s: offered load diverged: sim %d/%d, runtime %d/%d, kill+restore %d/%d",
+				st.Tenant, st.OfferedBatches, st.OfferedTuples,
+				pt.OfferedBatches, pt.OfferedTuples, dt.OfferedBatches, dt.OfferedTuples)
+		}
+		if st.Outputs != pt.Outputs || st.Outputs != dt.Outputs {
+			t.Errorf("tenant %s: output windows diverged: sim %d, runtime %d, kill+restore %d",
+				st.Tenant, st.Outputs, pt.Outputs, dt.Outputs)
+		}
+		if dt.Shed != 0 || dt.Rejected != 0 {
+			t.Errorf("tenant %s: admission losses with budgets disabled: %+v", dt.Tenant, dt)
+		}
+	}
+}
+
 // TestSimVerdictByteIdentical is the acceptance gate for deterministic
 // replay: the same spec and seed must produce byte-identical verdict JSON.
 func TestSimVerdictByteIdentical(t *testing.T) {
