@@ -2,6 +2,7 @@ package cameo
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -216,7 +217,7 @@ func TestSimulationDeterminism(t *testing.T) {
 		return simu.Run()
 	}
 	a, b := run(), run()
-	if a.Messages != b.Messages || a.Job("d") != b.Job("d") {
+	if a.Messages != b.Messages || !reflect.DeepEqual(a.Job("d"), b.Job("d")) {
 		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
 	}
 }

@@ -1,0 +1,213 @@
+package main
+
+// The -adaptive mode: the A/B evaluation behind ISSUE 8's closed-loop
+// drain controller. Two parts, each run on all three dispatch paths:
+//
+//   - steady: the -batch multitenant workload at fixed DrainBatch
+//     ∈ {1, 4, 16, 64} versus AdaptiveDrain. The headline claim is that
+//     the controller matches or beats the best hand-tuned fixed size —
+//     no single fixed value wins this table, the controller should.
+//   - shifting: a load-shifting bursty trace (one job alternating
+//     heavy and light phases every 30 windows) where every fixed size
+//     is wrong half the time: small batches pay per-message locking in
+//     the heavy phase, large ones blunt preemption in the light phase.
+//
+// Each cell reports msg/s and the probe job's p50/p99; -json writes
+// BENCH_adaptive.json (with the environment stamp) for the CI
+// trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	cameo "github.com/cameo-stream/cameo"
+)
+
+// adCfg selects one cell's drain configuration: a fixed DrainBatch or
+// the adaptive controller.
+type adCfg struct {
+	adaptive bool
+	batch    int
+}
+
+func (c adCfg) label() string {
+	if c.adaptive {
+		return "adaptive"
+	}
+	return fmt.Sprint(c.batch)
+}
+
+// adCfgs is the drain axis of the sweep: the -batch fixed sizes plus
+// the controller.
+func adCfgs() []adCfg {
+	return []adCfg{{batch: 1}, {batch: 4}, {batch: 16}, {batch: 64}, {adaptive: true}}
+}
+
+// adShiftTuples is the shifting part's per-window tuple count: phases
+// of 30 windows alternate between a light trickle and a heavy burst.
+func adShiftTuples(w int) int {
+	if (w-1)/30%2 == 1 {
+		return 48
+	}
+	return 2
+}
+
+// adRun executes one cell: the steady multitenant workload (the -batch
+// workload verbatim) or the load-shifting single-job trace.
+func adRun(cell ovPathCell, c adCfg, workers int, seed uint64, shifting bool) rtResult {
+	cfg := cameo.EngineConfig{
+		Workers:   workers,
+		Dispatch:  cell.dispatch,
+		Scheduler: cell.scheduler,
+	}
+	if c.adaptive {
+		cfg.AdaptiveDrain = true
+	} else {
+		cfg.DrainBatch = c.batch
+	}
+	eng := cameo.NewEngine(cfg)
+	probe := "ls0"
+	jobs := rtJobs()
+	if shifting {
+		probe = "shift"
+		jobs = []rtJob{{name: "shift", sources: 4, window: 10 * time.Millisecond, tuples: 0, windows: 120}}
+	}
+	for _, j := range jobs {
+		if err := eng.Submit(rtQuery(j)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	start := time.Now()
+	done := make(chan error, len(jobs))
+	for _, j := range jobs {
+		go func(j rtJob) {
+			for w := 1; w <= j.windows; w++ {
+				jw := j
+				if shifting {
+					jw.tuples = adShiftTuples(w)
+				}
+				progress := time.Duration(w) * j.window
+				for src := 0; src < j.sources; src++ {
+					if err := eng.IngestBatch(j.name, src, rtEvents(jw, seed, src, w), progress); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			for src := 0; src < j.sources; src++ {
+				if err := eng.AdvanceProgress(j.name, src, time.Duration(j.windows+1)*j.window); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(j)
+	}
+	for range jobs {
+		if err := <-done; err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !eng.Drain(60 * time.Second) {
+		fmt.Fprintln(os.Stderr, "engine did not drain")
+		os.Exit(1)
+	}
+	res := rtResult{msgs: eng.Executed(), dur: time.Since(start)}
+	if st, err := eng.Stats(probe); err == nil {
+		res.p50, res.p99 = st.P50, st.P99
+	}
+	return res
+}
+
+// adCell is the machine-readable form of one sweep cell (-json).
+type adCell struct {
+	Part       string  `json:"part"` // "steady" or "shifting"
+	Dispatcher string  `json:"dispatcher"`
+	Scheduler  string  `json:"scheduler"`
+	Drain      string  `json:"drain"` // fixed size or "adaptive"
+	MsgPerSec  float64 `json:"msg_per_sec"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	// VsBestFixed compares the adaptive cell's msg/s against the best
+	// fixed-size cell of the same (part, path); fixed cells carry 0.
+	VsBestFixed float64 `json:"vs_best_fixed,omitempty"`
+}
+
+type adReport struct {
+	Workload string `json:"workload"`
+	benchEnv
+	Seed    uint64   `json:"seed"`
+	Reps    int      `json:"reps"`
+	Workers int      `json:"workers"`
+	Cells   []adCell `json:"cells"`
+}
+
+func runAdaptiveSweep(seed uint64, reps int, jsonPath string) {
+	const workers = 2
+	env := captureEnv()
+	fmt.Printf("adaptive drain controller A/B, %d workers (GOMAXPROCS=%d, best of %d)\n\n",
+		workers, env.GOMAXPROCS, reps)
+	report := adReport{Workload: "adaptive-drain", benchEnv: env, Seed: seed, Reps: reps, Workers: workers}
+	for _, part := range []string{"steady", "shifting"} {
+		shifting := part == "shifting"
+		fmt.Printf("%s workload:\n", part)
+		fmt.Printf("%-12s %-8s %9s %12s %10s %10s %14s\n",
+			"dispatcher", "sched", "drain", "msg/s", "p50", "p99", "vs best fixed")
+		for _, cell := range btPaths() {
+			var bestFixed float64
+			for _, c := range adCfgs() {
+				var best rtResult
+				var bestRate float64
+				for r := 0; r < reps; r++ {
+					res := adRun(cell, c, workers, seed+uint64(r), shifting)
+					if rate := float64(res.msgs) / res.dur.Seconds(); rate > bestRate {
+						bestRate, best = rate, res
+					}
+				}
+				vs, note := 0.0, ""
+				if !c.adaptive {
+					if bestRate > bestFixed {
+						bestFixed = bestRate
+					}
+				} else if bestFixed > 0 {
+					vs = bestRate / bestFixed
+					note = fmt.Sprintf("%13.2fx", vs)
+				}
+				fmt.Printf("%-12v %-8v %9s %12.0f %10v %10v %s\n",
+					cell.dispatch, cell.scheduler, c.label(), bestRate,
+					best.p50.Round(time.Millisecond), best.p99.Round(time.Millisecond), note)
+				report.Cells = append(report.Cells, adCell{
+					Part:        part,
+					Dispatcher:  fmt.Sprint(cell.dispatch),
+					Scheduler:   fmt.Sprint(cell.scheduler),
+					Drain:       c.label(),
+					MsgPerSec:   bestRate,
+					ElapsedMS:   float64(best.dur.Microseconds()) / 1000,
+					P50MS:       float64(best.p50.Microseconds()) / 1000,
+					P99MS:       float64(best.p99.Microseconds()) / 1000,
+					VsBestFixed: vs,
+				})
+			}
+		}
+		fmt.Println()
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-bench: writing json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(machine-readable results written to %s)\n", jsonPath)
+	}
+}

@@ -125,9 +125,6 @@ type btReport struct {
 }
 
 func runBatchSweep(seed uint64, reps int, jsonPath string) {
-	if reps < 1 {
-		reps = 1
-	}
 	const workers = 2
 	env := captureEnv()
 	fmt.Printf("drain-batch sweep: multitenant workload, %d workers (GOMAXPROCS=%d, best of %d)\n\n",

@@ -153,9 +153,6 @@ type churnReport struct {
 }
 
 func runChurnSweep(seed uint64, reps int, jsonPath string) {
-	if reps < 1 {
-		reps = 1
-	}
 	fmt.Printf("real-time hot-lifecycle churn, 2 long-lived jobs + %d submit→cancel cycles (GOMAXPROCS=%d, best of %d)\n\n",
 		churnCycles, runtime.GOMAXPROCS(0), reps)
 	fmt.Printf("%-12s %8s %14s %10s %12s %10s %10s\n",

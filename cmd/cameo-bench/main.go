@@ -33,14 +33,36 @@ func main() {
 		churn      = flag.Bool("churn", false, "benchmark the real-time engine's hot query lifecycle: long-lived jobs + submit/cancel churn")
 		overload   = flag.Bool("overload", false, "benchmark the admission layer: 1x-4x offered load vs a budgeted shedding engine")
 		batch      = flag.Bool("batch", false, "benchmark the batched drain path: DrainBatch sweep on all three dispatch paths")
+		adaptive   = flag.Bool("adaptive", false, "benchmark the adaptive drain controller: fixed DrainBatch sweep vs AdaptiveDrain, steady and load-shifting")
 		recover    = flag.Bool("recover", false, "benchmark crash recovery: checkpoint size, snapshot pause, and restore time vs state size")
-		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn, -overload, -batch, -recover)")
-		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn/-overload/-batch/-recover results to this file (e.g. BENCH_rt.json)")
+		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn, -overload, -batch, -adaptive, -recover)")
+		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn/-overload/-batch/-adaptive/-recover results to this file (e.g. BENCH_rt.json)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	plotTables = *plot
+
+	// Validate the flag set before any work starts — a contradictory or
+	// out-of-range invocation exits with the usage code instead of
+	// silently picking one mode or clamping a knob (a clamped -reps would
+	// make a "best of N" claim the run never performed).
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cameo-bench: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	modes := 0
+	for _, set := range []bool{*recover, *batch, *adaptive, *overload, *churn, *rt, *list, *all, *fig != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fail("pick exactly one mode of -recover, -batch, -adaptive, -overload, -churn, -rt, -list, -all, -fig")
+	}
+	if *reps < 1 {
+		fail("-reps must be >= 1 (got %d)", *reps)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -75,6 +97,8 @@ func main() {
 		runRecoverSweep(*seed, *reps, *jsonOut)
 	case *batch:
 		runBatchSweep(*seed, *reps, *jsonOut)
+	case *adaptive:
+		runAdaptiveSweep(*seed, *reps, *jsonOut)
 	case *overload:
 		runOverloadSweep(*seed, *reps, *jsonOut)
 	case *churn:

@@ -316,9 +316,6 @@ type ovReport struct {
 }
 
 func runOverloadSweep(seed uint64, reps int, jsonPath string) {
-	if reps < 1 {
-		reps = 1
-	}
 	env := captureEnv()
 	fmt.Printf("overload sweep: strict+lax jobs, budget %d, shed policy (GOMAXPROCS=%d, best of %d)\n\n",
 		ovBudget, env.GOMAXPROCS, reps)

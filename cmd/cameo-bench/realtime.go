@@ -157,9 +157,6 @@ type rtReport struct {
 }
 
 func runRealtimeSweep(seed uint64, reps int, jsonPath string) {
-	if reps < 1 {
-		reps = 1
-	}
 	fmt.Printf("real-time dispatcher scaling, multitenant workload (GOMAXPROCS=%d, best of %d)\n\n",
 		runtime.GOMAXPROCS(0), reps)
 	fmt.Printf("%-12s %8s %14s %12s %12s %10s %10s\n",

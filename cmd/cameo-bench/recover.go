@@ -140,9 +140,6 @@ type recoverReport struct {
 }
 
 func runRecoverSweep(seed uint64, reps int, jsonPath string) {
-	if reps < 1 {
-		reps = 1
-	}
 	fmt.Printf("crash-recovery cost vs state size, pause + checkpoint + restore per cell (GOMAXPROCS=%d, best of %d)\n\n",
 		runtime.GOMAXPROCS(0), reps)
 	fmt.Printf("%8s %14s %12s %14s %12s\n",

@@ -83,8 +83,33 @@ type EngineConfig struct {
 	// (pause, cancel, a more urgent arrival) is message-granular. Larger
 	// values amortize scheduling locks across the batch at the cost of
 	// preemption granularity: the quantum/yield check moves to batch
-	// boundaries.
+	// boundaries. Ignored when AdaptiveDrain is set.
 	DrainBatch int
+	// AdaptiveDrain replaces the fixed DrainBatch with a per-worker
+	// feedback controller: the effective batch size follows the acquired
+	// operator's observed queue depth (deep backlog grows the batch to
+	// amortize scheduler locks, an idle queue shrinks it back to
+	// message-granular preemption) and is clamped so one batch fits the
+	// scheduling quantum and a fraction of the query's latency target.
+	// Batch size changes only at batch boundaries, so mid-batch
+	// cancel/pause semantics are identical to the fixed path.
+	AdaptiveDrain bool
+	// DrainBatchMin and DrainBatchMax bound the adaptive controller
+	// (defaults 1 and 256). With Min == Max the controller is frozen and
+	// behaves exactly like DrainBatch = Min. Ignored unless AdaptiveDrain
+	// is set.
+	DrainBatchMin, DrainBatchMax int
+	// AdaptiveBudgets derives the pending-message budgets from measured
+	// capacity instead of the static MaxPending: a background tuner
+	// samples each query's drain rate and sets its budget to
+	// rate × latency target — the backlog the engine demonstrably clears
+	// within one deadline — with the engine-wide budget and shed
+	// high-water mark following as the sum. MaxPending (engine-wide and
+	// per-query) still applies until the first measurement lands.
+	AdaptiveBudgets bool
+	// TuneInterval is the budget tuner's sampling period (default 5ms).
+	// Ignored unless AdaptiveBudgets is set.
+	TuneInterval time.Duration
 	// Dispatch selects the scheduling concurrency strategy (default
 	// DispatchAuto). Every scheduler kind has a sharded realization.
 	Dispatch DispatchMode
@@ -133,6 +158,11 @@ func NewEngine(cfg EngineConfig) *Engine {
 			Policy:             cfg.Policy,
 			Quantum:            vtime.FromStd(cfg.Quantum),
 			DrainBatch:         cfg.DrainBatch,
+			AdaptiveDrain:      cfg.AdaptiveDrain,
+			DrainBatchMin:      cfg.DrainBatchMin,
+			DrainBatchMax:      cfg.DrainBatchMax,
+			AdaptiveBudgets:    cfg.AdaptiveBudgets,
+			TuneInterval:       cfg.TuneInterval,
 			Dispatch:           cfg.Dispatch,
 			MaxPending:         cfg.MaxPending,
 			Overload:           cfg.Overload,
@@ -292,6 +322,11 @@ func (e *Engine) Rejected() int64 { return e.inner.Rejected() }
 // Dispatch reports the dispatch mode the engine resolved to.
 func (e *Engine) Dispatch() DispatchMode { return e.inner.Dispatch() }
 
+// AppliedDrainBatch reports the drain-batch size worker w most recently
+// applied: the adaptive controller's current choice under
+// EngineConfig.AdaptiveDrain, or the fixed DrainBatch otherwise.
+func (e *Engine) AppliedDrainBatch(w int) int { return e.inner.AppliedDrainBatch(w) }
+
 // IngestBatch offers a batch of events on one source channel of a job,
 // advancing the channel's stream progress to the given value. Progress is
 // a promise that no later batch on this channel carries an event with
@@ -349,6 +384,34 @@ type JobStats struct {
 	// paused, refuses ingest with ErrJobPaused, and stays failed until
 	// cancelled (see Engine.HandlerPanics for the engine-wide count).
 	Failed bool
+	// PerSource breaks admission down by source channel (index == source).
+	// The per-source rejected counts sum to Backpressure; the per-source
+	// shed counts plus ShedDownstream sum to Shed.
+	PerSource []SourceStats
+	// ShedDownstream counts this job's shed messages that were past stage
+	// 0 and so cannot be attributed to one source.
+	ShedDownstream int64
+	// DrainRate is the job's measured drain capacity in messages per
+	// second (EWMA); zero until the budget tuner (AdaptiveBudgets) has
+	// sampled the job draining.
+	DrainRate float64
+	// Budget is the job's effective pending-message budget: the
+	// tuner-derived value under AdaptiveBudgets once measured, otherwise
+	// the static MaxPending (0 = unlimited).
+	Budget int64
+}
+
+// SourceStats is one source channel's admission ledger within JobStats.
+type SourceStats struct {
+	// Accepted counts batches admitted on this source; Rejected counts
+	// batches refused with ErrOverloaded/ErrJobOverloaded.
+	Accepted, Rejected int64
+	// Shed counts this source's queued stage-0 messages discarded by the
+	// admission layer under overload.
+	Shed int64
+	// Queued is the source's current queued stage-0 backlog — the signal
+	// the per-source fair-share admission and shedding act on.
+	Queued int64
 }
 
 // Stats reports a submitted job's current output statistics.
@@ -363,6 +426,24 @@ func (e *Engine) Stats(job string) (JobStats, error) {
 		Shed:         js.Shed.Load(),
 		Backpressure: js.Rejected.Load(),
 		Failed:       e.inner.JobFailed(job),
+		DrainRate:    js.DrainRate(),
+	}
+	if per, err := e.inner.PerSource(job); err == nil {
+		out.PerSource = make([]SourceStats, len(per))
+		for i, s := range per {
+			out.PerSource[i] = SourceStats{
+				Accepted: s.Accepted,
+				Rejected: s.Rejected,
+				Shed:     s.Shed,
+				Queued:   s.Queued,
+			}
+		}
+	}
+	if ds, err := e.inner.ShedDownstream(job); err == nil {
+		out.ShedDownstream = ds
+	}
+	if b, err := e.inner.JobBudget(job); err == nil {
+		out.Budget = b
 	}
 	if out.Outputs > 0 {
 		out.P50 = vtime.Std(vtime.Time(js.Latencies.Quantile(0.50)))

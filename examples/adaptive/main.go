@@ -1,0 +1,140 @@
+// Adaptive: the closed-loop self-tuning hot path.
+//
+// The engine's three static performance knobs — DrainBatch, MaxPending,
+// and the shed high-water mark — each encode a guess about the workload.
+// This walkthrough arms the feedback loops that derive them from
+// observed behavior instead:
+//
+//   - AdaptiveDrain sizes each worker's drain batch from the acquired
+//     operator's queue depth: a light trickle keeps batches small
+//     (message-granular preemption), a burst grows them toward
+//     DrainBatchMax to amortize scheduler locking — watch
+//     AppliedDrainBatch move as the load shifts;
+//
+//   - AdaptiveBudgets measures each query's drain rate and sets its
+//     pending budget to rate × latency target (the backlog the engine
+//     demonstrably clears within one deadline) — Stats reports the
+//     measured rate and the derived budget;
+//
+//   - per-source admission is fair: when one of a query's sources runs
+//     hot, the overload response is charged to the hot source's own
+//     backlog, and Stats.PerSource shows each source's ledger.
+//
+//     go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cameo "github.com/cameo-stream/cameo"
+)
+
+const window = 10 * time.Millisecond
+
+func events(n int, progress time.Duration) []cameo.Event {
+	out := make([]cameo.Event, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, cameo.Event{
+			Time:  progress - time.Duration(i+1)*time.Microsecond,
+			Key:   int64(i % 16),
+			Value: 1,
+		})
+	}
+	return out
+}
+
+// burn gives tuples a real processing cost so drain rates and queue
+// depths are meaningful.
+func burn(_ time.Duration, k int64, v float64) (int64, float64) {
+	x := v
+	for i := 0; i < 8000; i++ {
+		x += float64(i&int(k|1)) * 1e-9
+	}
+	return k, x
+}
+
+func main() {
+	eng := cameo.NewEngine(cameo.EngineConfig{
+		Workers:         2,
+		AdaptiveDrain:   true, // batch size follows queue depth
+		AdaptiveBudgets: true, // budgets follow measured capacity
+		Overload:        cameo.OverloadShed,
+	})
+	q := cameo.NewQuery("pipeline").
+		LatencyTarget(100*time.Millisecond).
+		Sources(2).
+		Map("burn", 4, burn).
+		Aggregate("agg", 4, cameo.Window(window), cameo.Sum).
+		AggregateGlobal("total", cameo.Window(window), cameo.Sum)
+	if err := eng.Submit(q); err != nil {
+		log.Fatal(err)
+	}
+	eng.Start()
+	defer eng.Stop()
+
+	// Phase 1: a light trickle on both sources. Queues stay shallow, so
+	// the controller keeps batches near 1 — preemption stays sharp.
+	fmt.Println("phase 1: light load (4 tuples/source/window)")
+	peak := feed(eng, 1, 40, 4, 4)
+	fmt.Printf("  peak applied drain batch: %d\n", peak)
+
+	// Phase 2: source 0 turns into a firehose while source 1 keeps
+	// trickling. Deep backlogs grow the batches; the budget tuner has a
+	// drain rate by now, and the hot source pays for the overload it
+	// creates.
+	fmt.Println("phase 2: source 0 bursts (1200 tuples/window), source 1 trickles")
+	peak = feed(eng, 41, 80, 1200, 4)
+	fmt.Printf("  peak applied drain batch: %d\n", peak)
+
+	eng.Drain(30 * time.Second)
+	st, err := eng.Stats("pipeline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmeasured drain rate: %.0f msg/s\n", st.DrainRate)
+	fmt.Printf("derived pending budget: %d messages (rate x 100ms latency target)\n", st.Budget)
+	fmt.Printf("outputs: %d, p99 %v\n", st.Outputs, st.P99.Round(time.Millisecond))
+	for i, s := range st.PerSource {
+		fmt.Printf("source %d: accepted %d, rejected %d, shed %d\n",
+			i, s.Accepted, s.Rejected, s.Shed)
+	}
+	fmt.Printf("conservation: created %d == executed %d + discarded %d\n",
+		eng.Created(), eng.Executed(), eng.Discarded())
+}
+
+// feed pushes windows [from, to] with nHot tuples on source 0 and nCold
+// on source 1, pacing roughly in real time so the engine clock and the
+// budget tuner's sampling advance alongside the feed. It returns the
+// largest drain-batch size any worker applied during the phase. A
+// shedding engine may refuse nothing here (IngestBatch under
+// OverloadShed always admits), so errors are fatal, not flow control.
+func feed(eng *cameo.Engine, from, to, nHot, nCold int) int {
+	peak := 0
+	for w := from; w <= to; w++ {
+		progress := time.Duration(w) * window
+		// A batch fans out into one message per stage-0 operator whatever
+		// its tuple count, so backlog depth comes from batch count: the
+		// hot source delivers its window as a burst of small batches.
+		for sent := 0; sent < nHot; sent += 20 {
+			n := nHot - sent
+			if n > 20 {
+				n = 20
+			}
+			if err := eng.IngestBatch("pipeline", 0, events(n, progress), progress); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := eng.IngestBatch("pipeline", 1, events(nCold, progress), progress); err != nil {
+			log.Fatal(err)
+		}
+		for wk := 0; wk < 2; wk++ {
+			if b := eng.AppliedDrainBatch(wk); b > peak {
+				peak = b
+			}
+		}
+		time.Sleep(window / 4)
+	}
+	return peak
+}

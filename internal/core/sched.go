@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"github.com/cameo-stream/cameo/internal/queue"
 )
 
@@ -54,6 +56,14 @@ type SchedState struct {
 	// added so the per-message paths (push, pop, delivery grouping) look
 	// it up with a field read instead of rehashing the name.
 	Home int32
+	// Depth mirrors the pending-queue length (Q or FIFO, whichever the
+	// dispatcher uses) for lock-free readers. The sharded paths store it
+	// under the home shard lock at every queue mutation; the adaptive
+	// drain controller reads it before taking any lock to size the next
+	// batch. Unlike the other fields it is an atomic, because its readers
+	// are exactly the ones that do NOT hold the dispatcher's lock. A
+	// stale read only mis-sizes one batch, never breaks conservation.
+	Depth atomic.Int32
 }
 
 // OpPhase is the lifecycle phase of an operator's scheduling state — the

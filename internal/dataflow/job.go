@@ -83,6 +83,43 @@ type Job struct {
 	// drivers can resume feeding from there instead of regressing the
 	// stage-0 frontiers. The simulator leaves it zero.
 	SourceProgress []atomic.Int64
+	// Retired counts this job's executed messages (all stages) — the raw
+	// signal the budget tuner differentiates into a drain rate. Monotone,
+	// incremented once per execMessage; the simulator leaves it zero.
+	Retired atomic.Int64
+	// Budget is the adaptive pending budget derived from the measured
+	// drain rate × the job's latency headroom. Zero means "not measured
+	// yet" and admission falls back to the static Spec.MaxPending (see
+	// EffectiveBudget). Written only by the engine's budget tuner.
+	Budget atomic.Int64
+	// SrcQueued counts admitted-but-not-yet-popped *stage-0* messages per
+	// source channel — the signal behind per-source fair admission and
+	// fair shedding (a hot source's backlog is attributed to it, so its
+	// siblings keep their fair share of the job budget). Stage-0 messages
+	// carry their source index in Message.Channel, so dispatchers
+	// maintain these at the same sites as Queued with no message-format
+	// change. Downstream (stage > 0) messages are never attributed.
+	SrcQueued []atomic.Int64
+	// SrcAccepted / SrcRejected / SrcShed are per-source admission
+	// outcome counters: batches admitted and rejected at ingest, and
+	// stage-0 messages shed from the queue, by source index. Together
+	// with ShedDownstream they reconcile exactly against the job-level
+	// totals (Σ SrcRejected == rejected, Σ SrcShed + ShedDownstream ==
+	// shed) — the observability pin for the fairness machinery.
+	SrcAccepted, SrcRejected, SrcShed []atomic.Int64
+	// ShedDownstream counts shed messages from stages > 0, which have no
+	// single source attribution.
+	ShedDownstream atomic.Int64
+}
+
+// EffectiveBudget is the job's current pending budget: the adaptive one
+// when the tuner has measured a drain rate, the static Spec.MaxPending
+// otherwise. Zero means unlimited.
+func (j *Job) EffectiveBudget() int64 {
+	if b := j.Budget.Load(); b > 0 {
+		return b
+	}
+	return int64(j.Spec.MaxPending)
 }
 
 // NoteSourceProgress folds progress p on source channel src into
@@ -110,6 +147,10 @@ func NewJob(spec JobSpec) (*Job, error) {
 	}
 	j := &Job{Spec: spec, SourceTracker: profile.NewPathTracker()}
 	j.SourceProgress = make([]atomic.Int64, spec.Sources)
+	j.SrcQueued = make([]atomic.Int64, spec.Sources)
+	j.SrcAccepted = make([]atomic.Int64, spec.Sources)
+	j.SrcRejected = make([]atomic.Int64, spec.Sources)
+	j.SrcShed = make([]atomic.Int64, spec.Sources)
 	j.Stages = make([][]*Operator, len(spec.Stages))
 	for s := range spec.Stages {
 		st := &j.Spec.Stages[s]

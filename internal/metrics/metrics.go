@@ -9,6 +9,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,22 @@ type JobStats struct {
 	// internally synchronized).
 	Shed     atomic.Int64
 	Rejected atomic.Int64
+	// drainRate holds the EWMA-smoothed drain rate (messages retired per
+	// second) measured by the engine's budget tuner, as float64 bits —
+	// atomic for the same lock-free-reader reason as Shed/Rejected. Zero
+	// until the tuner has observed the job actually draining.
+	drainRate atomic.Uint64
+}
+
+// SetDrainRate stores the job's measured drain rate in messages/second.
+func (j *JobStats) SetDrainRate(rate float64) {
+	j.drainRate.Store(math.Float64bits(rate))
+}
+
+// DrainRate reports the job's EWMA-smoothed measured drain rate in
+// messages/second, or 0 when it has not been measured.
+func (j *JobStats) DrainRate() float64 {
+	return math.Float64frombits(j.drainRate.Load())
 }
 
 // SuccessRate reports the fraction of outputs that met the constraint
@@ -121,6 +138,17 @@ func (r *Recorder) AddRejected(job string, n int64) {
 	defer r.mu.Unlock()
 	if j, ok := r.jobs[job]; ok {
 		j.Rejected.Add(n)
+	}
+}
+
+// NoteDrainRate records job's EWMA-smoothed drain rate (messages/second,
+// measured by the engine's budget tuner). Unknown jobs are ignored (a
+// tuner tick can race the job's cancellation).
+func (r *Recorder) NoteDrainRate(job string, rate float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.jobs[job]; ok {
+		j.SetDrainRate(rate)
 	}
 }
 

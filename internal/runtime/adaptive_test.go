@@ -1,0 +1,431 @@
+package runtime_test
+
+// Engine-level coverage for the closed-loop self-tuning hot path
+// (ISSUE 8): the adaptive drain controller, the capacity-derived
+// budgets, and the per-source fairness tier.
+//
+//   - A frozen controller (DrainBatchMin == DrainBatchMax) must be
+//     message-for-message identical to the fixed DrainBatch of the same
+//     size, on every scheduler kind and both dispatch modes — adapting
+//     only at batch boundaries means an in-flight batch is
+//     indistinguishable from a fixed one.
+//   - Lifecycle events landing mid-adaptation (cancel, pause) must
+//     preserve conservation exactly as on the fixed path.
+//   - The per-source admission ledger must reconcile: rejected counts
+//     sum to the job total, and per-source shed plus downstream shed
+//     sum to the job's shed total.
+//   - The fair-share tier must admit a cold source past a hot sibling's
+//     exhausted budget, and charge overload shedding to the hot
+//     source's own backlog.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/runtime"
+	"github.com/cameo-stream/cameo/internal/testkit"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// runtimeOrderFrozen mirrors runtimeOrderBatch with the adaptive
+// controller armed but frozen at size batch.
+func runtimeOrderFrozen(t *testing.T, kind core.SchedulerKind, mode runtime.DispatchMode, batch int) []execKey {
+	t.Helper()
+	wl := equivWorkload()
+	e := runtime.New(runtime.Config{
+		Workers:       1,
+		Scheduler:     kind,
+		Policy:        testkit.ProgressPolicy{},
+		Quantum:       vtime.Hour,
+		Dispatch:      mode,
+		AdaptiveDrain: true,
+		DrainBatchMin: batch,
+		DrainBatchMax: batch,
+		TraceLimit:    equivTraceLimit,
+	})
+	if _, err := e.AddJob(testkit.AggSpec("eq", wl.Sources, 2, wl.Win, vtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	wl.IngestAll(t, e, "eq")
+	e.Start()
+	testkit.DrainOrFail(t, e, 10*time.Second)
+	e.Stop()
+	return keysOf(e.Trace().Events())
+}
+
+// TestAdaptiveFrozenOrderEquivalence pins the controller's semantic
+// neutrality: frozen at size B it must reproduce the fixed DrainBatch=B
+// schedule exactly, for every scheduler kind on both dispatch modes.
+func TestAdaptiveFrozenOrderEquivalence(t *testing.T) {
+	for _, kind := range []core.SchedulerKind{core.CameoScheduler, core.OrleansScheduler, core.FIFOScheduler} {
+		for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+			t.Run(fmt.Sprintf("%v/%v", kind, mode), func(t *testing.T) {
+				for _, batch := range []int{1, 16} {
+					ref := runtimeOrderBatch(t, kind, mode, batch)
+					if len(ref) == 0 {
+						t.Fatal("reference run executed nothing")
+					}
+					got := runtimeOrderFrozen(t, kind, mode, batch)
+					diffOrders(t, fmt.Sprintf("frozen adaptive=%d vs fixed", batch), ref, got)
+				}
+			})
+		}
+	}
+}
+
+// ingestRetry feeds one window, retrying on backpressure: a fully
+// armed engine derives finite budgets mid-run, so a fast test feed can
+// legitimately be refused while the measured budget is still small. The
+// batch is re-rendered per attempt (a refused batch is not retained).
+func ingestRetry(e *runtime.Engine, job string, wl testkit.Workload, src, w int) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := e.Ingest(job, src, wl.Batch(src, w), wl.Progress(w))
+		if err == nil || !errors.Is(err, runtime.ErrOverloaded) || time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// adaptiveConfig is the fully armed configuration the behavior tests
+// run under: live controller with the default wide bounds plus the
+// budget tuner at a fast sampling period.
+func adaptiveConfig(mode runtime.DispatchMode, workers int) runtime.Config {
+	return runtime.Config{
+		Workers:         workers,
+		Dispatch:        mode,
+		AdaptiveDrain:   true,
+		AdaptiveBudgets: true,
+		TuneInterval:    time.Millisecond,
+	}
+}
+
+// TestAdaptiveConservationUnderLoad: concurrent producers against a
+// fully armed engine; conservation holds and the queued accounting
+// returns to zero. (The -race run is the data-race check on the
+// controller and tuner.)
+func TestAdaptiveConservationUnderLoad(t *testing.T) {
+	defer testkit.LeakCheck(t)()
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const producers = 4
+			win := 10 * vtime.Millisecond
+			e := runtime.New(adaptiveConfig(mode, 4))
+			if _, err := e.AddJob(testkit.AggSpec("j", producers, 4, win, vtime.Second)); err != nil {
+				t.Fatal(err)
+			}
+			e.Start()
+			wl := testkit.Workload{Seed: 19, Sources: producers, Windows: 40, Tuples: 8, Keys: 16, Win: win}
+			var wg sync.WaitGroup
+			for src := 0; src < producers; src++ {
+				wg.Add(1)
+				go func(src int) {
+					defer wg.Done()
+					for w := 1; w <= wl.Windows; w++ {
+						if err := ingestRetry(e, "j", wl, src, w); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(src)
+			}
+			wg.Wait()
+			testkit.DrainOrFail(t, e, 10*time.Second)
+			e.Stop()
+			if created, settled := e.Created(), e.Executed()+e.Discarded(); created != settled {
+				t.Fatalf("conservation: created %d, executed+discarded %d", created, settled)
+			}
+			if e.Pending() != 0 {
+				t.Fatalf("pending = %d after drain", e.Pending())
+			}
+		})
+	}
+}
+
+// TestAdaptiveMidAdaptationCancelPause: lifecycle events land while the
+// controller is live and mid-batch on a slow job. Cancel must keep
+// conservation exact; a pause must retain (never lose) the backlog and
+// a checkpoint of the paused job must capture it.
+func TestAdaptiveMidAdaptationCancelPause(t *testing.T) {
+	defer testkit.LeakCheck(t)()
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const sources = 2
+			win := vtime.Millisecond
+			e := runtime.New(adaptiveConfig(mode, 2))
+			if _, err := e.AddJob(slowSpec("victim", sources)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.AddJob(slowSpec("paused", sources)); err != nil {
+				t.Fatal(err)
+			}
+			e.Start()
+			defer e.Stop()
+
+			wl := testkit.Workload{Seed: 37, Sources: sources, Windows: 150, Tuples: 4, Keys: 8, Win: win}
+			for w := 1; w <= wl.Windows; w++ {
+				for src := 0; src < sources; src++ {
+					if err := ingestRetry(e, "victim", wl, src, w); err != nil {
+						t.Fatal(err)
+					}
+					if err := ingestRetry(e, "paused", wl, src, w); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			time.Sleep(2 * time.Millisecond) // let workers go mid-batch
+			if err := e.PauseJob("paused"); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.CancelJob("victim"); err != nil {
+				t.Fatal(err)
+			}
+			if e.Discarded() == 0 {
+				t.Fatal("cancel discarded nothing; the mid-batch path went unexercised")
+			}
+			retained, err := e.JobPending("paused")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if retained == 0 {
+				t.Fatal("pause retained no backlog")
+			}
+			if err := e.ResumeJob("paused"); err != nil {
+				t.Fatal(err)
+			}
+			testkit.DrainOrFail(t, e, 10*time.Second)
+			if created, settled := e.Created(), e.Executed()+e.Discarded(); created != settled {
+				t.Fatalf("conservation: created %d, executed+discarded %d", created, settled)
+			}
+			if e.Pending() != 0 {
+				t.Fatalf("pending = %d after drain", e.Pending())
+			}
+		})
+	}
+}
+
+// TestPerSourceCountersReconcile pins the admission ledger's sums: the
+// per-source rejected counts must equal the engine's rejected total and
+// the per-source shed counts plus the downstream count must equal the
+// job's shed total, after a run that exercises both refusal and
+// shedding.
+func TestPerSourceCountersReconcile(t *testing.T) {
+	defer testkit.LeakCheck(t)()
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const sources = 4
+			win := 10 * vtime.Millisecond
+			e := runtime.New(runtime.Config{
+				Workers: 2, Dispatch: mode,
+				MaxPending: 32, Overload: runtime.OverloadShed,
+			})
+			if _, err := e.AddJob(testkit.AggSpec("j", sources, 4, win, 20*vtime.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+			e.Start()
+			wl := testkit.Workload{Seed: 43, Sources: sources, Windows: 60, Tuples: 6, Keys: 16, Win: win}
+			var wg sync.WaitGroup
+			for src := 0; src < sources; src++ {
+				wg.Add(1)
+				go func(src int) {
+					defer wg.Done()
+					for w := 1; w <= wl.Windows; w++ {
+						// Alternate plain ingest (sheds over budget) with
+						// TryIngest (rejects over budget) so both per-source
+						// counters move.
+						if w%2 == 0 {
+							err := e.TryIngest("j", src, wl.Batch(src, w), wl.Progress(w))
+							if err != nil && !errors.Is(err, runtime.ErrOverloaded) {
+								t.Error(err)
+								return
+							}
+							continue
+						}
+						if err := e.Ingest("j", src, wl.Batch(src, w), wl.Progress(w)); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(src)
+			}
+			wg.Wait()
+			testkit.DrainOrFail(t, e, 10*time.Second)
+			e.Stop()
+
+			per, err := e.PerSource("j")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rejected, shed, queued int64
+			for _, s := range per {
+				rejected += s.Rejected
+				shed += s.Shed
+				queued += s.Queued
+			}
+			ds, err := e.ShedDownstream("j")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := e.Rejected(); rejected != got {
+				t.Errorf("per-source rejected sum %d != engine rejected %d", rejected, got)
+			}
+			if got := e.Shed(); shed+ds != got {
+				t.Errorf("per-source shed %d + downstream %d != engine shed %d", shed, ds, got)
+			}
+			if queued != 0 {
+				t.Errorf("per-source queued sum %d after drain", queued)
+			}
+			if created, settled := e.Created(), e.Executed()+e.Discarded(); created != settled {
+				t.Errorf("conservation: created %d, executed+discarded %d", created, settled)
+			}
+		})
+	}
+}
+
+// TestFairShareAdmission pins the deficit tier of the per-job budget
+// check: once a hot source has filled the job's whole budget, its own
+// further batches are refused — but a cold sibling is admitted until it
+// reaches its fair share (budget / sources), and refused past that.
+func TestFairShareAdmission(t *testing.T) {
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+		t.Run(mode.String(), func(t *testing.T) {
+			win := 10 * vtime.Millisecond
+			e := runtime.New(runtime.Config{Workers: 1, Dispatch: mode})
+			spec := testkit.AggSpec("j", 2, 2, win, vtime.Second)
+			spec.MaxPending = 8
+			if _, err := e.AddJob(spec); err != nil {
+				t.Fatal(err)
+			}
+			// The engine is never started: nothing drains, so admission
+			// decisions are a pure function of the queued counters.
+			wl := testkit.Workload{Seed: 3, Sources: 2, Windows: 16, Tuples: 2, Keys: 4, Win: win}
+			// Source 0 fills the whole job budget (each batch fans out into
+			// 2 stage-0 messages; 4 batches reach the budget of 8)...
+			for w := 1; w <= 4; w++ {
+				if err := e.Ingest("j", 0, wl.Batch(0, w), wl.Progress(w)); err != nil {
+					t.Fatalf("hot batch %d refused: %v", w, err)
+				}
+			}
+			// ...after which its own next batch is refused...
+			if err := e.Ingest("j", 0, wl.Batch(0, 5), wl.Progress(5)); !errors.Is(err, runtime.ErrJobOverloaded) {
+				t.Fatalf("hot source over budget: got %v, want ErrJobOverloaded", err)
+			}
+			// ...but the cold source is admitted up to its fair share of 4
+			// messages (2 batches) despite the job being over budget...
+			for w := 1; w <= 2; w++ {
+				if err := e.Ingest("j", 1, wl.Batch(1, w), wl.Progress(w)); err != nil {
+					t.Fatalf("cold batch %d refused under fair share: %v", w, err)
+				}
+			}
+			// ...and refused past it.
+			if err := e.Ingest("j", 1, wl.Batch(1, 3), wl.Progress(3)); !errors.Is(err, runtime.ErrJobOverloaded) {
+				t.Fatalf("cold source past fair share: got %v, want ErrJobOverloaded", err)
+			}
+			e.Start()
+			testkit.DrainOrFail(t, e, 10*time.Second)
+			e.Stop()
+		})
+	}
+}
+
+// TestFairShedHotSource pins shed-side fairness: under OverloadShed,
+// the backlog a hot source pushed past the job budget is paid out of
+// that source's own queued messages — the cold sibling's backlog
+// survives untouched.
+func TestFairShedHotSource(t *testing.T) {
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+		t.Run(mode.String(), func(t *testing.T) {
+			win := 10 * vtime.Millisecond
+			e := runtime.New(runtime.Config{Workers: 1, Dispatch: mode, Overload: runtime.OverloadShed})
+			spec := testkit.AggSpec("j", 2, 2, win, vtime.Second)
+			spec.MaxPending = 8
+			if _, err := e.AddJob(spec); err != nil {
+				t.Fatal(err)
+			}
+			// Engine not started: the shed decisions act on a frozen queue.
+			wl := testkit.Workload{Seed: 5, Sources: 2, Windows: 16, Tuples: 2, Keys: 4, Win: win}
+			// The cold source parks 2 messages, then the hot source floods
+			// far past the whole budget.
+			if err := e.Ingest("j", 1, wl.Batch(1, 1), wl.Progress(1)); err != nil {
+				t.Fatal(err)
+			}
+			for w := 1; w <= 10; w++ {
+				if err := e.Ingest("j", 0, wl.Batch(0, w), wl.Progress(w)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			per, err := e.PerSource("j")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if per[0].Shed == 0 {
+				t.Error("hot source shed nothing")
+			}
+			if per[1].Shed != 0 {
+				t.Errorf("cold source shed %d messages for the hot source's overload", per[1].Shed)
+			}
+			if per[1].Queued != 2 {
+				t.Errorf("cold source backlog = %d, want its 2 parked messages", per[1].Queued)
+			}
+			e.Start()
+			testkit.DrainOrFail(t, e, 10*time.Second)
+			e.Stop()
+			if created, settled := e.Created(), e.Executed()+e.Discarded(); created != settled {
+				t.Errorf("conservation: created %d, executed+discarded %d", created, settled)
+			}
+		})
+	}
+}
+
+// TestAdaptiveBudgetDerivation: with the tuner armed, a draining job's
+// budget must become a measured quantity — at least the safety floor,
+// recorded alongside a positive drain rate — replacing the unlimited
+// static default.
+func TestAdaptiveBudgetDerivation(t *testing.T) {
+	defer testkit.LeakCheck(t)()
+	win := 10 * vtime.Millisecond
+	e := runtime.New(adaptiveConfig(runtime.DispatchSharded, 2))
+	if _, err := e.AddJob(testkit.AggSpec("j", 2, 4, win, vtime.Second)); err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	wl := testkit.Workload{Seed: 11, Sources: 2, Windows: 80, Tuples: 6, Keys: 16, Win: win}
+	for w := 1; w <= wl.Windows; w++ {
+		for src := 0; src < 2; src++ {
+			if err := ingestRetry(e, "j", wl, src, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Pace the feed so tuner ticks observe the job actually draining.
+		time.Sleep(200 * time.Microsecond)
+	}
+	testkit.DrainOrFail(t, e, 10*time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		b, err := e.JobBudget("j")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b > 0 {
+			// The floor is 8 × stage-0 fan-out (4): no measured budget may
+			// pinch below it.
+			if b < 32 {
+				t.Fatalf("derived budget %d below floor 32", b)
+			}
+			if rate := e.Recorder().Job("j").DrainRate(); rate <= 0 {
+				t.Fatalf("budget %d derived but recorded drain rate %v", b, rate)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tuner never derived a budget for a draining job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

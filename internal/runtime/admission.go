@@ -78,9 +78,12 @@ type admission struct {
 	e *Engine
 	// max is the engine-wide queued-message budget (0 = unlimited);
 	// highWater is the pressure threshold (7/8 of max) past which workers
-	// opportunistically sweep doomed messages under OverloadShed.
-	max       int64
-	highWater int64
+	// opportunistically sweep doomed messages under OverloadShed. Both
+	// are atomics because the budget tuner (Config.AdaptiveBudgets)
+	// rewrites them on a live engine from measured drain capacity; with
+	// static budgets they are written once at construction.
+	max       atomic.Int64
+	highWater atomic.Int64
 	policy    OverloadPolicy
 	// deadlineAware records whether the engine's policy stamps start
 	// deadlines into PriGlobal (LLF/EDF), selecting the laxity test
@@ -97,14 +100,24 @@ type admission struct {
 }
 
 func newAdmission(e *Engine, cfg Config) *admission {
-	a := &admission{e: e, max: int64(cfg.MaxPending), policy: cfg.Overload}
-	if a.max > 0 {
-		a.highWater = a.max - a.max/8
-	}
+	a := &admission{e: e, policy: cfg.Overload}
+	a.setMax(int64(cfg.MaxPending))
 	if da, ok := cfg.Policy.(core.DeadlineAware); ok && da.DeadlineAware() {
 		a.deadlineAware = true
 	}
 	return a
+}
+
+// setMax installs a new engine-wide budget and re-derives the shed
+// high-water mark (7/8 of max). Called at construction with the static
+// Config.MaxPending and by the budget tuner with measured capacity.
+func (a *admission) setMax(m int64) {
+	a.max.Store(m)
+	if m > 0 {
+		a.highWater.Store(m - m/8)
+	} else {
+		a.highWater.Store(0)
+	}
 }
 
 // enqueued and dequeued are the accounting hooks the dispatch paths call
@@ -152,21 +165,41 @@ func (a *admission) dequeuedN(j *dataflow.Job, n int) {
 // reserve-then-rollback on the hot path for a bound that execution (or
 // the next enforce) restores within one drain cycle; the budgets are
 // memory back-pressure, not an exact semaphore.
-func (a *admission) admit(j *dataflow.Job, n int, try bool) error {
+func (a *admission) admit(j *dataflow.Job, src, n int, try bool) error {
 	backpressure := try || a.policy == OverloadBackpressure
-	if jm := int64(j.Spec.MaxPending); jm > 0 && backpressure && j.Queued.Load()+int64(n) > jm {
-		a.reject(j)
+	if jm := j.EffectiveBudget(); jm > 0 && backpressure &&
+		j.Queued.Load()+int64(n) > jm && !a.fairShareAdmit(j, src, n, jm) {
+		a.reject(j, src)
 		return ErrJobOverloaded
 	}
-	if a.max > 0 && backpressure && a.queued.Load()+int64(n) > a.max {
-		a.reject(j)
+	if m := a.max.Load(); m > 0 && backpressure && a.queued.Load()+int64(n) > m {
+		a.reject(j, src)
 		return ErrOverloaded
 	}
+	j.SrcAccepted[src].Add(1)
 	return nil
 }
 
-func (a *admission) reject(j *dataflow.Job) {
+// fairShareAdmit is the per-source fairness tier of the job-budget check:
+// when the job as a whole is over budget, a source whose own queued
+// stage-0 backlog is still under its fair share (budget / Sources) is
+// admitted anyway — the deficit-round-robin guarantee that a hot sibling
+// filling the shared budget cannot starve a source that has barely used
+// it. Overshoot is bounded: each source can exceed the shared budget by
+// at most its own fair share, so total pending stays under 2 × budget.
+// Single-source jobs skip the tier entirely (there is no sibling to be
+// fair to), keeping the exact historical budget semantics.
+func (a *admission) fairShareAdmit(j *dataflow.Job, src, n int, jm int64) bool {
+	srcs := int64(j.Spec.Sources)
+	if srcs <= 1 {
+		return false
+	}
+	return j.SrcQueued[src].Load()+int64(n) <= jm/srcs
+}
+
+func (a *admission) reject(j *dataflow.Job, src int) {
 	a.rejected.Add(1)
+	j.SrcRejected[src].Add(1)
 	a.e.rec.AddRejected(j.Spec.Name, 1)
 }
 
@@ -175,7 +208,11 @@ func (a *admission) reject(j *dataflow.Job) {
 // backpressure engine never discards admitted work) and only past the
 // high-water mark, so the sweep costs nothing in the steady state.
 func (a *admission) pressured() bool {
-	return a.policy == OverloadShed && a.highWater > 0 && a.queued.Load() >= a.highWater
+	if a.policy != OverloadShed {
+		return false
+	}
+	hw := a.highWater.Load()
+	return hw > 0 && a.queued.Load() >= hw
 }
 
 // enforce brings the queued counts back under budget after an ingest was
@@ -186,14 +223,50 @@ func (a *admission) enforce(j *dataflow.Job, now vtime.Time) {
 	if a.policy != OverloadShed {
 		return
 	}
-	if jm := int64(j.Spec.MaxPending); jm > 0 && j.Queued.Load() > jm {
+	if jm := j.EffectiveBudget(); jm > 0 && j.Queued.Load() > jm {
 		a.e.path.shedDoomed(j, now)
 		if over := j.Queued.Load() - jm; over > 0 {
-			a.e.path.shedExcess(j, int(over))
+			a.shedFair(j, int(over), jm)
 		}
 	}
-	if a.max > 0 && a.queued.Load() > a.max {
+	if m := a.max.Load(); m > 0 && a.queued.Load() > m {
 		a.shedEngine(now)
+	}
+}
+
+// shedFair works a job's excess backlog off with per-source fairness:
+// while a source's queued stage-0 backlog exceeds its fair share of the
+// budget, the hottest such source's own messages are shed first — the
+// admission pressure one hot source created is paid out of its own
+// backlog instead of squeezing its siblings' — and only the remainder
+// falls through to the usual lax-end excess shed. Single-source jobs go
+// straight to shedExcess.
+func (a *admission) shedFair(j *dataflow.Job, over int, jm int64) {
+	if srcs := j.Spec.Sources; srcs > 1 {
+		share := jm / int64(srcs)
+		for over > 0 {
+			hot, hotQ := -1, share
+			for s := 0; s < srcs; s++ {
+				if q := j.SrcQueued[s].Load(); q > hotQ {
+					hot, hotQ = s, q
+				}
+			}
+			if hot < 0 {
+				break
+			}
+			want := hotQ - share
+			if int64(over) < want {
+				want = int64(over)
+			}
+			n := a.e.path.shedSrc(j, hot, int(want))
+			if n == 0 {
+				break
+			}
+			over -= n
+		}
+	}
+	if over > 0 {
+		a.e.path.shedExcess(j, over)
 	}
 }
 
@@ -205,16 +278,17 @@ func (a *admission) enforce(j *dataflow.Job, now vtime.Time) {
 // next-largest tried, so one unsheddable job cannot shield the others.
 func (a *admission) shedEngine(now vtime.Time) {
 	e := a.e
+	max := a.max.Load()
 	e.jobsMu.RLock()
 	defer e.jobsMu.RUnlock()
 	for _, j := range e.jobs {
-		if a.queued.Load() <= a.max {
+		if a.queued.Load() <= max {
 			return
 		}
 		e.path.shedDoomed(j, now)
 	}
 	var skip map[*dataflow.Job]bool
-	for a.queued.Load() > a.max {
+	for a.queued.Load() > max {
 		var victim *dataflow.Job
 		var most int64
 		for _, j := range e.jobs {
@@ -228,7 +302,7 @@ func (a *admission) shedEngine(now vtime.Time) {
 		if victim == nil {
 			return
 		}
-		over := a.queued.Load() - a.max
+		over := a.queued.Load() - max
 		if over > most {
 			over = most
 		}

@@ -101,6 +101,35 @@ type Config struct {
 	// cancel, or more-urgent arrival may wait up to DrainBatch-1 extra
 	// executions before the worker reacts.
 	DrainBatch int
+	// AdaptiveDrain arms the per-worker drain controller: instead of the
+	// fixed DrainBatch, each worker sizes every batch from the acquired
+	// operator's observed queue depth and its job's latency target —
+	// deep backlog grows the batch toward DrainBatchMax (amortizing lock
+	// acquisitions when there is work to amortize over), an idle queue
+	// shrinks it toward DrainBatchMin (preemption granularity when
+	// latency is what matters). The size is recomputed only at batch
+	// boundaries, so the mid-batch lifecycle machinery (lifeEpoch
+	// re-checks, conservation on cancel/pause) is identical to the fixed
+	// path; a controller frozen with DrainBatchMin == DrainBatchMax is
+	// message-for-message equivalent to that fixed DrainBatch (pinned by
+	// the order-equivalence tests). See controller.go.
+	AdaptiveDrain bool
+	// DrainBatchMin / DrainBatchMax bound the adaptive controller
+	// (defaults 1 and 256, max capped at 1024 like DrainBatch). Ignored
+	// unless AdaptiveDrain is set.
+	DrainBatchMin, DrainBatchMax int
+	// AdaptiveBudgets derives the admission budgets from measured
+	// capacity: a background tuner differentiates each job's retired-
+	// message counter into an EWMA drain rate (recorded in the metrics
+	// Recorder) and sets the job's pending budget to rate × latency
+	// target — the backlog the engine can actually clear within one
+	// deadline — floored so a burst can always get a foothold. The
+	// engine-wide budget and shed high-water mark follow as the sum over
+	// measured jobs. Static MaxPending values serve as the budget until
+	// a job's rate has been measured.
+	AdaptiveBudgets bool
+	// TuneInterval is the budget tuner's sampling period (default 5ms).
+	TuneInterval time.Duration
 	// Dispatch selects the concurrency strategy (default DispatchAuto).
 	Dispatch DispatchMode
 	// TraceLimit, when positive, records up to this many executions in a
@@ -154,6 +183,21 @@ func (c *Config) fill() {
 	if c.DrainBatch > 1024 {
 		c.DrainBatch = 1024
 	}
+	if c.DrainBatchMin <= 0 {
+		c.DrainBatchMin = 1
+	}
+	if c.DrainBatchMax <= 0 {
+		c.DrainBatchMax = 256
+	}
+	if c.DrainBatchMax > 1024 {
+		c.DrainBatchMax = 1024
+	}
+	if c.DrainBatchMin > c.DrainBatchMax {
+		c.DrainBatchMin = c.DrainBatchMax
+	}
+	if c.TuneInterval <= 0 {
+		c.TuneInterval = 5 * time.Millisecond
+	}
 	if c.Policy == nil {
 		if c.Scheduler == core.CameoScheduler {
 			c.Policy = &core.DeadlinePolicy{Kind: core.KindLLF}
@@ -184,6 +228,11 @@ type Engine struct {
 
 	// ckpt is the background checkpointer (nil unless configured).
 	ckpt *checkpointer
+	// ctls holds one drain controller per worker (nil unless
+	// Config.AdaptiveDrain); tuner is the background budget tuner (nil
+	// unless Config.AdaptiveBudgets).
+	ctls  []drainController
+	tuner *budgetTuner
 
 	path dispatchPath
 	// adm is the admission layer: pending-message budgets, overload
@@ -254,6 +303,13 @@ type dispatchPath interface {
 	// 0 first — undigested input is the cheapest work to lose). Messages
 	// held by workers are not touched; the return value may be short.
 	shedExcess(job *dataflow.Job, n int) int
+	// shedSrc discards up to n of job's queued stage-0 messages that were
+	// ingested on source channel src (identified by Message.Channel), per
+	// operator under that operator's own lock domain with the same
+	// run-queue fix-ups as shedDoomed. The fair-shed path uses it to make
+	// a hot source's own backlog pay for the pressure it created instead
+	// of squeezing its siblings. Returns the number shed (may be short).
+	shedSrc(job *dataflow.Job, src, n int) int
 	// cancel marks every operator of job dead, discards its queued
 	// messages back to the pools, and unlinks the operators from every
 	// run-queue structure. Operators currently held by workers are left
@@ -303,6 +359,15 @@ func New(cfg Config) *Engine {
 	e.msgs = core.NewMessagePool(cfg.Workers)
 	e.batches = dataflow.NewBatchPool(cfg.Workers)
 	e.adm = newAdmission(e, cfg)
+	if cfg.AdaptiveDrain {
+		e.ctls = make([]drainController, cfg.Workers)
+		for i := range e.ctls {
+			e.ctls[i].init(cfg.DrainBatchMin, cfg.DrainBatchMax)
+		}
+	}
+	if cfg.AdaptiveBudgets {
+		e.tuner = newBudgetTuner(e)
+	}
 	e.envs = make([]*dataflow.Env, cfg.Workers)
 	for i := range e.envs {
 		e.envs[i] = e.newEnv(i)
@@ -632,12 +697,51 @@ func (e *Engine) discardMessage(j *dataflow.Job, m *core.Message) {
 }
 
 // shedQueued settles one queued message the admission layer discarded:
-// the queued-budget counters release it, then discardMessage recycles it
-// with the usual conservation accounting. Callers hold the lock guarding
-// the queue the message came from.
-func (e *Engine) shedQueued(j *dataflow.Job, m *core.Message) {
+// the queued-budget counters release it, the shed is attributed to its
+// source channel (stage 0) or the downstream bucket, then discardMessage
+// recycles it with the usual conservation accounting. Callers hold the
+// lock guarding the queue the message came from — op is the operator the
+// message was queued at.
+func (e *Engine) shedQueued(j *dataflow.Job, op *dataflow.Operator, m *core.Message) {
 	e.adm.dequeued(j)
+	if op.Stage == 0 {
+		j.SrcQueued[m.Channel].Add(-1)
+		j.SrcShed[m.Channel].Add(1)
+	} else {
+		j.ShedDownstream.Add(1)
+	}
 	e.discardMessage(j, m)
+}
+
+// noteSrcQueued attributes one queued stage-0 message to its source
+// channel (delta +1 at enqueue, -1 at dequeue or discard) — stage-0
+// messages carry their source index in Message.Channel. Downstream
+// messages have no source attribution and are skipped. Called at the
+// same sites as the admission queued counters, under the same locks.
+func noteSrcQueued(op *dataflow.Operator, m *core.Message, delta int64) {
+	if op.Stage == 0 {
+		op.Job.SrcQueued[m.Channel].Add(delta)
+	}
+}
+
+// noteSrcQueuedRun is the batch form of noteSrcQueued for the pop/unpop
+// sites: one atomic add per run of equal source channels rather than one
+// per message.
+func noteSrcQueuedRun(op *dataflow.Operator, msgs []*core.Message, delta int64) {
+	if op.Stage != 0 || len(msgs) == 0 {
+		return
+	}
+	j := op.Job
+	ch, run := msgs[0].Channel, int64(1)
+	for _, m := range msgs[1:] {
+		if m.Channel == ch {
+			run++
+			continue
+		}
+		j.SrcQueued[ch].Add(run * delta)
+		ch, run = m.Channel, 1
+	}
+	j.SrcQueued[ch].Add(run * delta)
 }
 
 // noteShed records n shed messages against job j — the engine-wide shed
@@ -666,6 +770,10 @@ func (e *Engine) Start() {
 		e.wg.Add(1)
 		go e.ckpt.run()
 	}
+	if e.tuner != nil {
+		e.wg.Add(1)
+		go e.tuner.run()
+	}
 }
 
 // Stop shuts the workers down and waits for them to exit. Pending messages
@@ -676,6 +784,9 @@ func (e *Engine) Stop() {
 	}
 	if e.ckpt != nil {
 		e.ckpt.stop()
+	}
+	if e.tuner != nil {
+		e.tuner.stop()
 	}
 	e.path.stopAll()
 	e.wg.Wait()
@@ -737,7 +848,7 @@ func (e *Engine) ingest(job string, src int, b *dataflow.Batch, p vtime.Time, tr
 	// letting progress advance. Their messages still count against the
 	// queued totals once pushed.
 	if b != nil {
-		if err := e.adm.admit(j, len(j.Stages[0]), try); err != nil {
+		if err := e.adm.admit(j, src, len(j.Stages[0]), try); err != nil {
 			return err
 		}
 	}
@@ -763,6 +874,92 @@ func (e *Engine) ingest(job string, src int, b *dataflow.Batch, p vtime.Time, tr
 	e.ingestEnvs.Put(env)
 	e.adm.enforce(j, now)
 	return nil
+}
+
+// drainCtl returns worker w's drain controller, or nil when the engine
+// runs fixed drain batches.
+func (e *Engine) drainCtl(w int) *drainController {
+	if e.ctls == nil {
+		return nil
+	}
+	return &e.ctls[w]
+}
+
+// drainBufCap is the worker drain buffer capacity: the controller's upper
+// bound when adaptive, the fixed DrainBatch otherwise.
+func (e *Engine) drainBufCap() int {
+	if e.cfg.AdaptiveDrain {
+		return e.cfg.DrainBatchMax
+	}
+	return e.cfg.DrainBatch
+}
+
+// AppliedDrainBatch reports the batch size worker w's drain controller
+// last applied, or 0 when the engine runs fixed drain batches — the
+// observability hook the adaptive example and benchmarks read.
+func (e *Engine) AppliedDrainBatch(w int) int {
+	if e.ctls == nil || w < 0 || w >= len(e.ctls) {
+		return 0
+	}
+	return int(e.ctls[w].applied.Load())
+}
+
+// JobBudget reports the named job's current effective pending budget
+// (0 = unlimited): the tuner-derived adaptive budget once the job's
+// drain rate has been measured, the static JobSpec.MaxPending before.
+func (e *Engine) JobBudget(name string) (int64, error) {
+	e.jobsMu.RLock()
+	j, ok := e.jobs[name]
+	e.jobsMu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("runtime: unknown job %q", name)
+	}
+	return j.EffectiveBudget(), nil
+}
+
+// SourceCounters is one source channel's admission ledger (see
+// PerSource).
+type SourceCounters struct {
+	// Accepted counts data batches admitted from this source; Rejected
+	// counts batches refused by backpressure. Shed counts this source's
+	// stage-0 messages discarded by overload shedding, and Queued is its
+	// currently admitted-but-not-popped stage-0 backlog.
+	Accepted, Rejected, Shed, Queued int64
+}
+
+// PerSource reports the named job's per-source admission counters. The
+// per-source rejected counts sum to the job's recorded rejected total,
+// and the per-source shed counts plus the job's downstream-shed count
+// sum to its shed total — the reconciliation the fairness tests pin.
+func (e *Engine) PerSource(name string) ([]SourceCounters, error) {
+	e.jobsMu.RLock()
+	j, ok := e.jobs[name]
+	e.jobsMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown job %q", name)
+	}
+	out := make([]SourceCounters, j.Spec.Sources)
+	for s := range out {
+		out[s] = SourceCounters{
+			Accepted: j.SrcAccepted[s].Load(),
+			Rejected: j.SrcRejected[s].Load(),
+			Shed:     j.SrcShed[s].Load(),
+			Queued:   j.SrcQueued[s].Load(),
+		}
+	}
+	return out, nil
+}
+
+// ShedDownstream reports how many of the named job's shed messages came
+// from stages past 0 — shed work with no single source attribution.
+func (e *Engine) ShedDownstream(name string) (int64, error) {
+	e.jobsMu.RLock()
+	j, ok := e.jobs[name]
+	e.jobsMu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("runtime: unknown job %q", name)
+	}
+	return j.ShedDownstream.Load(), nil
 }
 
 // Pending reports the number of queued (not yet executed) messages — the
@@ -857,6 +1054,7 @@ func (e *Engine) execMessage(op *dataflow.Operator, m *core.Message, env *datafl
 	e.overhead.AddExec(cost)
 	e.overhead.AddPriGen(prigen)
 	e.executed.Add(1)
+	op.Job.Retired.Add(1)
 	for _, o := range outcome.Outputs {
 		e.rec.Record(metrics.Output{
 			Job: op.Job.Spec.Name, Emitted: now, Ready: o.T, Window: int64(o.P),

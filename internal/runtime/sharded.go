@@ -180,7 +180,9 @@ func (p *shardedPath) push(op *dataflow.Operator, m *core.Message, producer int)
 	}
 	oldHead := st.Q.Peek()
 	st.Q.Push(m)
+	st.Depth.Store(int32(st.Q.Len()))
 	p.e.adm.enqueued(op.Job)
+	noteSrcQueued(op, m, 1)
 	if st.Acquired || st.Phase == core.OpPaused {
 		// Acquired: the holding worker re-checks the heap before
 		// releasing, so the new message cannot be stranded; no signal
@@ -263,11 +265,13 @@ func (p *shardedPath) deliver(msgs []dataflow.ChildMessage, producer int) {
 			for j := i; j < len(msgs); j++ {
 				if msgs[j].Msg != nil && msgs[j].Target == op {
 					st.Q.Push(msgs[j].Msg)
+					noteSrcQueued(op, msgs[j].Msg, 1)
 					msgs[j].Msg = nil
 					pushed++
 					done++
 				}
 			}
+			st.Depth.Store(int32(st.Q.Len()))
 			p.e.adm.enqueuedN(op.Job, pushed)
 			switch {
 			case st.Acquired || st.Phase == core.OpPaused:
@@ -311,8 +315,11 @@ func (p *shardedPath) cancel(job *dataflow.Job) {
 		st.Phase = core.OpDead
 		for st.Q.Len() > 0 {
 			p.e.adm.dequeued(job)
-			p.e.discardMessage(job, st.Q.Pop())
+			m := st.Q.Pop()
+			noteSrcQueued(op, m, -1)
+			p.e.discardMessage(job, m)
 		}
+		st.Depth.Store(0)
 		// Clear the lane only when the removal actually hit: a miss means
 		// a worker popped the operator and is between its lane pop and its
 		// home-lock acquisition — that worker owns the Lane reset (in
@@ -422,7 +429,8 @@ func (p *shardedPath) shedOpDoomed(op *dataflow.Operator, now vtime.Time) int {
 	oldHead := st.Q.Peek()
 	n := st.Q.Shed(
 		func(m *core.Message) bool { return core.Doomed(m, now, aware) },
-		func(m *core.Message) { e.shedQueued(job, m) })
+		func(m *core.Message) { e.shedQueued(job, op, m) })
+	st.Depth.Store(int32(st.Q.Len()))
 	if n > 0 && !st.Acquired && st.Lane != laneNone {
 		if st.Q.Len() == 0 {
 			// Clear the lane only when the removal hit (same reasoning as
@@ -472,9 +480,10 @@ func (p *shardedPath) shedOpTail(op *dataflow.Operator, n int) int {
 		if m == nil {
 			break
 		}
-		e.shedQueued(job, m)
+		e.shedQueued(job, op, m)
 		count++
 	}
+	st.Depth.Store(int32(st.Q.Len()))
 	// PopTail never changes a non-emptied heap's head, so the only
 	// run-queue fix-up is the empty-queue removal.
 	if count > 0 && !st.Acquired && st.Lane != laneNone && st.Q.Len() == 0 {
@@ -485,6 +494,56 @@ func (p *shardedPath) shedOpTail(op *dataflow.Operator, n int) int {
 	hs.mu.Unlock()
 	e.noteShed(job, count)
 	return count
+}
+
+// shedSrc implements dispatchPath: discard up to n of job's queued
+// stage-0 messages ingested on source channel src — the fair-shed path's
+// victim selection (a hot source's own backlog pays for the pressure it
+// created). Only stage 0 is walked: downstream messages have no single
+// source attribution.
+func (p *shardedPath) shedSrc(job *dataflow.Job, src, n int) int {
+	total := 0
+	for _, op := range job.Stages[0] {
+		if total >= n {
+			break
+		}
+		total += p.shedOpSrc(op, src, n-total)
+	}
+	return total
+}
+
+// shedOpSrc sweeps one stage-0 operator's queued messages from source
+// channel src under its home shard lock, with the same run-queue fix-ups
+// as shedOpDoomed (removed when the sweep emptied the queue, re-keyed
+// when it removed the head).
+func (p *shardedPath) shedOpSrc(op *dataflow.Operator, src, limit int) int {
+	e := p.e
+	job := op.Job
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	if st.Phase != core.OpLive || st.Q.Len() == 0 {
+		hs.mu.Unlock()
+		return 0
+	}
+	oldHead := st.Q.Peek()
+	count := 0
+	n := st.Q.Shed(
+		func(m *core.Message) bool { return count < limit && m.Channel == src },
+		func(m *core.Message) { count++; e.shedQueued(job, op, m) })
+	st.Depth.Store(int32(st.Q.Len()))
+	if n > 0 && !st.Acquired && st.Lane != laneNone {
+		if st.Q.Len() == 0 {
+			if p.runq.Remove(int(st.Lane), op) {
+				st.Lane = laneNone
+			}
+		} else if head := st.Q.Peek(); head != oldHead {
+			p.runq.Update(int(st.Lane), op, core.GlobalPri(head))
+		}
+	}
+	hs.mu.Unlock()
+	e.noteShed(job, n)
+	return n
 }
 
 // acquire returns the next operator for worker w, marking it acquired, or
@@ -540,7 +599,9 @@ func (p *shardedPath) popMsgs(op *dataflow.Operator, buf []*core.Message) int {
 		return 0
 	}
 	n := st.Q.PopInto(buf)
+	st.Depth.Store(int32(st.Q.Len()))
 	p.e.adm.dequeuedN(op.Job, n)
+	noteSrcQueuedRun(op, buf[:n], -1)
 	return n
 }
 
@@ -580,7 +641,9 @@ func (p *shardedPath) returnUndrained(op *dataflow.Operator, msgs []*core.Messag
 	for _, m := range msgs {
 		st.Q.Push(m)
 	}
+	st.Depth.Store(int32(st.Q.Len()))
 	p.e.adm.enqueuedN(op.Job, len(msgs))
+	noteSrcQueuedRun(op, msgs, 1)
 	hs.mu.Unlock()
 }
 
@@ -647,7 +710,8 @@ func (p *shardedPath) shouldYield(op *dataflow.Operator, w int) bool {
 func (p *shardedPath) worker(w int) {
 	e := p.e
 	env := e.envs[w]
-	buf := make([]*core.Message, e.cfg.DrainBatch)
+	ctl := e.drainCtl(w) // nil on the fixed-DrainBatch path
+	buf := make([]*core.Message, e.drainBufCap())
 	defer e.wg.Done()
 	for {
 		op, ok := p.acquire(w)
@@ -661,10 +725,18 @@ func (p *shardedPath) worker(w int) {
 			p.shedOpDoomed(op, e.clock.Now())
 		}
 		acquired := e.clock.Now()
+		last := acquired
 	drain:
 		for {
 			epoch := e.lifeEpoch.Load()
-			n := p.popMsgs(op, buf)
+			k := len(buf)
+			if ctl != nil {
+				// Batch boundary: size the next batch from the operator's
+				// lock-free depth mirror and its job's latency target. The
+				// batch in flight is never resized — see controller.go.
+				k = ctl.size(int(op.Sched().Depth.Load()), op.Job.Spec.Latency, e.cfg.Quantum)
+			}
+			n := p.popMsgs(op, buf[:k])
 			if n == 0 {
 				p.release(op, w)
 				break
@@ -690,6 +762,12 @@ func (p *shardedPath) worker(w int) {
 						break drain
 					}
 				}
+			}
+			if ctl != nil {
+				// The clock reads bracketing the batch are the ones the
+				// loop already does — observation costs no extra reads.
+				ctl.observe(n, now-last)
+				last = now
 			}
 			if now-acquired >= e.cfg.Quantum {
 				// Re-scheduling decision point: swap if more urgent work

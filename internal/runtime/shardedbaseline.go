@@ -134,7 +134,9 @@ func (p *shardedBaselinePath) push(op *dataflow.Operator, m *core.Message, produ
 		return
 	}
 	st.FIFO.PushBack(m)
+	st.Depth.Store(int32(st.FIFO.Len()))
 	p.e.adm.enqueued(op.Job)
+	noteSrcQueued(op, m, 1)
 	schedule := !st.OnQueue && st.Phase == core.OpLive
 	if schedule {
 		st.OnQueue = true
@@ -200,11 +202,13 @@ func (p *shardedBaselinePath) deliver(msgs []dataflow.ChildMessage, producer int
 			for j := i; j < len(msgs); j++ {
 				if msgs[j].Msg != nil && msgs[j].Target == op {
 					st.FIFO.PushBack(msgs[j].Msg)
+					noteSrcQueued(op, msgs[j].Msg, 1)
 					msgs[j].Msg = nil
 					pushed++
 					done++
 				}
 			}
+			st.Depth.Store(int32(st.FIFO.Len()))
 			p.e.adm.enqueuedN(op.Job, pushed)
 			if !st.OnQueue && st.Phase == core.OpLive {
 				st.OnQueue = true
@@ -243,8 +247,10 @@ func (p *shardedBaselinePath) cancel(job *dataflow.Job) {
 				break
 			}
 			p.e.adm.dequeued(job)
+			noteSrcQueued(op, m, -1)
 			p.e.discardMessage(job, m)
 		}
+		st.Depth.Store(0)
 		if st.OnQueue && p.runq.Remove(op) {
 			st.OnQueue = false
 		}
@@ -334,7 +340,8 @@ func (p *shardedBaselinePath) shedOpDoomed(op *dataflow.Operator, now vtime.Time
 	}
 	n := st.FIFO.Shed(
 		func(m *core.Message) bool { return core.Doomed(m, now, aware) },
-		func(m *core.Message) { e.shedQueued(job, m) })
+		func(m *core.Message) { e.shedQueued(job, op, m) })
+	st.Depth.Store(int32(st.FIFO.Len()))
 	// An emptied operator leaves the run queue; a failed Remove means a
 	// worker holds it (OnQueue stays set — the sequential semantics), and
 	// that worker's release clears the flag.
@@ -377,15 +384,53 @@ func (p *shardedBaselinePath) shedOpTail(op *dataflow.Operator, n int) int {
 		if !ok {
 			break
 		}
-		e.shedQueued(job, m)
+		e.shedQueued(job, op, m)
 		count++
 	}
+	st.Depth.Store(int32(st.FIFO.Len()))
 	if count > 0 && st.FIFO.Len() == 0 && st.OnQueue && p.runq.Remove(op) {
 		st.OnQueue = false
 	}
 	hs.mu.Unlock()
 	e.noteShed(job, count)
 	return count
+}
+
+// shedSrc implements dispatchPath: discard up to n of job's queued
+// stage-0 messages from source channel src (see shardedPath.shedSrc),
+// preserving the arrival order of the survivors.
+func (p *shardedBaselinePath) shedSrc(job *dataflow.Job, src, n int) int {
+	total := 0
+	for _, op := range job.Stages[0] {
+		if total >= n {
+			break
+		}
+		total += p.shedOpSrc(op, src, n-total)
+	}
+	return total
+}
+
+func (p *shardedBaselinePath) shedOpSrc(op *dataflow.Operator, src, limit int) int {
+	e := p.e
+	job := op.Job
+	hs := p.home(op)
+	hs.mu.Lock()
+	st := op.Sched()
+	if st.Phase != core.OpLive || st.FIFO.Len() == 0 {
+		hs.mu.Unlock()
+		return 0
+	}
+	count := 0
+	n := st.FIFO.Shed(
+		func(m *core.Message) bool { return count < limit && m.Channel == src },
+		func(m *core.Message) { count++; e.shedQueued(job, op, m) })
+	st.Depth.Store(int32(st.FIFO.Len()))
+	if n > 0 && st.FIFO.Len() == 0 && st.OnQueue && p.runq.Remove(op) {
+		st.OnQueue = false
+	}
+	hs.mu.Unlock()
+	e.noteShed(job, n)
+	return n
 }
 
 // acquire returns the next operator for worker w per the baseline's run
@@ -428,7 +473,9 @@ func (p *shardedBaselinePath) popMsgs(op *dataflow.Operator, buf []*core.Message
 		return 0
 	}
 	n := st.FIFO.PopFrontInto(buf)
+	st.Depth.Store(int32(st.FIFO.Len()))
 	p.e.adm.dequeuedN(op.Job, n)
+	noteSrcQueuedRun(op, buf[:n], -1)
 	hs.mu.Unlock()
 	return n
 }
@@ -463,7 +510,9 @@ func (p *shardedBaselinePath) returnUndrained(op *dataflow.Operator, msgs []*cor
 		return
 	}
 	st.FIFO.UnpopFront(msgs)
+	st.Depth.Store(int32(st.FIFO.Len()))
 	p.e.adm.enqueuedN(op.Job, len(msgs))
+	noteSrcQueuedRun(op, msgs, 1)
 	hs.mu.Unlock()
 }
 
@@ -494,7 +543,8 @@ func (p *shardedBaselinePath) release(op *dataflow.Operator, w int) {
 func (p *shardedBaselinePath) worker(w int) {
 	e := p.e
 	env := e.envs[w]
-	buf := make([]*core.Message, e.cfg.DrainBatch)
+	ctl := e.drainCtl(w) // nil on the fixed-DrainBatch path
+	buf := make([]*core.Message, e.drainBufCap())
 	defer e.wg.Done()
 	for {
 		op, ok := p.acquire(w)
@@ -506,10 +556,16 @@ func (p *shardedBaselinePath) worker(w int) {
 			p.shedOpDoomed(op, e.clock.Now())
 		}
 		acquired := e.clock.Now()
+		last := acquired
 	drain:
 		for {
 			epoch := e.lifeEpoch.Load()
-			n := p.popMsgs(op, buf)
+			k := len(buf)
+			if ctl != nil {
+				// Batch boundary: size the next batch (see controller.go).
+				k = ctl.size(int(op.Sched().Depth.Load()), op.Job.Spec.Latency, e.cfg.Quantum)
+			}
+			n := p.popMsgs(op, buf[:k])
 			if n == 0 {
 				p.release(op, w)
 				break
@@ -532,6 +588,10 @@ func (p *shardedBaselinePath) worker(w int) {
 						break drain
 					}
 				}
+			}
+			if ctl != nil {
+				ctl.observe(n, now-last)
+				last = now
 			}
 			if now-acquired >= e.cfg.Quantum {
 				if p.runq.Len() > 0 {

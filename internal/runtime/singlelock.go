@@ -25,6 +25,7 @@ func (p *singleLockPath) requeueLocked(op *dataflow.Operator, msgs []*core.Messa
 	}
 	p.disp.Unpop(op, msgs)
 	p.e.adm.enqueuedN(op.Job, len(msgs))
+	noteSrcQueuedRun(op, msgs, 1)
 }
 
 // singleLockPath is the original dispatch strategy: the sequential
@@ -61,6 +62,7 @@ func (p *singleLockPath) pushLocked(target *dataflow.Operator, m *core.Message, 
 	}
 	p.disp.Push(target, m, producer)
 	p.e.adm.enqueued(target.Job)
+	noteSrcQueued(target, m, 1)
 }
 
 func (p *singleLockPath) ingest(msgs []dataflow.ChildMessage) {
@@ -94,6 +96,7 @@ func (p *singleLockPath) cancel(job *dataflow.Job) {
 				break
 			}
 			p.e.adm.dequeued(job)
+			noteSrcQueued(op, m, -1)
 			p.e.discardMessage(job, m)
 		}
 	}
@@ -160,7 +163,7 @@ func (p *singleLockPath) shedDoomed(job *dataflow.Job, now vtime.Time) int {
 				continue
 			}
 			total += p.disp.Shed(op, drop,
-				func(m *core.Message) { e.shedQueued(job, m) })
+				func(m *core.Message) { e.shedQueued(job, op, m) })
 		}
 	}
 	p.mu.Unlock()
@@ -184,7 +187,7 @@ func (p *singleLockPath) shedExcess(job *dataflow.Job, n int) int {
 				if !ok {
 					break
 				}
-				e.shedQueued(job, m)
+				e.shedQueued(job, op, m)
 				total++
 			}
 		}
@@ -206,8 +209,35 @@ func (p *singleLockPath) shedOpDoomedLocked(op *dataflow.Operator, now vtime.Tim
 	job := op.Job
 	n := p.disp.Shed(op,
 		func(m *core.Message) bool { return core.Doomed(m, now, aware) },
-		func(m *core.Message) { e.shedQueued(job, m) })
+		func(m *core.Message) { e.shedQueued(job, op, m) })
 	e.noteShed(job, n)
+}
+
+// shedSrc implements dispatchPath: discard up to n of job's queued
+// stage-0 messages from source channel src (see shardedPath.shedSrc),
+// under the engine mutex via the dispatcher's Shed (which keeps the run
+// queue re-keyed/descheduled as queues change).
+func (p *singleLockPath) shedSrc(job *dataflow.Job, src, n int) int {
+	e := p.e
+	total := 0
+	p.mu.Lock()
+	for _, op := range job.Stages[0] {
+		if total >= n {
+			break
+		}
+		if op.Sched().Phase != core.OpLive {
+			continue
+		}
+		op := op
+		limit := n - total
+		count := 0
+		total += p.disp.Shed(op,
+			func(m *core.Message) bool { return count < limit && m.Channel == src },
+			func(m *core.Message) { count++; e.shedQueued(job, op, m) })
+	}
+	p.mu.Unlock()
+	e.noteShed(job, total)
+	return total
 }
 
 // worker is the scheduling loop of one pool thread, the real-time
@@ -222,7 +252,8 @@ func (p *singleLockPath) shedOpDoomedLocked(op *dataflow.Operator, now vtime.Tim
 func (p *singleLockPath) worker(id int) {
 	e := p.e
 	env := e.envs[id]
-	buf := make([]*core.Message, e.cfg.DrainBatch)
+	ctl := e.drainCtl(id) // nil on the fixed-DrainBatch path
+	buf := make([]*core.Message, e.drainBufCap())
 	defer e.wg.Done()
 	p.mu.Lock()
 	for {
@@ -244,15 +275,26 @@ func (p *singleLockPath) worker(id int) {
 			p.shedOpDoomedLocked(op, e.clock.Now())
 		}
 		acquired := e.clock.Now()
+		last := acquired
 	drain:
 		for {
-			n := p.disp.PopMsgs(op, buf)
+			k := len(buf)
+			if ctl != nil {
+				// Batch boundary: size the next batch. This path holds p.mu,
+				// so the exact queue lengths stand in for the sharded paths'
+				// lock-free Depth mirror (exactly one of Q/FIFO is populated,
+				// per the scheduler kind).
+				st := op.Sched()
+				k = ctl.size(st.Q.Len()+st.FIFO.Len(), op.Job.Spec.Latency, e.cfg.Quantum)
+			}
+			n := p.disp.PopMsgs(op, buf[:k])
 			if n == 0 {
 				p.disp.Done(op, id)
 				p.cond.Broadcast() // Done may have requeued the operator
 				break
 			}
 			p.e.adm.dequeuedN(op.Job, n)
+			noteSrcQueuedRun(op, buf[:n], -1)
 			var now vtime.Time
 			for i := 0; i < n; i++ {
 				p.mu.Unlock()
@@ -282,6 +324,10 @@ func (p *singleLockPath) worker(id int) {
 					p.disp.Done(op, id)
 					break drain
 				}
+			}
+			if ctl != nil {
+				ctl.observe(n, now-last)
+				last = now
 			}
 			if now-acquired >= e.cfg.Quantum {
 				// Re-scheduling decision point: swap if more urgent work

@@ -235,14 +235,16 @@ func engineRun(spec *workload.Spec, killAt vtime.Duration) (*Verdict, error) {
 	}
 	newEngine := func(start vtime.Duration, rec *metrics.Recorder) *runtime.Engine {
 		return runtime.New(runtime.Config{
-			Workers:    spec.Workers,
-			Scheduler:  kind,
-			Dispatch:   mode,
-			DrainBatch: spec.DrainBatch,
-			MaxPending: spec.MaxPending,
-			Overload:   policy,
-			StartTime:  start,
-			Recorder:   rec,
+			Workers:         spec.Workers,
+			Scheduler:       kind,
+			Dispatch:        mode,
+			DrainBatch:      spec.DrainBatch.Size,
+			AdaptiveDrain:   spec.DrainBatch.Adaptive,
+			AdaptiveBudgets: spec.AdaptiveBudgets,
+			MaxPending:      spec.MaxPending,
+			Overload:        policy,
+			StartTime:       start,
+			Recorder:        rec,
 		})
 	}
 	first := newEngine(0, nil)

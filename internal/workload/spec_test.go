@@ -1,0 +1,121 @@
+package workload
+
+// Spec-serialization coverage for the drain_batch union (ISSUE 8
+// satellite): an integer fixes the batch size, the string "adaptive"
+// arms the controller, anything else is a loud parse error, and both
+// forms round-trip byte-stably so A/B spec pairs diff cleanly.
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+func minimalSpecJSON(engineFields string) string {
+	return `{
+		"name": "t",
+		"seed": 1,
+		"duration_us": 1000000,
+		` + engineFields + `
+		"tenants": [{
+			"name": "a",
+			"sources": 2,
+			"interval_us": 10000,
+			"arrival": {"kind": "constant", "rate": 4},
+			"window_us": 50000,
+			"slo": {"deadline_us": 100000}
+		}]
+	}`
+}
+
+func TestParseSpecDrainBatchForms(t *testing.T) {
+	fixed, err := ParseSpec([]byte(minimalSpecJSON(`"drain_batch": 16,`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.DrainBatch.Adaptive || fixed.DrainBatch.Size != 16 {
+		t.Fatalf("fixed form parsed as %+v", fixed.DrainBatch)
+	}
+	adaptive, err := ParseSpec([]byte(minimalSpecJSON(`"drain_batch": "adaptive", "adaptive_budgets": true,`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.DrainBatch.Adaptive || !adaptive.AdaptiveBudgets {
+		t.Fatalf("adaptive form parsed as %+v budgets=%v", adaptive.DrainBatch, adaptive.AdaptiveBudgets)
+	}
+	unset, err := ParseSpec([]byte(minimalSpecJSON("")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unset.DrainBatch.IsZero() {
+		t.Fatalf("absent drain_batch parsed as %+v", unset.DrainBatch)
+	}
+}
+
+func TestParseSpecDrainBatchRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		`"drain_batch": "adaptve",`, // a typo must not silently mean "fixed default"
+		`"drain_batch": true,`,
+		`"drain_batch": 1.5,`,
+		`"drain_batch": -1,`,
+	} {
+		if _, err := ParseSpec([]byte(minimalSpecJSON(bad))); err == nil {
+			t.Errorf("spec with %s parsed without error", bad)
+		}
+	}
+}
+
+func TestDrainBatchSpecRoundTrip(t *testing.T) {
+	for _, d := range []DrainBatchSpec{{Size: 64}, {Adaptive: true}} {
+		buf, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back DrainBatchSpec
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != d {
+			t.Errorf("round trip %+v -> %s -> %+v", d, buf, back)
+		}
+	}
+}
+
+// TestSpecMarshalOmitsUnsetDrainBatch pins the omitzero behavior: a
+// spec that never mentions drain_batch must not grow a "drain_batch": 0
+// field when re-marshaled — re-serialized specs stay diffable against
+// their sources.
+func TestSpecMarshalOmitsUnsetDrainBatch(t *testing.T) {
+	s := &Spec{
+		Name: "t", Seed: 1, DurationUS: vtime.Second,
+		Tenants: []TenantSpec{{
+			Name: "a", Sources: 1, IntervalUS: 10 * vtime.Millisecond,
+			WindowUS: 50 * vtime.Millisecond,
+			SLO:      SLOSpec{DeadlineUS: 100 * vtime.Millisecond},
+		}},
+	}
+	buf, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(buf), "drain_batch") {
+		t.Fatalf("unset drain_batch serialized: %s", buf)
+	}
+	s.DrainBatch = DrainBatchSpec{Adaptive: true}
+	buf, err = json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"drain_batch":"adaptive"`) {
+		t.Fatalf("adaptive drain_batch not serialized: %s", buf)
+	}
+	back, err := ParseSpec(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.DrainBatch.Adaptive {
+		t.Fatalf("marshal->parse lost the adaptive flag: %+v", back.DrainBatch)
+	}
+}
