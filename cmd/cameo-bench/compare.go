@@ -1,0 +1,160 @@
+package main
+
+// The -compare mode: a paired A/B diff of two BENCH_*.json files produced
+// by the same sweep mode. Cells are matched by their identity fields
+// (everything except the measured metrics), msg_per_sec deltas are
+// reported per cell, and deltas inside a noise band are labelled as such
+// instead of being read as wins — single-run sweeps on shared CI workers
+// jitter by a few percent, and pretending otherwise turns noise into
+// regressions. Files stamped with different measurement environments
+// (GOMAXPROCS, CPU count, Go version) are refused outright: those deltas
+// measure the machine, not the code. Git SHAs may differ — comparing two
+// commits is the point.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// compareNoiseBand is the relative msg/s delta treated as measurement
+// noise. ±5% covers observed run-to-run jitter of single-rep sweeps on
+// the CI workers; local best-of-3 runs sit well inside it.
+const compareNoiseBand = 0.05
+
+// metricKeys are per-cell measurement fields: excluded from cell
+// identity, diffed rather than matched.
+var metricKeys = map[string]bool{
+	"msg_per_sec": true, "heap_msg_per_sec": true, "speedup": true,
+	"elapsed_ms": true, "restore_ms": true, "pause_ms": true,
+	"allocs_per_msg": true, "heap_allocs_per_msg": true,
+	"p50_ms": true, "p99_ms": true, "heap_p99_ms": true,
+	"checkpoint_bytes": true, "shed_frac": true,
+}
+
+// compareDoc is the generic shape shared by every report struct in this
+// package: an environment stamp plus a list of cells.
+type compareDoc struct {
+	Workload   string           `json:"workload"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	GitSHA     string           `json:"git_sha"`
+	GoVersion  string           `json:"go_version"`
+	Cells      []map[string]any `json:"cells"`
+}
+
+func loadCompareDoc(path string) (compareDoc, error) {
+	var doc compareDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Cells) == 0 {
+		return doc, fmt.Errorf("%s: no cells — not a cameo-bench -json report", path)
+	}
+	return doc, nil
+}
+
+// cellIdentity renders the non-metric fields of a cell as a stable
+// "key=value key=value" string used both for matching and display.
+func cellIdentity(cell map[string]any) string {
+	keys := make([]string, 0, len(cell))
+	for k := range cell {
+		if !metricKeys[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%v", k, cell[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+func cellRate(cell map[string]any) (float64, bool) {
+	v, ok := cell["msg_per_sec"].(float64)
+	return v, ok && v > 0
+}
+
+func runCompare(oldPath, newPath string) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "cameo-bench: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	oldDoc, err := loadCompareDoc(oldPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	newDoc, err := loadCompareDoc(newPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	if oldDoc.Workload != newDoc.Workload {
+		fail("workload mismatch: %q vs %q — compare runs of the same sweep mode", oldDoc.Workload, newDoc.Workload)
+	}
+	if oldDoc.GOMAXPROCS != newDoc.GOMAXPROCS || oldDoc.NumCPU != newDoc.NumCPU || oldDoc.GoVersion != newDoc.GoVersion {
+		fail("environment mismatch: old GOMAXPROCS=%d cpus=%d %s, new GOMAXPROCS=%d cpus=%d %s — cross-machine deltas measure the machine, not the code",
+			oldDoc.GOMAXPROCS, oldDoc.NumCPU, oldDoc.GoVersion,
+			newDoc.GOMAXPROCS, newDoc.NumCPU, newDoc.GoVersion)
+	}
+
+	oldCells := make(map[string]map[string]any, len(oldDoc.Cells))
+	for _, c := range oldDoc.Cells {
+		oldCells[cellIdentity(c)] = c
+	}
+
+	fmt.Printf("paired comparison: %s (%s) -> %s (%s), workload %s, noise band +-%.0f%%\n\n",
+		oldPath, short(oldDoc.GitSHA), newPath, short(newDoc.GitSHA), oldDoc.Workload, compareNoiseBand*100)
+	fmt.Printf("%-44s %14s %14s %9s\n", "cell", "old msg/s", "new msg/s", "delta")
+	matched := 0
+	var improved, regressed int
+	for _, nc := range newDoc.Cells {
+		id := cellIdentity(nc)
+		oc, ok := oldCells[id]
+		if !ok {
+			fmt.Printf("%-44s %14s %14s %9s\n", id, "-", "-", "new cell")
+			continue
+		}
+		delete(oldCells, id)
+		matched++
+		oldRate, okOld := cellRate(oc)
+		newRate, okNew := cellRate(nc)
+		if !okOld || !okNew {
+			fmt.Printf("%-44s %14s %14s %9s\n", id, "-", "-", "no rate")
+			continue
+		}
+		delta := newRate/oldRate - 1
+		label := fmt.Sprintf("%+.1f%%", delta*100)
+		switch {
+		case delta >= compareNoiseBand:
+			improved++
+		case delta <= -compareNoiseBand:
+			regressed++
+			label += " !"
+		default:
+			label += " ~" // within noise
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %9s\n", id, oldRate, newRate, label)
+	}
+	for id := range oldCells {
+		fmt.Printf("%-44s %14s %14s %9s\n", id, "-", "-", "removed")
+	}
+	fmt.Printf("\n%d cells matched: %d improved, %d regressed, %d within noise (~ = inside +-%.0f%% band, ! = regression)\n",
+		matched, improved, regressed, matched-improved-regressed, compareNoiseBand*100)
+	if matched == 0 {
+		fail("no cells matched between the two reports")
+	}
+}
+
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

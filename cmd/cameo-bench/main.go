@@ -35,6 +35,8 @@ func main() {
 		batch      = flag.Bool("batch", false, "benchmark the batched drain path: DrainBatch sweep on all three dispatch paths")
 		adaptive   = flag.Bool("adaptive", false, "benchmark the adaptive drain controller: fixed DrainBatch sweep vs AdaptiveDrain, steady and load-shifting")
 		recover    = flag.Bool("recover", false, "benchmark crash recovery: checkpoint size, snapshot pause, and restore time vs state size")
+		wheel      = flag.Bool("wheel", false, "benchmark the run-queue structures: paired heap vs timing-wheel A/B on the multitenant workload")
+		compare    = flag.Bool("compare", false, "compare two BENCH_*.json files (args: old.json new.json); refuses mismatched environments")
 		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn, -overload, -batch, -adaptive, -recover)")
 		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn/-overload/-batch/-adaptive/-recover results to this file (e.g. BENCH_rt.json)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -52,16 +54,19 @@ func main() {
 		os.Exit(2)
 	}
 	modes := 0
-	for _, set := range []bool{*recover, *batch, *adaptive, *overload, *churn, *rt, *list, *all, *fig != ""} {
+	for _, set := range []bool{*recover, *batch, *adaptive, *overload, *churn, *rt, *wheel, *compare, *list, *all, *fig != ""} {
 		if set {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fail("pick exactly one mode of -recover, -batch, -adaptive, -overload, -churn, -rt, -list, -all, -fig")
+		fail("pick exactly one mode of -recover, -batch, -adaptive, -overload, -churn, -rt, -wheel, -compare, -list, -all, -fig")
 	}
 	if *reps < 1 {
 		fail("-reps must be >= 1 (got %d)", *reps)
+	}
+	if *compare && flag.NArg() != 2 {
+		fail("-compare takes exactly two arguments: old.json new.json (got %d)", flag.NArg())
 	}
 
 	if *cpuProfile != "" {
@@ -93,6 +98,10 @@ func main() {
 	}
 
 	switch {
+	case *compare:
+		runCompare(flag.Arg(0), flag.Arg(1))
+	case *wheel:
+		runWheelSweep(*seed, *reps, *jsonOut)
 	case *recover:
 		runRecoverSweep(*seed, *reps, *jsonOut)
 	case *batch:

@@ -76,8 +76,8 @@ type rtResult struct {
 // rtRun executes the whole workload once and returns executed messages,
 // elapsed wall time, allocations per message, and output latency
 // percentiles of the first latency-sensitive job.
-func rtRun(mode cameo.DispatchMode, workers int, seed uint64) rtResult {
-	eng := cameo.NewEngine(cameo.EngineConfig{Workers: workers, Dispatch: mode})
+func rtRun(mode cameo.DispatchMode, workers int, seed uint64, rq cameo.RunQueueKind) rtResult {
+	eng := cameo.NewEngine(cameo.EngineConfig{Workers: workers, Dispatch: mode, RunQueue: rq})
 	jobs := rtJobs()
 	for _, j := range jobs {
 		if err := eng.Submit(rtQuery(j)); err != nil {
@@ -168,7 +168,7 @@ func runRealtimeSweep(seed uint64, reps int, jsonPath string) {
 			var best rtResult
 			var bestRate float64
 			for r := 0; r < reps; r++ {
-				res := rtRun(mode, workers, seed+uint64(r))
+				res := rtRun(mode, workers, seed+uint64(r), cameo.RunQueueHeap)
 				if rate := float64(res.msgs) / res.dur.Seconds(); rate > bestRate {
 					bestRate, best = rate, res
 				}

@@ -1,0 +1,104 @@
+package main
+
+// The -wheel mode: a paired A/B sweep of the two run-queue structures
+// (indexed heap vs hierarchical timing wheel) on the same multitenant
+// workload -rt uses. Both structures produce the identical dispatch
+// order (pinned by the equivalence suite), so every throughput delta
+// here is pure data-structure cost. The sweep interleaves heap and
+// wheel repetitions cell by cell so thermal and scheduling drift hit
+// both sides equally — the honest way to measure a single-digit-percent
+// constant-factor change.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	cameo "github.com/cameo-stream/cameo"
+)
+
+// wheelCell is one (dispatcher, workers) cell with both structures'
+// numbers side by side; Speedup is wheel/heap on msg/s.
+type wheelCell struct {
+	Dispatcher    string  `json:"dispatcher"`
+	Workers       int     `json:"workers"`
+	HeapMsgPerSec float64 `json:"heap_msg_per_sec"`
+	MsgPerSec     float64 `json:"msg_per_sec"` // wheel, comparable to -rt cells
+	Speedup       float64 `json:"speedup"`
+	HeapAllocs    float64 `json:"heap_allocs_per_msg"`
+	AllocsPerMsg  float64 `json:"allocs_per_msg"` // wheel
+	HeapP99MS     float64 `json:"heap_p99_ms"`
+	P99MS         float64 `json:"p99_ms"` // wheel
+}
+
+type wheelReport struct {
+	Workload string `json:"workload"`
+	benchEnv
+	Seed  uint64      `json:"seed"`
+	Reps  int         `json:"reps"`
+	Cells []wheelCell `json:"cells"`
+}
+
+func runWheelSweep(seed uint64, reps int, jsonPath string) {
+	fmt.Printf("run-queue A/B: heap vs timing wheel, multitenant workload (GOMAXPROCS=%d, best of %d, interleaved)\n\n",
+		runtime.GOMAXPROCS(0), reps)
+	fmt.Printf("%-12s %8s %14s %14s %9s %12s %12s\n",
+		"dispatcher", "workers", "heap msg/s", "wheel msg/s", "speedup", "heap a/msg", "wheel a/msg")
+	report := wheelReport{Workload: "multitenant-wheel", benchEnv: captureEnv(), Seed: seed, Reps: reps}
+	for _, mode := range []cameo.DispatchMode{cameo.DispatchSingleLock, cameo.DispatchSharded} {
+		for _, workers := range []int{1, 2} {
+			var bestHeap, bestWheel rtResult
+			var heapRate, wheelRate float64
+			for r := 0; r < reps; r++ {
+				// Interleave with alternating order (heap first on even
+				// reps, wheel first on odd) so warm-up, allocator growth,
+				// and GC drift within the process hit both sides equally,
+				// and collect garbage before each timed run so one side's
+				// heap debris doesn't tax the other's measurement.
+				order := []cameo.RunQueueKind{cameo.RunQueueHeap, cameo.RunQueueWheel}
+				if r%2 == 1 {
+					order[0], order[1] = order[1], order[0]
+				}
+				for _, rq := range order {
+					runtime.GC()
+					res := rtRun(mode, workers, seed+uint64(r), rq)
+					rate := float64(res.msgs) / res.dur.Seconds()
+					if rq == cameo.RunQueueHeap && rate > heapRate {
+						heapRate, bestHeap = rate, res
+					} else if rq == cameo.RunQueueWheel && rate > wheelRate {
+						wheelRate, bestWheel = rate, res
+					}
+				}
+			}
+			speedup := 0.0
+			if heapRate > 0 {
+				speedup = wheelRate / heapRate
+			}
+			fmt.Printf("%-12v %8d %14.0f %14.0f %8.3fx %12.2f %12.2f\n",
+				mode, workers, heapRate, wheelRate, speedup, bestHeap.allocs, bestWheel.allocs)
+			report.Cells = append(report.Cells, wheelCell{
+				Dispatcher:    fmt.Sprint(mode),
+				Workers:       workers,
+				HeapMsgPerSec: heapRate,
+				MsgPerSec:     wheelRate,
+				Speedup:       speedup,
+				HeapAllocs:    bestHeap.allocs,
+				AllocsPerMsg:  bestWheel.allocs,
+				HeapP99MS:     float64(bestHeap.p99.Microseconds()) / 1000,
+				P99MS:         float64(bestWheel.p99.Microseconds()) / 1000,
+			})
+		}
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cameo-bench: writing json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n(machine-readable results written to %s)\n", jsonPath)
+	}
+}

@@ -113,6 +113,12 @@ type EngineConfig struct {
 	// Dispatch selects the scheduling concurrency strategy (default
 	// DispatchAuto). Every scheduler kind has a sharded realization.
 	Dispatch DispatchMode
+	// RunQueue selects the structure behind the Cameo scheduler's
+	// deadline-ordered run queues: RunQueueHeap (default) or
+	// RunQueueWheel. Dispatch order is identical either way; the knob
+	// trades only per-message scheduling cost (see DESIGN.md §"Scheduling
+	// data structures" and `cameo-bench -wheel` for the measured A/B).
+	RunQueue RunQueueKind
 	// MaxPending caps the engine-wide count of queued (admitted but not
 	// yet executed) messages; 0 means unlimited. Enforced at ingest by the
 	// admission layer, with the response selected by Overload. Per-query
@@ -164,6 +170,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 			AdaptiveBudgets:    cfg.AdaptiveBudgets,
 			TuneInterval:       cfg.TuneInterval,
 			Dispatch:           cfg.Dispatch,
+			RunQueue:           cfg.RunQueue,
 			MaxPending:         cfg.MaxPending,
 			Overload:           cfg.Overload,
 			CheckpointDir:      cfg.CheckpointDir,

@@ -179,6 +179,35 @@ func (h *IndexedHeap[T]) PriOf(v T) (Pri, bool) {
 	return h.entries[i].pri, true
 }
 
+// Shed sweeps the heap, dropping every value for which drop returns true,
+// and reports how many were dropped. One pass plus an O(n) re-heapify —
+// the array-backed counterpart of TimingWheel.Shed's per-victim unlink.
+func (h *IndexedHeap[T]) Shed(drop func(T, Pri) bool) int {
+	kept := h.entries[:0]
+	for _, e := range h.entries {
+		if drop(e.value, e.pri) {
+			h.delPos(e.value)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	dropped := len(h.entries) - len(kept)
+	if dropped == 0 {
+		return 0
+	}
+	for i := len(kept); i < len(h.entries); i++ {
+		h.entries[i] = heapEntry[T]{} // release references for GC
+	}
+	h.entries = kept
+	for i := range h.entries {
+		h.setPos(h.entries[i].value, i)
+	}
+	for i := len(h.entries)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return dropped
+}
+
 func (h *IndexedHeap[T]) removeAt(i int) {
 	last := len(h.entries) - 1
 	h.delPos(h.entries[i].value)

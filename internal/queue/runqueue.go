@@ -1,0 +1,34 @@
+package queue
+
+// RunQueue is the deadline run-queue contract shared by IndexedHeap and
+// TimingWheel: a priority-keyed set of unique values with re-key and
+// removal. The Cameo dispatcher and the sharded lanes program against this
+// interface so Config.RunQueue can swap the backing structure — the heap's
+// exact O(log n) sift or the wheel's amortized O(1) bucket splice — while
+// every ordering-visible behavior stays identical (both pop in exact
+// (Key, Tie) order; pinned by the oracle tests in wheel_test.go and the
+// engine's order-equivalence suite).
+//
+// PeekMin is allowed to restructure internally (the wheel advances its
+// horizon to surface the next bucket), so every method including PeekMin
+// requires the caller's write lock when shared across goroutines.
+type RunQueue[T comparable] interface {
+	Len() int
+	Contains(v T) bool
+	// Push inserts v with priority p; panics if v is already present.
+	Push(v T, p Pri)
+	// Update re-keys v to p; panics if v is absent.
+	Update(v T, p Pri)
+	PushOrUpdate(v T, p Pri)
+	PeekMin() (v T, p Pri, ok bool)
+	PopMin() (v T, p Pri, ok bool)
+	Remove(v T) bool
+	PriOf(v T) (Pri, bool)
+	// Shed drops every value for which drop returns true.
+	Shed(drop func(T, Pri) bool) int
+}
+
+var (
+	_ RunQueue[int] = (*IndexedHeap[int])(nil)
+	_ RunQueue[int] = (*TimingWheel[int])(nil)
+)

@@ -56,7 +56,7 @@ type shardLane[T comparable] struct {
 	top laneTop
 	_   [32]byte
 	mu  sync.Mutex
-	h   *IndexedHeap[T]
+	h   RunQueue[T]
 	_   [40]byte // pad to a cache line so shard locks don't false-share
 }
 
@@ -94,7 +94,7 @@ type ShardedHeap[T comparable] struct {
 
 // NewShardedHeap returns a heap with the given number of worker shards.
 func NewShardedHeap[T comparable](shards int) *ShardedHeap[T] {
-	return newShardedHeap[T](shards, nil)
+	return newShardedHeap(shards, func() RunQueue[T] { return NewIndexedHeap[T]() })
 }
 
 // NewSlotShardedHeap returns a sharded heap whose lanes track positions
@@ -105,16 +105,22 @@ func NewShardedHeap[T comparable](shards int) *ShardedHeap[T] {
 // to lanes are externally serialized (removals may race freely), so the
 // slot is never written under two different lane locks at once.
 func NewSlotShardedHeap[T comparable](shards int, slot func(T) *int32) *ShardedHeap[T] {
-	return newShardedHeap(shards, slot)
+	return newShardedHeap(shards, func() RunQueue[T] { return NewSlotHeap(slot) })
 }
 
-func newShardedHeap[T comparable](shards int, slot func(T) *int32) *ShardedHeap[T] {
+// NewSlotShardedWheel is NewSlotShardedHeap with every lane backed by a
+// TimingWheel instead of an IndexedHeap (Config.RunQueue = wheel): the
+// same lane/steal/top-cache machinery over amortized-O(1) bucket splices.
+// The slot invariants are identical — wheels verify the arena entry behind
+// a slot exactly as heaps verify the entry index, so a stale slot from a
+// sibling lane is tolerated.
+func NewSlotShardedWheel[T comparable](shards int, slot func(T) *int32) *ShardedHeap[T] {
+	return newShardedHeap(shards, func() RunQueue[T] { return NewSlotWheel(slot) })
+}
+
+func newShardedHeap[T comparable](shards int, mk func() RunQueue[T]) *ShardedHeap[T] {
 	if shards <= 0 {
 		panic("queue: ShardedHeap needs at least one shard")
-	}
-	mk := NewIndexedHeap[T]
-	if slot != nil {
-		mk = func() *IndexedHeap[T] { return NewSlotHeap(slot) }
 	}
 	s := &ShardedHeap[T]{
 		shards: make([]shardLane[T], shards),

@@ -1,0 +1,499 @@
+package queue
+
+import "math/bits"
+
+// TimingWheel is a hierarchical calendar queue over unique values keyed by
+// Pri — the constant-time alternative to IndexedHeap for the deadline run
+// queues. Keys land in power-of-two buckets spread over wheelLevels levels
+// of wheelSlots buckets each (6 bits per level, 11 levels — the full
+// int64 key space, so there is no out-of-horizon case: arbitrarily far
+// keys simply park on a high level and cascade toward level 0 as the
+// wheel's clock advances past them). Buckets are intrusive doubly-linked
+// lists threaded through an arena of pooled nodes, so Push, Remove, and
+// same-bucket re-keys are O(1) pointer splices with no comparisons; a
+// per-level occupancy bitmap makes finding the next non-empty bucket one
+// TrailingZeros64 per level.
+//
+// Exact order is preserved: extraction never surfaces a bucket wholesale.
+// When the most urgent bucket is reached (cascaded down to level 0) its
+// nodes move into a small "ready" index-heap ordered by full (Key, Tie)
+// priority, and PopMin/PeekMin read that heap — so the pop sequence is
+// identical to IndexedHeap's, bit for bit, including ties (pinned by the
+// oracle property tests and the engine's order-equivalence suite). A
+// level-0 bucket holds exactly one key value, so the ready heap stays as
+// small as the tie group plus any late arrivals below the horizon.
+//
+// The horizon cur divides the key space: every bucketed node's key is
+// >= cur, every ready node's key is < cur (late pushes below the horizon
+// go straight to ready — order stays exact, the wheel never rejects a
+// "past" key). Each node cascades at most once per level between insert
+// and extraction, so the amortized cost per element is O(levels) splices
+// total — O(1) per operation for any fixed key width — versus the heap's
+// O(log n) compare-and-swap sift per operation.
+//
+// The zero value is not usable; call NewTimingWheel or NewSlotWheel.
+// Position tracking mirrors IndexedHeap: map mode for arbitrary values,
+// intrusive slot mode (index+1 in a caller-supplied *int32, 0 = absent,
+// stale slots tolerated by value verification) for the scheduler's
+// operators. Nodes recycle through an internal free list, so a wheel at
+// steady-state depth performs no allocation.
+type TimingWheel[T comparable] struct {
+	nodes []wheelNode[T]
+	free  int32  // free-list head through wheelNode.next; -1 = none
+	cur   uint64 // horizon: bucketed keys >= cur, ready keys < cur
+	count int
+	// occupied[l] bit b set <=> bucket l*wheelSlots+b is non-empty.
+	occupied [wheelLevels]uint64
+	buckets  [wheelLevels * wheelSlots]int32 // list heads; -1 = empty
+	// ready is a binary min-heap of node indices in exact (Key, Tie)
+	// order; a ready node stores its heap position in wheelNode.prev.
+	ready []int32
+	// curMaxed marks the saturated horizon: the bucket of the maximum
+	// representable key (vtime.Infinity deadlines) has been opened, so
+	// keys EQUAL to cur also belong in ready (cur+1 would wrap). Cleared
+	// when the wheel empties.
+	curMaxed bool
+	pos      map[T]int32    // nil in slot mode
+	slot     func(T) *int32 // nil in map mode
+}
+
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelLevels = (64 + wheelBits - 1) / wheelBits
+
+	wheelLocFree  = -1 // node is on the free list
+	wheelLocReady = -2 // node is in the ready heap
+)
+
+// wheelNode is one arena entry. While bucketed, prev/next thread the
+// bucket's doubly-linked list (-1 terminated) and loc holds the bucket
+// index; while ready, prev holds the ready-heap position; while free,
+// next threads the free list.
+type wheelNode[T comparable] struct {
+	value      T
+	pri        Pri
+	prev, next int32
+	loc        int32
+}
+
+// wheelKey maps a signed key onto the wheel's unsigned axis,
+// order-preserving (flips the sign bit), so negative deadlines and the
+// vtime.Infinity sentinel bucket correctly.
+func wheelKey(p Pri) uint64 { return uint64(p.Key) ^ (1 << 63) }
+
+// NewTimingWheel returns an empty wheel with map-based position tracking.
+func NewTimingWheel[T comparable]() *TimingWheel[T] {
+	w := &TimingWheel[T]{pos: make(map[T]int32)}
+	w.init()
+	return w
+}
+
+// NewSlotWheel returns an empty wheel that stores each value's arena index
+// in the *int32 slot the accessor returns (index+1; 0 means absent). The
+// same invariant as NewSlotHeap applies: one slot is the value's identity
+// across every structure sharing the accessor, and a value may be in at
+// most one of them at a time (Contains verifies the arena entry to
+// tolerate a stale slot).
+func NewSlotWheel[T comparable](slot func(T) *int32) *TimingWheel[T] {
+	w := &TimingWheel[T]{slot: slot}
+	w.init()
+	return w
+}
+
+func (w *TimingWheel[T]) init() {
+	w.free = -1
+	for i := range w.buckets {
+		w.buckets[i] = -1
+	}
+}
+
+func (w *TimingWheel[T]) setPos(v T, idx int32) {
+	if w.slot != nil {
+		*w.slot(v) = idx + 1
+		return
+	}
+	w.pos[v] = idx
+}
+
+func (w *TimingWheel[T]) getPos(v T) (int32, bool) {
+	if w.slot != nil {
+		idx := *w.slot(v) - 1
+		if idx < 0 || int(idx) >= len(w.nodes) ||
+			w.nodes[idx].loc == wheelLocFree || w.nodes[idx].value != v {
+			return 0, false
+		}
+		return idx, true
+	}
+	idx, ok := w.pos[v]
+	return idx, ok
+}
+
+func (w *TimingWheel[T]) delPos(v T) {
+	if w.slot != nil {
+		*w.slot(v) = 0
+		return
+	}
+	delete(w.pos, v)
+}
+
+// Len reports the number of items.
+func (w *TimingWheel[T]) Len() int { return w.count }
+
+// Contains reports whether v is in the wheel.
+func (w *TimingWheel[T]) Contains(v T) bool {
+	_, ok := w.getPos(v)
+	return ok
+}
+
+// PriOf returns v's current priority; ok is false when absent.
+func (w *TimingWheel[T]) PriOf(v T) (Pri, bool) {
+	idx, ok := w.getPos(v)
+	if !ok {
+		return Pri{}, false
+	}
+	return w.nodes[idx].pri, true
+}
+
+// Push inserts v with priority p. It panics if v is already present —
+// callers must use Update for re-keying, exactly like IndexedHeap.
+func (w *TimingWheel[T]) Push(v T, p Pri) {
+	if _, ok := w.getPos(v); ok {
+		panic("queue: Push of value already in wheel")
+	}
+	idx := w.alloc(v, p)
+	w.place(idx, p)
+	w.setPos(v, idx)
+	w.count++
+}
+
+// Update re-keys v to priority p. It panics if v is absent. A re-key that
+// stays within the same bucket is a single field store — no splice, no
+// sift — which is the common case for an operator whose head deadline
+// moves by less than the bucket width.
+func (w *TimingWheel[T]) Update(v T, p Pri) {
+	idx, ok := w.getPos(v)
+	if !ok {
+		panic("queue: Update of value not in wheel")
+	}
+	n := &w.nodes[idx]
+	k := wheelKey(p)
+	if n.loc >= 0 && !w.pastHorizon(k) {
+		if b := w.bucketFor(k); b == n.loc {
+			n.pri = p
+			return
+		}
+		w.bucketUnlink(idx)
+		n.pri = p
+		w.bucketLink(idx, w.bucketFor(k))
+		return
+	}
+	if n.loc == wheelLocReady && w.pastHorizon(k) {
+		old := n.pri
+		n.pri = p
+		if p.Less(old) {
+			w.readyUp(int(n.prev))
+		} else {
+			w.readyDown(int(n.prev))
+		}
+		return
+	}
+	// The re-key crosses the horizon (ready node keyed into the future,
+	// or bucketed node keyed into the past): move it to the right side.
+	w.detach(idx)
+	n.pri = p
+	w.place(idx, p)
+}
+
+// PushOrUpdate inserts v or re-keys it if already present.
+func (w *TimingWheel[T]) PushOrUpdate(v T, p Pri) {
+	if w.Contains(v) {
+		w.Update(v, p)
+	} else {
+		w.Push(v, p)
+	}
+}
+
+// PeekMin returns the most urgent value and its priority without removing
+// it. ok is false when the wheel is empty. Peeking may advance the wheel's
+// internal clock (surfacing the next bucket into the ready heap), so it is
+// a mutating read — callers sharing a wheel across goroutines must hold
+// their lock for PeekMin exactly as for PopMin.
+func (w *TimingWheel[T]) PeekMin() (v T, p Pri, ok bool) {
+	w.advance()
+	if len(w.ready) == 0 {
+		return v, p, false
+	}
+	n := &w.nodes[w.ready[0]]
+	return n.value, n.pri, true
+}
+
+// PopMin removes and returns the most urgent value.
+func (w *TimingWheel[T]) PopMin() (v T, p Pri, ok bool) {
+	w.advance()
+	if len(w.ready) == 0 {
+		return v, p, false
+	}
+	idx := w.ready[0]
+	v, p = w.nodes[idx].value, w.nodes[idx].pri
+	w.readyRemoveAt(0)
+	w.freeNode(idx)
+	w.count--
+	w.resetIfEmpty()
+	return v, p, true
+}
+
+// Remove deletes v if present and reports whether it was. Removing a
+// bucketed value is an O(1) list splice.
+func (w *TimingWheel[T]) Remove(v T) bool {
+	idx, ok := w.getPos(v)
+	if !ok {
+		return false
+	}
+	w.detach(idx)
+	w.freeNode(idx)
+	w.count--
+	w.resetIfEmpty()
+	return true
+}
+
+// Shed sweeps the wheel, dropping every value for which drop returns true,
+// and reports how many were dropped. Each victim is an O(1) unlink (ready
+// victims pay a heap fix-up); survivors are untouched — no global rebuild.
+func (w *TimingWheel[T]) Shed(drop func(T, Pri) bool) int {
+	dropped := 0
+	for i := range w.nodes {
+		if w.nodes[i].loc == wheelLocFree {
+			continue
+		}
+		if drop(w.nodes[i].value, w.nodes[i].pri) {
+			w.detach(int32(i))
+			w.freeNode(int32(i))
+			w.count--
+			dropped++
+		}
+	}
+	w.resetIfEmpty()
+	return dropped
+}
+
+// pastHorizon reports whether a key belongs in the ready heap rather than
+// a bucket: strictly below the horizon, or equal to a saturated horizon
+// (the maximum key's bucket has already been opened).
+func (w *TimingWheel[T]) pastHorizon(k uint64) bool {
+	return k < w.cur || (w.curMaxed && k == w.cur)
+}
+
+// resetIfEmpty rewinds an empty wheel's horizon to zero. This is what
+// un-saturates curMaxed after a burst of maximum-key (infinite-deadline)
+// entries has drained, and it costs nothing: with no nodes anywhere, any
+// horizon is valid.
+func (w *TimingWheel[T]) resetIfEmpty() {
+	if w.count == 0 {
+		w.cur = 0
+		w.curMaxed = false
+	}
+}
+
+// alloc takes a node from the free list, growing the arena only when the
+// list is empty (steady-state depth reuses nodes, allocation-free).
+func (w *TimingWheel[T]) alloc(v T, p Pri) int32 {
+	idx := w.free
+	if idx == -1 {
+		w.nodes = append(w.nodes, wheelNode[T]{})
+		idx = int32(len(w.nodes) - 1)
+	} else {
+		w.free = w.nodes[idx].next
+	}
+	n := &w.nodes[idx]
+	n.value, n.pri = v, p
+	return idx
+}
+
+func (w *TimingWheel[T]) freeNode(idx int32) {
+	n := &w.nodes[idx]
+	w.delPos(n.value)
+	var zero T
+	n.value = zero // release the reference for GC
+	n.loc = wheelLocFree
+	n.next = w.free
+	w.free = idx
+}
+
+// detach unlinks a live node from whichever structure holds it.
+func (w *TimingWheel[T]) detach(idx int32) {
+	if w.nodes[idx].loc == wheelLocReady {
+		w.readyRemoveAt(int(w.nodes[idx].prev))
+	} else {
+		w.bucketUnlink(idx)
+	}
+}
+
+// place files a node by its key: below the horizon it joins the ready
+// heap (keeping extraction order exact for late arrivals), at or above it
+// lands in the bucket for its highest divergent bit group.
+func (w *TimingWheel[T]) place(idx int32, p Pri) {
+	if w.pastHorizon(wheelKey(p)) {
+		w.readyPush(idx)
+		return
+	}
+	w.bucketLink(idx, w.bucketFor(wheelKey(p)))
+}
+
+// bucketFor maps a key >= cur to its bucket: the level is the 6-bit group
+// of the most significant bit where the key diverges from the horizon
+// (Linux-timer style), the slot is the key's group at that level. Lower
+// levels therefore hold nearer deadlines at finer resolution.
+func (w *TimingWheel[T]) bucketFor(k uint64) int32 {
+	level := 0
+	if diff := k ^ w.cur; diff != 0 {
+		level = (bits.Len64(diff) - 1) / wheelBits
+	}
+	slot := (k >> (uint(level) * wheelBits)) & (wheelSlots - 1)
+	return int32(level)*wheelSlots + int32(slot)
+}
+
+func (w *TimingWheel[T]) bucketLink(idx, b int32) {
+	n := &w.nodes[idx]
+	n.loc = b
+	n.prev = -1
+	n.next = w.buckets[b]
+	if n.next != -1 {
+		w.nodes[n.next].prev = idx
+	}
+	w.buckets[b] = idx
+	w.occupied[b/wheelSlots] |= 1 << uint(b%wheelSlots)
+}
+
+func (w *TimingWheel[T]) bucketUnlink(idx int32) {
+	n := &w.nodes[idx]
+	b := n.loc
+	if n.prev != -1 {
+		w.nodes[n.prev].next = n.next
+	} else {
+		w.buckets[b] = n.next
+	}
+	if n.next != -1 {
+		w.nodes[n.next].prev = n.prev
+	}
+	if w.buckets[b] == -1 {
+		w.occupied[b/wheelSlots] &^= 1 << uint(b%wheelSlots)
+	}
+}
+
+// advance surfaces work into the ready heap until it is non-empty (or the
+// wheel is). Invariants make "first set bit" the next bucket in key order:
+// at every level, occupied slots are at or ahead of the horizon's slot, so
+// TrailingZeros64 of the occupancy bitmap finds the minimum. A level-0
+// bucket holds a single key value and opens into the ready heap, setting
+// the horizon just past it; a higher-level bucket cascades — the horizon
+// jumps to the bucket's base and its nodes re-file at strictly lower
+// levels (their diverging bit group is now below the old one), so each
+// node moves at most wheelLevels times over its lifetime.
+func (w *TimingWheel[T]) advance() {
+	for len(w.ready) == 0 {
+		level := -1
+		for l := 0; l < wheelLevels; l++ {
+			if w.occupied[l] != 0 {
+				level = l
+				break
+			}
+		}
+		if level < 0 {
+			return // wheel is empty
+		}
+		slot := bits.TrailingZeros64(w.occupied[level])
+		b := int32(level)*wheelSlots + int32(slot)
+		if level == 0 {
+			var k uint64
+			for w.buckets[b] != -1 {
+				idx := w.buckets[b]
+				w.bucketUnlink(idx)
+				k = wheelKey(w.nodes[idx].pri)
+				w.readyPush(idx)
+			}
+			if k == ^uint64(0) {
+				// The maximum key's bucket (infinite deadlines): cur+1
+				// would wrap, so saturate the horizon instead.
+				w.cur, w.curMaxed = k, true
+			} else {
+				w.cur = k + 1
+			}
+			return
+		}
+		// Cascade: jump the horizon to the bucket's base key (its slot at
+		// this level, zeros below) and re-place the contents.
+		shift := uint(level) * wheelBits
+		var prefix uint64
+		if shift+wheelBits < 64 {
+			prefix = w.cur &^ (uint64(1)<<(shift+wheelBits) - 1)
+		}
+		w.cur = prefix | uint64(slot)<<shift
+		head := w.buckets[b]
+		w.buckets[b] = -1
+		w.occupied[level] &^= 1 << uint(slot)
+		for head != -1 {
+			idx := head
+			head = w.nodes[idx].next
+			w.place(idx, w.nodes[idx].pri)
+		}
+	}
+}
+
+// --- ready heap: node indices in exact (Key, Tie) order ---------------
+
+func (w *TimingWheel[T]) readyPush(idx int32) {
+	w.nodes[idx].loc = wheelLocReady
+	w.nodes[idx].prev = int32(len(w.ready))
+	w.ready = append(w.ready, idx)
+	w.readyUp(len(w.ready) - 1)
+}
+
+func (w *TimingWheel[T]) readyRemoveAt(i int) {
+	last := len(w.ready) - 1
+	if i != last {
+		w.ready[i] = w.ready[last]
+		w.nodes[w.ready[i]].prev = int32(i)
+	}
+	w.ready = w.ready[:last]
+	if i < last {
+		w.readyUp(i)
+		w.readyDown(i)
+	}
+}
+
+func (w *TimingWheel[T]) readyUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !w.nodes[w.ready[i]].pri.Less(w.nodes[w.ready[parent]].pri) {
+			break
+		}
+		w.readySwap(i, parent)
+		i = parent
+	}
+}
+
+func (w *TimingWheel[T]) readyDown(i int) {
+	n := len(w.ready)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && w.nodes[w.ready[l]].pri.Less(w.nodes[w.ready[smallest]].pri) {
+			smallest = l
+		}
+		if r < n && w.nodes[w.ready[r]].pri.Less(w.nodes[w.ready[smallest]].pri) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		w.readySwap(i, smallest)
+		i = smallest
+	}
+}
+
+func (w *TimingWheel[T]) readySwap(i, j int) {
+	w.ready[i], w.ready[j] = w.ready[j], w.ready[i]
+	w.nodes[w.ready[i]].prev = int32(i)
+	w.nodes[w.ready[j]].prev = int32(j)
+}

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/cameo-stream/cameo/internal/core"
 	"github.com/cameo-stream/cameo/internal/dataflow"
 	"github.com/cameo-stream/cameo/internal/runtime"
 	"github.com/cameo-stream/cameo/internal/testkit"
@@ -413,6 +414,62 @@ func TestAllocsEngineSteadyStateAfterChurn(t *testing.T) {
 			}
 			if p := e.Pending(); p != 0 {
 				t.Errorf("%v: %d messages still pending after churn + drain", mode, p)
+			}
+		})
+	}
+}
+
+// TestAllocsEngineSteadyStateWheel extends the alloc gate to the timing-
+// wheel run queue (ISSUE 9): with Config.RunQueue = wheel on both dispatch
+// paths, the window cycle must hold the same budget as heap mode. The
+// wheel's node arena and ready heap grow during warm-up and recycle
+// thereafter — per-insert allocation (a non-pooled bucket node, a
+// re-allocated ready slice) would show up here as ~21 extra allocations
+// per cycle.
+func TestAllocsEngineSteadyStateWheel(t *testing.T) {
+	if testkit.RaceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSharded, runtime.DispatchSingleLock} {
+		t.Run(mode.String(), func(t *testing.T) {
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			const sources, warm, runs = 4, 60, 80
+			win := 10 * vtime.Millisecond
+			e := runtime.New(runtime.Config{Workers: 1, Dispatch: mode, RunQueue: core.RunQueueWheel})
+			if _, err := e.AddJob(testkit.AggSpec("j", sources, 4, win, 100*vtime.Millisecond)); err != nil {
+				t.Fatal(err)
+			}
+			e.Start()
+			defer e.Stop()
+
+			wl := testkit.Workload{Seed: 9, Sources: sources, Windows: warm + runs + 2, Tuples: 4, Keys: 16, Win: win}
+			batches := make([][]*dataflow.Batch, wl.Windows+1)
+			for w := 1; w <= wl.Windows; w++ {
+				batches[w] = make([]*dataflow.Batch, sources)
+				for src := 0; src < sources; src++ {
+					batches[w][src] = wl.Batch(src, w)
+				}
+			}
+			w := 0
+			cycle := func() {
+				w++
+				for src := 0; src < sources; src++ {
+					if err := e.Ingest("j", src, batches[w][src], wl.Progress(w)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !e.Drain(10 * time.Second) {
+					t.Fatal("engine did not drain")
+				}
+			}
+			for i := 0; i < warm; i++ {
+				cycle()
+			}
+			allocs := testing.AllocsPerRun(runs, cycle)
+			t.Logf("%v: %.2f allocs per window cycle with wheel run queue", mode, allocs)
+			if allocs > maxAllocsPerWindowCycle {
+				t.Errorf("%v: wheel-mode window cycle allocates %.1f times, budget %.0f — the wheel hot path allocates",
+					mode, allocs, maxAllocsPerWindowCycle)
 			}
 		})
 	}

@@ -84,6 +84,10 @@ func runtimeOrderSched(t *testing.T, kind core.SchedulerKind, mode runtime.Dispa
 }
 
 func runtimeOrderBatch(t *testing.T, kind core.SchedulerKind, mode runtime.DispatchMode, drainBatch int) []execKey {
+	return runtimeOrderRQ(t, kind, mode, drainBatch, core.RunQueueHeap)
+}
+
+func runtimeOrderRQ(t *testing.T, kind core.SchedulerKind, mode runtime.DispatchMode, drainBatch int, rq core.RunQueueKind) []execKey {
 	t.Helper()
 	wl := equivWorkload()
 	e := runtime.New(runtime.Config{
@@ -93,6 +97,7 @@ func runtimeOrderBatch(t *testing.T, kind core.SchedulerKind, mode runtime.Dispa
 		Quantum:    vtime.Hour,
 		Dispatch:   mode,
 		DrainBatch: drainBatch,
+		RunQueue:   rq,
 		TraceLimit: equivTraceLimit,
 	})
 	if e.Dispatch() != mode {

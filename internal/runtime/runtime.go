@@ -132,6 +132,15 @@ type Config struct {
 	TuneInterval time.Duration
 	// Dispatch selects the concurrency strategy (default DispatchAuto).
 	Dispatch DispatchMode
+	// RunQueue selects the structure behind the deadline-ordered operator
+	// run queues (default RunQueueHeap): the indexed binary min-heap, or
+	// the hierarchical timing wheel whose bucket splices make the
+	// per-message re-key amortized O(1). Both produce the identical
+	// dispatch order (pinned by the order-equivalence tests); the knob
+	// trades only constant factors. Applies to the Cameo scheduler on
+	// both dispatch paths; the Orleans/FIFO baselines have no
+	// priority-ordered run queue and ignore it.
+	RunQueue core.RunQueueKind
 	// TraceLimit, when positive, records up to this many executions in a
 	// schedule trace (mirrors sim.Config.TraceLimit), exposed via Trace.
 	TraceLimit int
@@ -375,7 +384,7 @@ func New(cfg Config) *Engine {
 	e.ingestEnvs.New = func() any { return e.newEnv(-1) }
 	if cfg.Dispatch == DispatchSharded {
 		if cfg.Scheduler == core.CameoScheduler {
-			e.path = newShardedPath(e, cfg.Workers)
+			e.path = newShardedPath(e, cfg.Workers, cfg.RunQueue)
 		} else {
 			e.path = newShardedBaselinePath(e, cfg)
 		}

@@ -127,14 +127,18 @@ type shardedPath struct {
 	parker
 }
 
-func newShardedPath(e *Engine, workers int) *shardedPath {
+func newShardedPath(e *Engine, workers int, rq core.RunQueueKind) *shardedPath {
+	slot := func(op *dataflow.Operator) *int32 { return &op.Sched().Pos }
+	runq := queue.NewSlotShardedHeap(workers, slot)
+	if rq == core.RunQueueWheel {
+		runq = queue.NewSlotShardedWheel(workers, slot)
+	}
 	return &shardedPath{
 		e:       e,
 		workers: workers,
-		runq: queue.NewSlotShardedHeap(workers,
-			func(op *dataflow.Operator) *int32 { return &op.Sched().Pos }),
-		states: make([]stateShard, workers),
-		parker: newParker(workers),
+		runq:    runq,
+		states:  make([]stateShard, workers),
+		parker:  newParker(workers),
 	}
 }
 

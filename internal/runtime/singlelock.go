@@ -46,7 +46,7 @@ type singleLockPath struct {
 func newSingleLockPath(e *Engine, cfg Config) *singleLockPath {
 	p := &singleLockPath{
 		e:    e,
-		disp: core.NewDispatcher[*dataflow.Operator](cfg.Scheduler, cfg.Workers),
+		disp: core.NewDispatcherRunQueue[*dataflow.Operator](cfg.Scheduler, cfg.Workers, cfg.RunQueue),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p

@@ -1,0 +1,141 @@
+package runtime_test
+
+// RunQueue equivalence (ISSUE 9): swapping the run-queue structure from
+// the indexed heap to the hierarchical timing wheel must change scheduling
+// *cost*, never scheduling *meaning*. The wheel surfaces each deadline
+// bucket through an exactly-ordered ready heap, so its pop sequence is
+// identical to the heap's — not merely verdict-equivalent — and the pin
+// here is the strong form: message-identical dispatch order on both
+// dispatch paths, at DrainBatch 1 and with batching, against the same
+// DrainBatch=1 heap reference the rest of the equivalence suite uses, and
+// on the simulator (which drives the same CameoDispatcher through the
+// wheel when sim.Config.RunQueue selects it).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/cameo-stream/cameo/internal/core"
+	"github.com/cameo-stream/cameo/internal/runtime"
+	"github.com/cameo-stream/cameo/internal/sim"
+	"github.com/cameo-stream/cameo/internal/testkit"
+	"github.com/cameo-stream/cameo/internal/vtime"
+)
+
+// simOrderRQ is simOrder with an explicit run-queue structure.
+func simOrderRQ(t *testing.T, rq core.RunQueueKind) []execKey {
+	t.Helper()
+	wl := equivWorkload()
+	cl := sim.New(sim.Config{
+		Nodes: 1, WorkersPerNode: 1,
+		Scheduler:  sim.Cameo,
+		RunQueue:   rq,
+		Policy:     testkit.ProgressPolicy{},
+		Quantum:    vtime.Hour,
+		End:        10 * vtime.Hour,
+		TraceLimit: equivTraceLimit,
+	})
+	if _, err := cl.AddJob(testkit.AggSpec("eq", wl.Sources, 2, wl.Win, vtime.Second), wl.Feed(nil)); err != nil {
+		t.Fatal(err)
+	}
+	res := cl.Run()
+	return keysOf(res.Trace.Events())
+}
+
+// TestWheelOrderEquivalence pins the wheel's dispatch order to the heap's
+// on every realization that has a deadline-ordered run queue: the
+// simulator, the single-lock engine, and the sharded engine, unbatched
+// and batched.
+func TestWheelOrderEquivalence(t *testing.T) {
+	ref := runtimeOrderBatch(t, core.CameoScheduler, runtime.DispatchSingleLock, 1)
+	if len(ref) == 0 {
+		t.Fatal("reference run executed nothing")
+	}
+
+	t.Run("sim", func(t *testing.T) {
+		diffOrders(t, "sim wheel vs heap", simOrderRQ(t, core.RunQueueHeap), simOrderRQ(t, core.RunQueueWheel))
+	})
+
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+		for _, batch := range []int{1, 16} {
+			t.Run(fmt.Sprintf("%v/DrainBatch=%d", mode, batch), func(t *testing.T) {
+				got := runtimeOrderRQ(t, core.CameoScheduler, mode, batch, core.RunQueueWheel)
+				diffOrders(t, "wheel vs heap reference", ref, got)
+			})
+		}
+	}
+}
+
+// TestWheelBaselineUnaffected: the RunQueue knob is a no-op for the
+// Orleans and FIFO baselines — their dispatch order with RunQueueWheel
+// set must equal their heap-mode order exactly.
+func TestWheelBaselineUnaffected(t *testing.T) {
+	for _, kind := range []core.SchedulerKind{core.OrleansScheduler, core.FIFOScheduler} {
+		for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+			t.Run(fmt.Sprintf("%v/%v", kind, mode), func(t *testing.T) {
+				ref := runtimeOrderBatch(t, kind, mode, 1)
+				got := runtimeOrderRQ(t, kind, mode, 1, core.RunQueueWheel)
+				diffOrders(t, "baseline with wheel knob", ref, got)
+			})
+		}
+	}
+}
+
+// TestWheelLifecycleSmoke exercises the lifecycle paths that hit the run
+// queue's Remove (Deschedule on pause/cancel) under the wheel: pause,
+// resume, cancel against a live wheel-mode engine on both dispatch paths,
+// with conservation checked by the engine's own quiesce accounting.
+func TestWheelLifecycleSmoke(t *testing.T) {
+	defer testkit.LeakCheck(t)()
+	for _, mode := range []runtime.DispatchMode{runtime.DispatchSingleLock, runtime.DispatchSharded} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const sources = 2
+			win := 10 * vtime.Millisecond
+			e := runtime.New(runtime.Config{
+				Workers:  2,
+				Dispatch: mode,
+				RunQueue: core.RunQueueWheel,
+			})
+			for _, name := range []string{"a", "b"} {
+				if _, err := e.AddJob(testkit.AggSpec(name, sources, 2, win, vtime.Second)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e.Start()
+			defer e.Stop()
+			wl := testkit.Workload{Seed: 3, Sources: sources, Windows: 30, Tuples: 4, Keys: 8, Win: win}
+			paused := false
+			for w := 1; w <= wl.Windows; w++ {
+				for src := 0; src < sources; src++ {
+					if err := e.Ingest("a", src, wl.Batch(src, w), wl.Progress(w)); err != nil {
+						t.Fatal(err)
+					}
+					if !paused {
+						if err := e.Ingest("b", src, wl.Batch(src, w), wl.Progress(w)); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				switch w {
+				case 10:
+					if err := e.PauseJob("b"); err != nil {
+						t.Fatal(err)
+					}
+					paused = true
+				case 20:
+					if err := e.ResumeJob("b"); err != nil {
+						t.Fatal(err)
+					}
+					paused = false
+				}
+			}
+			if err := e.CancelJob("b"); err != nil {
+				t.Fatal(err)
+			}
+			if !e.Drain(10 * time.Second) {
+				t.Fatal("engine did not drain")
+			}
+		})
+	}
+}

@@ -49,6 +49,11 @@ type Config struct {
 	Nodes, WorkersPerNode int
 	// Scheduler selects the dispatcher on every node.
 	Scheduler SchedulerKind
+	// RunQueue selects the structure behind the Cameo dispatcher's
+	// waiting queue (default heap; the wheel pops in the identical order,
+	// so simulated figures are bit-identical either way — pinned by the
+	// equivalence tests). The baselines ignore it.
+	RunQueue core.RunQueueKind
 	// Policy generates message priorities. Defaults to LLF for the Cameo
 	// scheduler and arrival order for the baselines.
 	Policy core.Policy
@@ -199,7 +204,7 @@ func New(cfg Config) *Cluster {
 }
 
 func newDispatcher(cfg Config) core.Dispatcher[*dataflow.Operator] {
-	return core.NewDispatcher[*dataflow.Operator](cfg.Scheduler, cfg.WorkersPerNode)
+	return core.NewDispatcherRunQueue[*dataflow.Operator](cfg.Scheduler, cfg.WorkersPerNode, cfg.RunQueue)
 }
 
 // AddJob instantiates spec, places its operators, and wires its source feed.

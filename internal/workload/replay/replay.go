@@ -124,6 +124,16 @@ func dispatchMode(name string) (runtime.DispatchMode, error) {
 	return 0, fmt.Errorf("replay: unknown dispatch %q", name)
 }
 
+func runQueueKind(name string) (core.RunQueueKind, error) {
+	switch name {
+	case "heap":
+		return core.RunQueueHeap, nil
+	case "wheel":
+		return core.RunQueueWheel, nil
+	}
+	return 0, fmt.Errorf("replay: unknown run_queue %q", name)
+}
+
 func overloadPolicy(name string) (runtime.OverloadPolicy, error) {
 	switch name {
 	case "backpressure":
@@ -166,9 +176,14 @@ func Sim(spec *workload.Spec) (*Verdict, error) {
 	if err != nil {
 		return nil, err
 	}
+	rq, err := runQueueKind(spec.RunQueue)
+	if err != nil {
+		return nil, err
+	}
 	c := sim.New(sim.Config{
 		Nodes: 1, WorkersPerNode: spec.Workers,
 		Scheduler: kind,
+		RunQueue:  rq,
 		End:       vtime.Time(spec.DurationUS + flushTail(spec)),
 	})
 	offers := make([]*offered, len(spec.Tenants))
@@ -233,11 +248,16 @@ func engineRun(spec *workload.Spec, killAt vtime.Duration) (*Verdict, error) {
 	if err != nil {
 		return nil, err
 	}
+	rq, err := runQueueKind(spec.RunQueue)
+	if err != nil {
+		return nil, err
+	}
 	newEngine := func(start vtime.Duration, rec *metrics.Recorder) *runtime.Engine {
 		return runtime.New(runtime.Config{
 			Workers:         spec.Workers,
 			Scheduler:       kind,
 			Dispatch:        mode,
+			RunQueue:        rq,
 			DrainBatch:      spec.DrainBatch.Size,
 			AdaptiveDrain:   spec.DrainBatch.Adaptive,
 			AdaptiveBudgets: spec.AdaptiveBudgets,

@@ -41,6 +41,12 @@ type Spec struct {
 	// Dispatch selects the real-time engine's concurrency strategy:
 	// "sharded" (default) or "single-lock". The simulator ignores it.
 	Dispatch string `json:"dispatch,omitempty"`
+	// RunQueue selects the structure behind the Cameo scheduler's
+	// deadline-ordered run queues: "heap" (default) or "wheel". Dispatch
+	// order — and therefore the verdict — is identical either way; the
+	// knob exists so capacity plans can be replayed under the structure
+	// the production engine will run.
+	RunQueue string `json:"run_queue,omitempty"`
 	// DrainBatch is the real-time engine's per-lock message drain count:
 	// a JSON integer fixes the size (0 = engine default), the string
 	// "adaptive" arms the per-worker feedback controller. The simulator
@@ -237,6 +243,7 @@ func (a *ArrivalSpec) Schedule(interval vtime.Duration) (RateSchedule, error) {
 var (
 	specSchedulers = map[string]bool{"cameo": true, "orleans": true, "fifo": true}
 	specDispatches = map[string]bool{"sharded": true, "single-lock": true}
+	specRunQueues  = map[string]bool{"heap": true, "wheel": true}
 	specOverloads  = map[string]bool{"backpressure": true, "shed": true}
 )
 
@@ -279,6 +286,12 @@ func (s *Spec) Validate() error {
 	}
 	if !specDispatches[s.Dispatch] {
 		return fmt.Errorf("workload: spec %q: unknown dispatch %q", s.Name, s.Dispatch)
+	}
+	if s.RunQueue == "" {
+		s.RunQueue = "heap"
+	}
+	if !specRunQueues[s.RunQueue] {
+		return fmt.Errorf("workload: spec %q: unknown run_queue %q", s.Name, s.RunQueue)
 	}
 	if s.Overload == "" {
 		s.Overload = "backpressure"
