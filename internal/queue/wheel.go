@@ -382,14 +382,19 @@ func (w *TimingWheel[T]) bucketUnlink(idx int32) {
 }
 
 // advance surfaces work into the ready heap until it is non-empty (or the
-// wheel is). Invariants make "first set bit" the next bucket in key order:
-// at every level, occupied slots are at or ahead of the horizon's slot, so
-// TrailingZeros64 of the occupancy bitmap finds the minimum. A level-0
-// bucket holds a single key value and opens into the ready heap, setting
-// the horizon just past it; a higher-level bucket cascades — the horizon
-// jumps to the bucket's base and its nodes re-file at strictly lower
-// levels (their diverging bit group is now below the old one), so each
-// node moves at most wheelLevels times over its lifetime.
+// wheel is). The invariant that makes "first set bit" the next bucket in
+// key order: every bucketed node shares all groups above its level with
+// cur, and (for levels >= 1) sits at a slot strictly greater than cur's
+// group at that level — so TrailingZeros64 of the lowest occupied level's
+// bitmap finds the minimum. A level-0 bucket holds a single key value and
+// opens into the ready heap, setting the horizon just past it; when that
+// increment carries across a group boundary, cascadeCarry re-files the
+// one bucket the carry can strand so the invariant survives. A
+// higher-level bucket cascades — the horizon jumps to the bucket's base
+// and its nodes re-file at strictly lower levels (their diverging bit
+// group is now below the old one), so each node moves at most wheelLevels
+// times over its lifetime, and because occupied slots are strictly ahead
+// of cur's group, the horizon is monotone between resets.
 func (w *TimingWheel[T]) advance() {
 	for len(w.ready) == 0 {
 		level := -1
@@ -418,6 +423,9 @@ func (w *TimingWheel[T]) advance() {
 				w.cur, w.curMaxed = k, true
 			} else {
 				w.cur = k + 1
+				if (k^w.cur)>>wheelBits != 0 {
+					w.cascadeCarry(k ^ w.cur)
+				}
 			}
 			return
 		}
@@ -437,6 +445,34 @@ func (w *TimingWheel[T]) advance() {
 			head = w.nodes[idx].next
 			w.place(idx, w.nodes[idx].pri)
 		}
+	}
+}
+
+// cascadeCarry re-files the one bucket a horizon carry can strand. When a
+// level-0 open increments cur across a 6-bit group boundary, exactly one
+// higher group of the horizon ticks up (the opened key's groups below it
+// were all-ones, so those levels hold no buckets — no slot can be
+// strictly ahead of 63), and a bucket parked at that level whose slot
+// equals the new group is stale: its keys now diverge from cur strictly
+// below that level, so the occupancy scan would open level 0 ahead of
+// them and pop out of order (e.g. Push 63, Push 69, PopMin, Push 70 would
+// pop 70 before 69). Re-placing its nodes against the new horizon — the
+// timer-wheel clock-advance step — refiles them at lower levels before
+// level 0 is trusted as the minimum. diff is oldCur^newCur.
+func (w *TimingWheel[T]) cascadeCarry(diff uint64) {
+	level := (bits.Len64(diff) - 1) / wheelBits
+	slot := (w.cur >> (uint(level) * wheelBits)) & (wheelSlots - 1)
+	b := int32(level)*wheelSlots + int32(slot)
+	head := w.buckets[b]
+	if head == -1 {
+		return
+	}
+	w.buckets[b] = -1
+	w.occupied[level] &^= 1 << uint(slot)
+	for head != -1 {
+		idx := head
+		head = w.nodes[idx].next
+		w.place(idx, w.nodes[idx].pri)
 	}
 }
 

@@ -38,6 +38,42 @@ func TestWheelBasicOrder(t *testing.T) {
 	}
 }
 
+// TestWheelCarryStaleBucket is the minimal reproduction of the horizon-
+// carry bug: opening key 63's level-0 bucket advances cur to 64, carrying
+// across the 6-bit group boundary, which strands key 69's level-1 bucket
+// (slot 1) at a slot equal to the new horizon's level-1 group. Without
+// the cascadeCarry re-file, a later push of 70 lands at level 0 and pops
+// ahead of 69.
+func TestWheelCarryStaleBucket(t *testing.T) {
+	w := NewTimingWheel[int]()
+	w.Push(63, Pri{Key: 63})
+	w.Push(69, Pri{Key: 69})
+	if v, _, _ := w.PopMin(); v != 63 {
+		t.Fatalf("first pop = %d, want 63", v)
+	}
+	w.Push(70, Pri{Key: 70})
+	for _, want := range []int{69, 70} {
+		v, _, ok := w.PopMin()
+		if !ok || v != want {
+			t.Fatalf("pop = %d (ok=%v), want %d", v, ok, want)
+		}
+	}
+	// The same shape one group higher: opening 4095 carries two groups
+	// (cur 4095 -> 4096), stranding a level-2 bucket.
+	w.Push(4095, Pri{Key: 4095})
+	w.Push(4100, Pri{Key: 4100})
+	if v, _, _ := w.PopMin(); v != 4095 {
+		t.Fatal("level-2 carry: first pop wrong")
+	}
+	w.Push(4160, Pri{Key: 4160})
+	for _, want := range []int{4100, 4160} {
+		v, _, ok := w.PopMin()
+		if !ok || v != want {
+			t.Fatalf("level-2 carry: pop = %d (ok=%v), want %d", v, ok, want)
+		}
+	}
+}
+
 func TestWheelUpdateRemoveContains(t *testing.T) {
 	w := NewTimingWheel[string]()
 	w.Push("a", Pri{Key: 10})
@@ -231,6 +267,25 @@ func wheelOracleStep(t *testing.T, rng *wheelRNG, w *TimingWheel[int], h *Indexe
 	}
 }
 
+// wheelCurMonitor asserts the horizon is monotone between resets — the
+// documented invariant whose violation (a stale-bucket cascade rewinding
+// cur) was the secondary symptom of the carry bug. The wheel only rewinds
+// cur when it empties, which a single oracle step can cause only from
+// Len 1, so any backward move observed while at least two items stayed
+// live is a bug.
+type wheelCurMonitor struct {
+	lastCur uint64
+	lastLen int
+}
+
+func (m *wheelCurMonitor) check(t *testing.T, w *TimingWheel[int]) {
+	t.Helper()
+	if m.lastLen > 1 && w.cur < m.lastCur {
+		t.Fatalf("horizon moved backward: %d -> %d at Len %d", m.lastCur, w.cur, w.Len())
+	}
+	m.lastCur, m.lastLen = w.cur, w.Len()
+}
+
 // TestWheelMatchesHeapOracle replays random interleaved operation
 // sequences against IndexedHeap as the oracle under several key
 // distributions; every pop and peek must return the identical
@@ -240,6 +295,10 @@ func TestWheelMatchesHeapOracle(t *testing.T) {
 	distributions := map[string]func(*wheelRNG) int64{
 		// Monotone-ish microsecond deadlines — the scheduler's shape.
 		"deadline": func(r *wheelRNG) int64 { return int64(r.next() % 10_000_000) },
+		// Dense keys spanning a few bucket groups: the horizon crosses a
+		// 6-bit group boundary every ~64 pops, making carry-stranded
+		// buckets frequent (the shape that exposed the carry bug).
+		"dense": func(r *wheelRNG) int64 { return int64(r.next() % 4096) },
 		// Tight cluster: everything lands in a few buckets, many ties.
 		"clustered": func(r *wheelRNG) int64 { return int64(r.next() % 8) },
 		// Full-range signed keys, including negatives.
@@ -259,14 +318,16 @@ func TestWheelMatchesHeapOracle(t *testing.T) {
 	}
 	for name, keyFn := range distributions {
 		t.Run(name, func(t *testing.T) {
-			for seed := uint64(1); seed <= 5; seed++ {
+			for seed := uint64(1); seed <= 20; seed++ {
 				rng := wheelRNG(seed * 0x1234567)
 				w := NewTimingWheel[int]()
 				h := NewIndexedHeap[int]()
 				live := map[int]bool{}
 				next := 0
-				for step := 0; step < 4000; step++ {
+				var mon wheelCurMonitor
+				for step := 0; step < 6000; step++ {
 					wheelOracleStep(t, &rng, w, h, live, &next, keyFn)
+					mon.check(t, w)
 				}
 				// Drain both completely; the tails must match too.
 				for {
@@ -284,6 +345,47 @@ func TestWheelMatchesHeapOracle(t *testing.T) {
 	}
 }
 
+// TestWheelDensePushPopOracle hammers the carry path specifically: 200
+// seeds of pure push/pop traffic with keys in 0..4095, so the horizon
+// crosses group boundaries constantly and every carry that strands a
+// bucket misorders a pop within a few steps. This catches the carry bug
+// in milliseconds where the mixed-op oracle's fixed seeds missed it.
+func TestWheelDensePushPopOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		rng := wheelRNG(seed * 0x9e3779b9)
+		w := NewTimingWheel[int]()
+		h := NewIndexedHeap[int]()
+		next := 0
+		var mon wheelCurMonitor
+		for step := 0; step < 600; step++ {
+			if rng.next()%2 == 0 || w.Len() == 0 {
+				p := Pri{Key: int64(rng.next() % 4096), Tie: int64(next)}
+				w.Push(next, p)
+				h.Push(next, p)
+				next++
+			} else {
+				wv, wp, wok := w.PopMin()
+				hv, hp, hok := h.PopMin()
+				if wok != hok || wv != hv || wp != hp {
+					t.Fatalf("seed %d step %d: PopMin diverged: wheel (%d,%v,%v) heap (%d,%v,%v)",
+						seed, step, wv, wp, wok, hv, hp, hok)
+				}
+			}
+			mon.check(t, w)
+		}
+		for {
+			wv, wp, wok := w.PopMin()
+			hv, hp, hok := h.PopMin()
+			if wok != hok || wv != hv || wp != hp {
+				t.Fatalf("seed %d drain diverged: wheel (%d,%v,%v) heap (%d,%v,%v)", seed, wv, wp, wok, hv, hp, hok)
+			}
+			if !wok {
+				break
+			}
+		}
+	}
+}
+
 // FuzzWheelVsHeap lets the fuzzer drive the same oracle comparison from
 // arbitrary byte strings: each pair of bytes is one operation (op selector
 // + key material). `go test -fuzz=FuzzWheelVsHeap ./internal/queue` digs;
@@ -292,6 +394,10 @@ func FuzzWheelVsHeap(f *testing.F) {
 	f.Add([]byte{0, 1, 0, 2, 4, 0, 0, 3, 4, 0, 4, 0})
 	f.Add([]byte{0, 255, 0, 255, 6, 0, 4, 0, 8, 0, 4, 0})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 6, 7, 4, 0, 4, 0, 4, 0})
+	// The carry-stranded-bucket regression: push 63 and 69, pop (the
+	// horizon carry past the group boundary strands 69's level-1 bucket),
+	// push 70, then the remaining pops must come back 69 before 70.
+	f.Add([]byte{5, 63, 5, 69, 4, 0, 5, 70, 4, 0, 4, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		w := NewTimingWheel[int]()
 		h := NewIndexedHeap[int]()
@@ -299,11 +405,18 @@ func FuzzWheelVsHeap(f *testing.F) {
 		next := 0
 		for i := 0; i+1 < len(data); i += 2 {
 			op, arg := data[i], data[i+1]
-			switch op % 5 {
+			switch op % 6 {
 			case 0: // push; arg stretches the key across bucket levels
 				v := next
 				next++
 				p := Pri{Key: (int64(arg) - 128) << (uint(arg) % 48), Tie: int64(v)}
+				w.Push(v, p)
+				h.Push(v, p)
+				live = append(live, v)
+			case 5: // dense push: small adjacent keys, frequent carries
+				v := next
+				next++
+				p := Pri{Key: int64(arg), Tie: int64(v)}
 				w.Push(v, p)
 				h.Push(v, p)
 				live = append(live, v)
