@@ -32,6 +32,13 @@ var metricKeys = map[string]bool{
 	"allocs_per_msg": true, "heap_allocs_per_msg": true,
 	"p50_ms": true, "p99_ms": true, "heap_p99_ms": true,
 	"checkpoint_bytes": true, "shed_frac": true,
+	// -net sweep measurements: cells match on (part, path, conns,
+	// coalesce) — and the overload cell on its budget/offered shape —
+	// while everything measured diffs.
+	"allocs_per_frame": true, "speedup_vs_coalesce1": true,
+	"max_pending_observed": true, "nacked_frames": true, "nacked_tuples": true,
+	"created": true, "executed": true, "discarded": true, "conserved": true,
+	"rejected": true,
 }
 
 // compareDoc is the generic shape shared by every report struct in this

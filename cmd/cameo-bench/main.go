@@ -36,6 +36,7 @@ func main() {
 		adaptive   = flag.Bool("adaptive", false, "benchmark the adaptive drain controller: fixed DrainBatch sweep vs AdaptiveDrain, steady and load-shifting")
 		recover    = flag.Bool("recover", false, "benchmark crash recovery: checkpoint size, snapshot pause, and restore time vs state size")
 		wheel      = flag.Bool("wheel", false, "benchmark the run-queue structures: paired heap vs timing-wheel A/B on the multitenant workload")
+		net        = flag.Bool("net", false, "benchmark networked ingest: loopback wire clients vs in-process baseline, conns x coalesce sweep plus a budgeted overload cell")
 		compare    = flag.Bool("compare", false, "compare two BENCH_*.json files (args: old.json new.json); refuses mismatched environments")
 		reps       = flag.Int("reps", 3, "repetitions per real-time benchmark cell (-rt, -churn, -overload, -batch, -adaptive, -recover)")
 		jsonOut    = flag.String("json", "", "write machine-readable -rt/-churn/-overload/-batch/-adaptive/-recover results to this file (e.g. BENCH_rt.json)")
@@ -54,13 +55,13 @@ func main() {
 		os.Exit(2)
 	}
 	modes := 0
-	for _, set := range []bool{*recover, *batch, *adaptive, *overload, *churn, *rt, *wheel, *compare, *list, *all, *fig != ""} {
+	for _, set := range []bool{*recover, *batch, *adaptive, *overload, *churn, *rt, *wheel, *net, *compare, *list, *all, *fig != ""} {
 		if set {
 			modes++
 		}
 	}
 	if modes > 1 {
-		fail("pick exactly one mode of -recover, -batch, -adaptive, -overload, -churn, -rt, -wheel, -compare, -list, -all, -fig")
+		fail("pick exactly one mode of -recover, -batch, -adaptive, -overload, -churn, -rt, -wheel, -net, -compare, -list, -all, -fig")
 	}
 	if *reps < 1 {
 		fail("-reps must be >= 1 (got %d)", *reps)
@@ -102,6 +103,8 @@ func main() {
 		runCompare(flag.Arg(0), flag.Arg(1))
 	case *wheel:
 		runWheelSweep(*seed, *reps, *jsonOut)
+	case *net:
+		runNetSweep(*seed, *reps, *jsonOut)
 	case *recover:
 		runRecoverSweep(*seed, *reps, *jsonOut)
 	case *batch:

@@ -42,7 +42,7 @@ type report struct {
 func main() {
 	var (
 		specPath = flag.String("spec", "", "JSON workload spec path (empty = builtin CI spec)")
-		mode     = flag.String("mode", "both", "sim, runtime, or both")
+		mode     = flag.String("mode", "both", "sim, runtime, net, or both (net replays through a loopback cameo-serve wire session)")
 		seed     = flag.Uint64("seed", 0, "override the spec seed (0 keeps the spec's)")
 		jsonPath = flag.String("json", "", "write the verdict report to this path")
 		emitSpec = flag.Bool("emit-spec", false, "print the builtin spec as JSON and exit")
@@ -53,7 +53,7 @@ func main() {
 	)
 	flag.Parse()
 
-	spec := builtinSpec()
+	spec := workload.BuiltinCISpec()
 	if *specPath != "" {
 		data, err := os.ReadFile(*specPath)
 		if err != nil {
@@ -106,6 +106,8 @@ func main() {
 		run("sim", replay.Sim)
 	case "runtime":
 		run(engineName, engineDriver)
+	case "net":
+		run("net", replay.EngineNet)
 	case "both":
 		run("sim", replay.Sim)
 		run(engineName, engineDriver)
@@ -151,53 +153,6 @@ func printVerdict(v *replay.Verdict) {
 		fmt.Printf(", %d handler panics", v.HandlerPanics)
 	}
 	fmt.Println()
-}
-
-// builtinSpec is the CI smoke workload: an interactive tenant with Poisson
-// arrivals and a tight deadline sharing the engine with a bursty bulk
-// tenant that tolerates shedding — small enough to replay in about a
-// second of wall time on the real-time engine.
-func builtinSpec() *workload.Spec {
-	spec := &workload.Spec{
-		Name:       "ci-smoke",
-		Seed:       1,
-		DurationUS: 1200 * vtime.Millisecond,
-		Workers:    2,
-		Overload:   "shed",
-		MaxPending: 4096,
-		Tenants: []workload.TenantSpec{
-			{
-				Name:       "interactive",
-				Sources:    2,
-				IntervalUS: 10 * vtime.Millisecond,
-				Arrival:    workload.ArrivalSpec{Kind: "poisson", Rate: 40},
-				Keys:       32,
-				FanOut:     2,
-				WindowUS:   50 * vtime.Millisecond,
-				Spread:     true,
-				SLO:        workload.SLOSpec{DeadlineUS: 80 * vtime.Millisecond},
-			},
-			{
-				Name:       "bulk",
-				Sources:    2,
-				IntervalUS: 10 * vtime.Millisecond,
-				Arrival: workload.ArrivalSpec{
-					Kind: "bursty", Rate: 100, Spike: 400,
-					PeriodUS: 200 * vtime.Millisecond, Duty: 0.25,
-					Jitter: 0.3,
-				},
-				Keys:       64,
-				FanOut:     2,
-				WindowUS:   100 * vtime.Millisecond,
-				MaxPending: 512,
-				SLO:        workload.SLOSpec{DeadlineUS: 500 * vtime.Millisecond, MaxShedFrac: 0.2},
-			},
-		},
-	}
-	if err := spec.Validate(); err != nil {
-		panic(err) // builtin spec must always validate
-	}
-	return spec
 }
 
 func fatal(err error) {

@@ -341,7 +341,12 @@ func (e *Engine) AppliedDrainBatch(w int) int { return e.inner.AppliedDrainBatch
 // progress of all channels become eligible to fire. Safe for concurrent
 // use across sources.
 func (e *Engine) IngestBatch(job string, source int, events []Event, progress time.Duration) error {
-	return e.inner.Ingest(job, source, renderBatch(events), vtime.FromStd(progress))
+	b := e.renderBatch(events)
+	err := e.inner.Ingest(job, source, b, vtime.FromStd(progress))
+	if err != nil {
+		e.inner.ReturnBatch(b)
+	}
+	return err
 }
 
 // TryIngestBatch is the non-blocking, never-shedding variant of
@@ -351,14 +356,24 @@ func (e *Engine) IngestBatch(job string, source int, events []Event, progress ti
 // flow-control primitive for sources that would rather slow down than
 // have the engine shed.
 func (e *Engine) TryIngestBatch(job string, source int, events []Event, progress time.Duration) error {
-	return e.inner.TryIngest(job, source, renderBatch(events), vtime.FromStd(progress))
+	b := e.renderBatch(events)
+	err := e.inner.TryIngest(job, source, b, vtime.FromStd(progress))
+	if err != nil {
+		e.inner.ReturnBatch(b)
+	}
+	return err
 }
 
-func renderBatch(events []Event) *dataflow.Batch {
+// renderBatch renders []Event into a columnar batch leased from the
+// engine's batch pool, so the public ingest path costs zero steady-state
+// allocations per call (the alloc gate pins it): on successful ingest the
+// engine recycles the batch like any other pooled payload; on refusal the
+// caller returns it. A nil return (empty events) is a pure watermark.
+func (e *Engine) renderBatch(events []Event) *dataflow.Batch {
 	if len(events) == 0 {
 		return nil
 	}
-	b := dataflow.NewBatch(len(events))
+	b := e.inner.LeaseBatch(len(events))
 	for _, ev := range events {
 		b.Append(vtime.FromStd(ev.Time), ev.Key, ev.Value)
 	}

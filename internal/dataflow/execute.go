@@ -126,16 +126,26 @@ func Execute(op *Operator, m *core.Message, now vtime.Time, cost vtime.Duration,
 
 // SourceMessages converts one source batch emission into routed, fully
 // prioritized messages for stage 0 (BUILDCXTATSOURCE per message). The
-// returned slice is env scratch, valid until the env's next use; the
-// caller-owned batch b is never recycled (its partitions are pool-owned
-// copies, except when forwarded whole to a single/unkeyed target).
+// returned slice is env scratch, valid until the env's next use.
+//
+// Batch ownership: when b is split into fresh pool-owned partitions it is
+// released back to the env's batch pool afterwards — a no-op for
+// externally created batches (the common Ingest case; callers keep
+// ownership and may reuse them), but the step that lets the networked
+// ingest tier lease decode buffers from the engine pool and have them
+// recycle without a per-flush allocation. When b is forwarded whole to a
+// single/unkeyed target it is NOT split and ownership moves to that
+// message's consumer, which settles it at Finish or discard.
 func SourceMessages(j *Job, src int, b *Batch, p, t vtime.Time, env *Env) []ChildMessage {
 	if src < 0 || src >= j.Spec.Sources {
 		panic("dataflow: source out of range for job " + j.Spec.Name)
 	}
 	port := j.sourcePort(src)
 	targets := j.Stages[0]
-	parts, _ := env.partition(b, len(targets))
+	parts, split := env.partition(b, len(targets))
+	if split {
+		env.FreeBatch(b)
+	}
 	out := env.source[:0]
 	for i, target := range targets {
 		m := env.newMessage()

@@ -913,6 +913,38 @@ func (e *Engine) AppliedDrainBatch(w int) int {
 	return int(e.ctls[w].applied.Load())
 }
 
+// LeaseBatch draws an empty batch from the engine's batch pool for an
+// external producer (the networked ingest tier's decode buffers). A
+// leased batch handed to Ingest/TryIngest is owned by the engine on
+// success — it recycles through the pool like any engine-created batch —
+// and stays the caller's to ReturnBatch when ingest refuses it. capacity
+// is a hint for fresh allocations; recycled batches keep their grown
+// capacity, so steady-state leasing does not allocate.
+func (e *Engine) LeaseBatch(capacity int) *dataflow.Batch {
+	return e.batches.Get(-1, capacity)
+}
+
+// ReturnBatch releases a leased batch that was never successfully
+// ingested (a refused flush, a torn connection's pending buffer). Safe on
+// nil and on externally created batches (both are no-ops).
+func (e *Engine) ReturnBatch(b *dataflow.Batch) {
+	e.batches.Put(-1, b)
+}
+
+// JobShape reports the named job's ingest-facing shape: its source
+// channel count and stage-0 parallelism (the fan-out every admitted batch
+// multiplies into). The serving tier derives per-stream credit windows
+// from it together with JobBudget.
+func (e *Engine) JobShape(name string) (sources, stage0 int, err error) {
+	e.jobsMu.RLock()
+	j, ok := e.jobs[name]
+	e.jobsMu.RUnlock()
+	if !ok {
+		return 0, 0, fmt.Errorf("runtime: unknown job %q", name)
+	}
+	return j.Spec.Sources, len(j.Stages[0]), nil
+}
+
 // JobBudget reports the named job's current effective pending budget
 // (0 = unlimited): the tuner-derived adaptive budget once the job's
 // drain rate has been measured, the static JobSpec.MaxPending before.

@@ -1,0 +1,51 @@
+package workload
+
+import "github.com/cameo-stream/cameo/internal/vtime"
+
+// BuiltinCISpec is the CI smoke workload shared by cameo-replay and the
+// serving-tier equivalence tests: an interactive tenant with Poisson
+// arrivals and a tight deadline sharing the engine with a bursty bulk
+// tenant that tolerates shedding — small enough to replay in about a
+// second of wall time on the real-time engine.
+func BuiltinCISpec() *Spec {
+	spec := &Spec{
+		Name:       "ci-smoke",
+		Seed:       1,
+		DurationUS: 1200 * vtime.Millisecond,
+		Workers:    2,
+		Overload:   "shed",
+		MaxPending: 4096,
+		Tenants: []TenantSpec{
+			{
+				Name:       "interactive",
+				Sources:    2,
+				IntervalUS: 10 * vtime.Millisecond,
+				Arrival:    ArrivalSpec{Kind: "poisson", Rate: 40},
+				Keys:       32,
+				FanOut:     2,
+				WindowUS:   50 * vtime.Millisecond,
+				Spread:     true,
+				SLO:        SLOSpec{DeadlineUS: 80 * vtime.Millisecond},
+			},
+			{
+				Name:       "bulk",
+				Sources:    2,
+				IntervalUS: 10 * vtime.Millisecond,
+				Arrival: ArrivalSpec{
+					Kind: "bursty", Rate: 100, Spike: 400,
+					PeriodUS: 200 * vtime.Millisecond, Duty: 0.25,
+					Jitter: 0.3,
+				},
+				Keys:       64,
+				FanOut:     2,
+				WindowUS:   100 * vtime.Millisecond,
+				MaxPending: 512,
+				SLO:        SLOSpec{DeadlineUS: 500 * vtime.Millisecond, MaxShedFrac: 0.2},
+			},
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err) // builtin spec must always validate
+	}
+	return spec
+}

@@ -1,0 +1,90 @@
+package replay
+
+import (
+	"testing"
+
+	"github.com/cameo-stream/cameo/internal/workload"
+)
+
+// TestNetVerdictEquivalence is the socket half of the verdict-equivalence
+// gate: replaying the builtin CI spec through a loopback wire session
+// must offer exactly the load the in-process runtime replay offers (the
+// feeds are deterministic and the drivers pace identically), conserve
+// messages, and keep the wire ledger internally consistent — EngineNet
+// fails the run outright if clients and server disagree on a single
+// tuple, so this test reaching a verdict IS the reconciliation check.
+func TestNetVerdictEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time replay paces on the wall clock")
+	}
+	spec := func() *workload.Spec {
+		s := workload.BuiltinCISpec()
+		s.DurationUS = 600 * 1000 // trim the CI spec to keep the suite fast
+		return s
+	}
+	pv, err := Engine(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := EngineNet(spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nv.Mode != "net" {
+		t.Errorf("mode = %q, want net", nv.Mode)
+	}
+	if got := nv.Messages + nv.Discarded; got != nv.Created {
+		t.Errorf("net conservation: executed %d + discarded %d != created %d",
+			nv.Messages, nv.Discarded, nv.Created)
+	}
+	for i := range pv.Tenants {
+		pt, nt := pv.Tenants[i], nv.Tenants[i]
+		if pt.OfferedBatches != nt.OfferedBatches || pt.OfferedTuples != nt.OfferedTuples {
+			t.Errorf("tenant %s: offered load diverged: runtime %d/%d, net %d/%d",
+				pt.Tenant, pt.OfferedBatches, pt.OfferedTuples, nt.OfferedBatches, nt.OfferedTuples)
+		}
+		// The wire can refuse load (the net driver's flushes go through
+		// TryIngest), but it can never lose it: every offered tuple was
+		// admitted, shed after admission, or nacked at the wire.
+		if nt.WireNackedTuples > nt.OfferedTuples {
+			t.Errorf("tenant %s: nacked %d of %d offered tuples", nt.Tenant,
+				nt.WireNackedTuples, nt.OfferedTuples)
+		}
+		if nt.Outputs == 0 {
+			t.Errorf("tenant %s: no outputs through the wire", nt.Tenant)
+		}
+	}
+}
+
+// TestNetExactOutputsNoOverload pins exact verdict equality where it must
+// be exact: with admission budgets disabled nothing is refused at the
+// wire or shed inside the engine, so the in-process and socket replays
+// must produce identical per-tenant output-window counts — the socket,
+// the coalescing, and the credit windows are invisible to the dataflow.
+func TestNetExactOutputsNoOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time replay paces on the wall clock")
+	}
+	pv, err := Engine(equivSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := EngineNet(equivSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pv.Tenants {
+		pt, nt := pv.Tenants[i], nv.Tenants[i]
+		if pt.OfferedBatches != nt.OfferedBatches || pt.OfferedTuples != nt.OfferedTuples {
+			t.Errorf("tenant %s: offered load diverged: runtime %d/%d, net %d/%d",
+				pt.Tenant, pt.OfferedBatches, pt.OfferedTuples, nt.OfferedBatches, nt.OfferedTuples)
+		}
+		if pt.Outputs != nt.Outputs {
+			t.Errorf("tenant %s: output windows diverged: runtime %d, net %d",
+				pt.Tenant, pt.Outputs, nt.Outputs)
+		}
+		if nt.WireNackedFrames != 0 || nt.WireNackedTuples != 0 || nt.Shed != 0 || nt.Rejected != 0 {
+			t.Errorf("tenant %s: losses with budgets disabled: %+v", nt.Tenant, nt)
+		}
+	}
+}

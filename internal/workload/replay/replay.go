@@ -48,11 +48,21 @@ type TenantVerdict struct {
 	SuccessRate    float64 `json:"success_rate"`
 	// Shed counts queued messages discarded by overload shedding; Rejected
 	// counts ingest attempts (batches) refused by backpressure. Both are
-	// zero on the simulator, which has no admission layer.
+	// zero on the simulator, which has no admission layer. In net mode
+	// Rejected counts refused coalesced flushes (the server's TryIngest
+	// granularity), not offered batches.
 	Shed     int64 `json:"shed"`
 	Rejected int64 `json:"rejected"`
+	// WireNackedFrames and WireNackedTuples count this tenant's wire
+	// frames (and the tuples they carried) refused with a Nack — set only
+	// in net mode, where they reconcile with the server's ledger and the
+	// engine's per-source Rejected counts.
+	WireNackedFrames int64 `json:"wire_nacked_frames,omitempty"`
+	WireNackedTuples int64 `json:"wire_nacked_tuples,omitempty"`
 	// ShedFrac is the fraction of offered stage-0 load refused or shed:
-	// (shed + rejected*fan_out) / (offered_batches*fan_out).
+	// (shed + rejected*fan_out) / (offered_batches*fan_out) in-process;
+	// shed/(offered_batches*fan_out) + wire_nacked_tuples/offered_tuples
+	// in net mode, where refusals happen at the wire in tuple granularity.
 	ShedFrac float64 `json:"shed_frac"`
 
 	PassLatency bool `json:"pass_latency"`
@@ -142,6 +152,41 @@ func overloadPolicy(name string) (runtime.OverloadPolicy, error) {
 		return runtime.OverloadShed, nil
 	}
 	return 0, fmt.Errorf("replay: unknown overload policy %q", name)
+}
+
+// EngineConfigFor translates a validated spec's engine shape into the
+// runtime configuration every replay driver (and cmd/cameo-serve) builds
+// from — scheduler, dispatch, run queue, drain tuning, admission budgets.
+// StartTime and Recorder stay zero; callers that need them set them on
+// the returned value.
+func EngineConfigFor(spec *workload.Spec) (runtime.Config, error) {
+	kind, err := schedulerKind(spec.Scheduler)
+	if err != nil {
+		return runtime.Config{}, err
+	}
+	mode, err := dispatchMode(spec.Dispatch)
+	if err != nil {
+		return runtime.Config{}, err
+	}
+	policy, err := overloadPolicy(spec.Overload)
+	if err != nil {
+		return runtime.Config{}, err
+	}
+	rq, err := runQueueKind(spec.RunQueue)
+	if err != nil {
+		return runtime.Config{}, err
+	}
+	return runtime.Config{
+		Workers:         spec.Workers,
+		Scheduler:       kind,
+		Dispatch:        mode,
+		RunQueue:        rq,
+		DrainBatch:      spec.DrainBatch.Size,
+		AdaptiveDrain:   spec.DrainBatch.Adaptive,
+		AdaptiveBudgets: spec.AdaptiveBudgets,
+		MaxPending:      spec.MaxPending,
+		Overload:        policy,
+	}, nil
 }
 
 // offered tallies the load a driver presented to an engine for one tenant.
@@ -236,36 +281,15 @@ func engineRun(spec *workload.Spec, killAt vtime.Duration) (*Verdict, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	kind, err := schedulerKind(spec.Scheduler)
-	if err != nil {
-		return nil, err
-	}
-	mode, err := dispatchMode(spec.Dispatch)
-	if err != nil {
-		return nil, err
-	}
-	policy, err := overloadPolicy(spec.Overload)
-	if err != nil {
-		return nil, err
-	}
-	rq, err := runQueueKind(spec.RunQueue)
+	base, err := EngineConfigFor(spec)
 	if err != nil {
 		return nil, err
 	}
 	newEngine := func(start vtime.Duration, rec *metrics.Recorder) *runtime.Engine {
-		return runtime.New(runtime.Config{
-			Workers:         spec.Workers,
-			Scheduler:       kind,
-			Dispatch:        mode,
-			RunQueue:        rq,
-			DrainBatch:      spec.DrainBatch.Size,
-			AdaptiveDrain:   spec.DrainBatch.Adaptive,
-			AdaptiveBudgets: spec.AdaptiveBudgets,
-			MaxPending:      spec.MaxPending,
-			Overload:        policy,
-			StartTime:       start,
-			Recorder:        rec,
-		})
+		cfg := base
+		cfg.StartTime = start
+		cfg.Recorder = rec
+		return runtime.New(cfg)
 	}
 	first := newEngine(0, nil)
 	// Sources address the engine through this pointer; the failover
